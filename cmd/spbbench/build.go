@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spbtree/internal/dataset"
+	"spbtree/internal/metric"
+	"spbtree/internal/pivot"
+)
+
+// table2 — dataset statistics: cardinality, intrinsic dimensionality, and
+// the precision (Definition 1) of 5 HFI pivots.
+func table2(cfg config) error {
+	header(cfg.out, "Table 2: statistics of the datasets used")
+	fmt.Fprintf(cfg.out, "%-10s %12s %8s %8s %-30s\n", "dataset", "cardinality", "ins.dim", "prec.", "measurement")
+	rng := rand.New(rand.NewSource(cfg.seed))
+	for _, name := range []string{"words", "color", "dna", "signature", "synthetic"} {
+		ds := scaledDataset(cfg, name)
+		stats := metric.SampleStats(ds.Objects, ds.Distance, 2000, rng)
+		pairs := pivot.SamplePairs(ds.Objects, ds.Distance, 500, rng)
+		pv := pivot.HFI{}.Select(ds.Objects, ds.Distance, 5, rng)
+		prec := pivot.Precision(pv, pairs, ds.Distance)
+		fmt.Fprintf(cfg.out, "%-10s %12d %8.2f %8.3f %-30s\n",
+			ds.Name, len(ds.Objects), stats.IntrinsicDim, prec, ds.Distance.Name())
+	}
+	return nil
+}
+
+// table6 — construction cost and storage size of all five MAMs.
+func table6(cfg config) error {
+	header(cfg.out, "Table 6: construction costs and storage sizes of MAMs")
+	fmt.Fprintf(cfg.out, "%-10s %-11s %10s %12s %10s %12s\n",
+		"dataset", "MAM", "PA", "compdists", "time", "storage(KB)")
+	for _, name := range []string{"color", "words", "dna"} {
+		ds := scaledDataset(cfg, name)
+		for _, mam := range mamNames {
+			br, err := buildMAM(mam, ds, cfg.seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.out, "%-10s %-11s %10d %12d %10v %12d\n",
+				ds.Name, mam, br.pa, br.cd, br.elapsed.Round(time.Millisecond), br.storage/1024)
+		}
+	}
+	return nil
+}
+
+// table7 — update cost: average cost of inserting 100 random objects into
+// each MAM built on Words.
+func table7(cfg config) error {
+	header(cfg.out, "Table 7: update cost on Words (average of 100 inserts)")
+	fmt.Fprintf(cfg.out, "%-11s %10s %12s %14s\n", "MAM", "PA", "compdists", "time/insert")
+	ds := scaledDataset(cfg, "words")
+	fresh := dataset.Words(100, cfg.seed+999)
+	inserts := make([]metric.Object, len(fresh.Objects))
+	for i, o := range fresh.Objects {
+		s := o.(*metric.Str)
+		inserts[i] = metric.NewStr(uint64(10_000_000+i), s.S)
+	}
+	for _, mam := range mamNames {
+		br, err := buildMAM(mam, ds, cfg.seed)
+		if err != nil {
+			return err
+		}
+		var paSum, cdSum int64
+		start := time.Now()
+		for _, o := range inserts {
+			br.idx.ResetStats()
+			if err := br.idx.Insert(o); err != nil {
+				return fmt.Errorf("%s insert: %w", mam, err)
+			}
+			pa, cd := br.idx.Stats()
+			paSum += pa
+			cdSum += cd
+		}
+		elapsed := time.Since(start)
+		n := int64(len(inserts))
+		fmt.Fprintf(cfg.out, "%-11s %10.2f %12.2f %14v\n",
+			mam, float64(paSum)/float64(n), float64(cdSum)/float64(n),
+			(elapsed / time.Duration(n)).Round(time.Microsecond))
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"spbtree/internal/core"
+	"spbtree/internal/forest"
+)
+
+// forestExp — the distributed extension's scaling profile: kNN latency and
+// cluster-wide work as the shard count grows (at fixed total cardinality),
+// plus the parallel shard-pair join. Not a paper experiment; it quantifies
+// the "extend to distributed environments" future-work direction.
+func forestExp(cfg config) error {
+	header(cfg.out, "Forest: shard-count scaling (extension, not in the paper)")
+	ds := scaledDataset(cfg, "synthetic")
+	queries := ds.Queries(cfg.queries)
+	fmt.Fprintf(cfg.out, "%7s %14s %12s %14s\n", "shards", "kNN latency", "total PA", "total dists")
+	for _, shards := range []int{1, 2, 4, 8} {
+		f, err := forest.Build(ds.Objects, forest.Options{
+			Tree:   core.Options{Distance: ds.Distance, Codec: ds.Codec, Seed: cfg.seed},
+			Shards: shards,
+		})
+		if err != nil {
+			return err
+		}
+		var elapsed time.Duration
+		var pa, cd int64
+		for _, q := range queries {
+			f.ResetStats()
+			start := time.Now()
+			if _, err := f.KNN(q, 8); err != nil {
+				return err
+			}
+			elapsed += time.Since(start)
+			st := f.TakeStats()
+			pa += st.PageAccesses
+			cd += st.DistanceComputations
+		}
+		n := int64(len(queries))
+		fmt.Fprintf(cfg.out, "%7d %14v %12.1f %14.1f\n", shards,
+			(elapsed / time.Duration(n)).Round(time.Microsecond),
+			float64(pa)/float64(n), float64(cd)/float64(n))
+	}
+	return nil
+}

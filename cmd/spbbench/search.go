@@ -1,0 +1,200 @@
+package main
+
+import (
+	"fmt"
+
+	"spbtree/internal/core"
+	"spbtree/internal/dataset"
+	"spbtree/internal/pivot"
+	"spbtree/internal/sfc"
+)
+
+// table4 — SPB-tree efficiency under different SFCs (Hilbert vs Z-curve),
+// kNN with k=8 on Color, Words, DNA.
+func table4(cfg config) error {
+	header(cfg.out, "Table 4: SPB-tree efficiency under different SFCs (kNN, k=8)")
+	fmt.Fprintf(cfg.out, "%-10s %-8s %10s %12s %12s\n", "dataset", "curve", "PA", "compdists", "time")
+	for _, name := range []string{"color", "words", "dna"} {
+		ds := scaledDataset(cfg, name)
+		for _, kind := range []sfc.Kind{sfc.Hilbert, sfc.ZOrder} {
+			tree, err := buildSPB(ds, cfg.seed, core.Options{Curve: kind})
+			if err != nil {
+				return err
+			}
+			m, err := runKNN(spbAdapter{tree}, ds.Queries(cfg.queries), 8)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.out, "%-10s %-8s %10.1f %12.1f %12v\n", ds.Name, kind, m.pa, m.cd, m.t)
+		}
+	}
+	return nil
+}
+
+// fig9 — pivot selection algorithms vs |P| ∈ {1,3,5,7,9}: compdists, PA,
+// time of kNN (k=8).
+func fig9(cfg config) error {
+	header(cfg.out, "Fig. 9: pivot selection methods vs |P| (kNN, k=8)")
+	selectors := []pivot.Selector{pivot.HFI{}, pivot.HF{}, pivot.Spacing{}, pivot.PCA{}}
+	for _, name := range []string{"color", "words", "dna"} {
+		ds := scaledDataset(cfg, name)
+		fmt.Fprintf(cfg.out, "\n[%s]\n%-9s %4s %12s %10s %12s\n", ds.Name, "method", "|P|", "compdists", "PA", "time")
+		for _, sel := range selectors {
+			for _, p := range []int{1, 3, 5, 7, 9} {
+				tree, err := buildSPB(ds, cfg.seed, core.Options{NumPivots: p, Selector: sel})
+				if err != nil {
+					return err
+				}
+				m, err := runKNN(spbAdapter{tree}, ds.Queries(cfg.queries), 8)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(cfg.out, "%-9s %4d %12.1f %10.1f %12v\n", sel.Name(), p, m.cd, m.pa, m.t)
+			}
+		}
+	}
+	return nil
+}
+
+// fig10 — effect of the buffer-cache size (pages) on kNN I/O and time.
+func fig10(cfg config) error {
+	header(cfg.out, "Fig. 10: effect of cache size (kNN, k=8)")
+	for _, name := range []string{"color", "words"} {
+		ds := scaledDataset(cfg, name)
+		fmt.Fprintf(cfg.out, "\n[%s]\n%8s %10s %12s\n", ds.Name, "cache", "PA", "time")
+		for _, cache := range []int{0, 8, 16, 32, 64, 128} {
+			cs := cache
+			if cs == 0 {
+				cs = -1 // Options: negative disables, 0 means default
+			}
+			tree, err := buildSPB(ds, cfg.seed, core.Options{CacheSize: cs})
+			if err != nil {
+				return err
+			}
+			m, err := runKNN(spbAdapter{tree}, ds.Queries(cfg.queries), 8)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.out, "%8d %10.1f %12v\n", cache, m.pa, m.t)
+		}
+	}
+	return nil
+}
+
+// table5 — kNN search with incremental vs greedy traversal.
+func table5(cfg config) error {
+	header(cfg.out, "Table 5: kNN search with different traversal strategies (k=8)")
+	fmt.Fprintf(cfg.out, "%-10s %-12s %10s %12s %12s\n", "dataset", "traversal", "PA", "compdists", "time")
+	for _, name := range []string{"color", "words", "dna"} {
+		ds := scaledDataset(cfg, name)
+		tree, err := buildSPB(ds, cfg.seed, core.Options{})
+		if err != nil {
+			return err
+		}
+		for _, strat := range []core.TraversalStrategy{core.Incremental, core.Greedy} {
+			tree.SetTraversal(strat)
+			m, err := runKNN(spbAdapter{tree}, ds.Queries(cfg.queries), 8)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.out, "%-10s %-12v %10.1f %12.1f %12v\n", ds.Name, strat, m.pa, m.cd, m.t)
+		}
+	}
+	return nil
+}
+
+// fig11 — effect of the δ-approximation granularity on Color and Synthetic
+// (the two real-valued metrics).
+func fig11(cfg config) error {
+	header(cfg.out, "Fig. 11: effect of delta (kNN, k=8)")
+	for _, name := range []string{"color", "synthetic"} {
+		ds := scaledDataset(cfg, name)
+		fmt.Fprintf(cfg.out, "\n[%s]\n%8s %12s %10s %12s\n", ds.Name, "delta", "compdists", "PA", "time")
+		for _, delta := range []float64{0.001, 0.003, 0.005, 0.007, 0.009} {
+			tree, err := buildSPB(ds, cfg.seed, core.Options{DeltaFrac: delta})
+			if err != nil {
+				return err
+			}
+			m, err := runKNN(spbAdapter{tree}, ds.Queries(cfg.queries), 8)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.out, "%8.3f %12.1f %10.1f %12v\n", delta, m.cd, m.pa, m.t)
+		}
+	}
+	return nil
+}
+
+// fig12 — range query performance vs r (% of d+) across all five MAMs.
+func fig12(cfg config) error {
+	header(cfg.out, "Fig. 12: range query performance vs r (% of d+)")
+	return sweepMAMs(cfg, []string{"signature", "color", "words", "dna"},
+		[]float64{2, 4, 6, 8, 16, 32, 64}, "r%",
+		func(idx searchIndex, ds dataset.Dataset, x float64) (measured, error) {
+			r := x / 100 * ds.Distance.MaxDistance()
+			return runRange(idx, ds.Queries(cfg.queries), r)
+		})
+}
+
+// fig13 — kNN query performance vs k across all five MAMs.
+func fig13(cfg config) error {
+	header(cfg.out, "Fig. 13: kNN query performance vs k")
+	return sweepMAMs(cfg, []string{"signature", "color", "words", "dna"},
+		[]float64{1, 2, 4, 8, 16, 32}, "k",
+		func(idx searchIndex, ds dataset.Dataset, x float64) (measured, error) {
+			return runKNN(idx, ds.Queries(cfg.queries), int(x))
+		})
+}
+
+// sweepMAMs runs one sweep per dataset per competitor.
+func sweepMAMs(cfg config, datasets []string, xs []float64, xName string,
+	run func(searchIndex, dataset.Dataset, float64) (measured, error)) error {
+	for _, name := range datasets {
+		ds := scaledDataset(cfg, name)
+		fmt.Fprintf(cfg.out, "\n[%s]\n%-11s %6s %10s %12s %12s\n", ds.Name, "MAM", xName, "PA", "compdists", "time")
+		for _, mam := range mamNames {
+			br, err := buildMAM(mam, ds, cfg.seed)
+			if err != nil {
+				return err
+			}
+			for _, x := range xs {
+				m, err := run(br.idx, ds, x)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(cfg.out, "%-11s %6g %10.1f %12.1f %12v\n", mam, x, m.pa, m.cd, m.t)
+			}
+		}
+	}
+	return nil
+}
+
+// fig14 — scalability of SPB-tree similarity search vs cardinality
+// (Synthetic; the paper's 200K-1000K scaled to the harness -n).
+func fig14(cfg config) error {
+	header(cfg.out, "Fig. 14: scalability vs cardinality (Synthetic)")
+	fmt.Fprintf(cfg.out, "%8s %-6s %10s %12s %12s\n", "n", "query", "PA", "compdists", "time")
+	for _, frac := range []int{1, 2, 3, 4, 5} {
+		n := cfg.n * frac / 5 * 2 // up to 2× the base cardinality
+		if n < 100 {
+			n = 100
+		}
+		ds := dataset.Synthetic(n, cfg.seed)
+		tree, err := buildSPB(ds, cfg.seed, core.Options{})
+		if err != nil {
+			return err
+		}
+		r := 0.08 * ds.Distance.MaxDistance()
+		mr, err := runRange(spbAdapter{tree}, ds.Queries(cfg.queries), r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "%8d %-6s %10.1f %12.1f %12v\n", n, "range", mr.pa, mr.cd, mr.t)
+		mk, err := runKNN(spbAdapter{tree}, ds.Queries(cfg.queries), 8)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "%8d %-6s %10.1f %12.1f %12v\n", n, "kNN", mk.pa, mk.cd, mk.t)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Command spbtool builds, persists and queries SPB-tree indexes from the
+// command line — the downstream-user entry point complementing the library
+// API. An index lives in a directory of three files: index.pages (B+-tree),
+// data.pages (RAF) and tree.meta.
+//
+//	spbtool build -dir idx -type words  -in /usr/share/dict/words
+//	spbtool build -dir idx -type vectors -dim 16 -in features.csv
+//	spbtool query -dir idx -type words  -q "defoliate" -r 2
+//	spbtool query -dir idx -type words  -q "defoliate" -k 10
+//	spbtool stats -dir idx -type words
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:], os.Stdout)
+	case "query":
+		err = cmdQuery(os.Args[2:], os.Stdout)
+	case "stats":
+		err = cmdStats(os.Args[2:], os.Stdout)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "spbtool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: spbtool <build|query|stats> [flags]
+
+  build -dir DIR -type {words|vectors|dna|signatures} [-dim D] -in FILE
+        [-pivots N] [-curve {hilbert|zorder}]
+  query -dir DIR -type T [-dim D] (-r RADIUS | -k K) -q QUERY
+  stats -dir DIR -type T [-dim D]`)
+}

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"spbtree/internal/core"
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+	"spbtree/internal/sfc"
+)
+
+// toolConfig is persisted next to the index so query/stats reconstruct the
+// same metric without re-specifying every parameter.
+type toolConfig struct {
+	Type   string `json:"type"`
+	Dim    int    `json:"dim,omitempty"`    // vectors
+	Width  int    `json:"width,omitempty"`  // signatures, bytes
+	MaxLen int    `json:"maxlen,omitempty"` // words, for d+
+}
+
+const (
+	indexFile  = "index.pages"
+	dataFile   = "data.pages"
+	metaFile   = "tree.meta"
+	configFile = "config.json"
+)
+
+// kind bundles a dataset type's metric, codec and parsers.
+type kind struct {
+	dist  metric.DistanceFunc
+	codec metric.Codec
+	// parse turns an input line into an object.
+	parse func(id uint64, line string) (metric.Object, error)
+	// describe renders an object for query output.
+	describe func(o metric.Object) string
+}
+
+func kindFor(cfg toolConfig) (kind, error) {
+	switch cfg.Type {
+	case "words":
+		maxLen := cfg.MaxLen
+		if maxLen == 0 {
+			maxLen = 64
+		}
+		return kind{
+			dist:  metric.EditDistance{MaxLen: maxLen},
+			codec: metric.StrCodec{},
+			parse: func(id uint64, line string) (metric.Object, error) {
+				return metric.NewStr(id, line), nil
+			},
+			describe: func(o metric.Object) string { return o.(*metric.Str).S },
+		}, nil
+	case "vectors":
+		if cfg.Dim <= 0 {
+			return kind{}, fmt.Errorf("vectors need -dim")
+		}
+		return kind{
+			dist:  metric.L2(cfg.Dim),
+			codec: metric.VectorCodec{Dim: cfg.Dim},
+			parse: func(id uint64, line string) (metric.Object, error) {
+				fields := strings.Split(line, ",")
+				if len(fields) != cfg.Dim {
+					return nil, fmt.Errorf("line has %d fields, want %d", len(fields), cfg.Dim)
+				}
+				coords := make([]float64, cfg.Dim)
+				for i, f := range fields {
+					v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+					if err != nil {
+						return nil, fmt.Errorf("field %d: %w", i, err)
+					}
+					coords[i] = v
+				}
+				return metric.NewVector(id, coords), nil
+			},
+			describe: func(o metric.Object) string {
+				v := o.(*metric.Vector)
+				parts := make([]string, len(v.Coords))
+				for i, c := range v.Coords {
+					parts[i] = strconv.FormatFloat(c, 'g', 4, 64)
+				}
+				return strings.Join(parts, ",")
+			},
+		}, nil
+	case "dna":
+		return kind{
+			dist:  metric.TrigramAngular{},
+			codec: metric.SeqCodec{},
+			parse: func(id uint64, line string) (metric.Object, error) {
+				return metric.NewSeq(id, line), nil
+			},
+			describe: func(o metric.Object) string { return o.(*metric.Seq).S },
+		}, nil
+	case "signatures":
+		if cfg.Width <= 0 {
+			return kind{}, fmt.Errorf("signatures need a width (derived from the first input line)")
+		}
+		return kind{
+			dist:  metric.Hamming{Bytes: cfg.Width},
+			codec: metric.BitStringCodec{Bytes: cfg.Width},
+			parse: func(id uint64, line string) (metric.Object, error) {
+				b, err := hex.DecodeString(line)
+				if err != nil {
+					return nil, err
+				}
+				if len(b) != cfg.Width {
+					return nil, fmt.Errorf("signature is %d bytes, want %d", len(b), cfg.Width)
+				}
+				return metric.NewBitString(id, b), nil
+			},
+			describe: func(o metric.Object) string {
+				return hex.EncodeToString(o.(*metric.BitString).Bits)
+			},
+		}, nil
+	}
+	return kind{}, fmt.Errorf("unknown type %q (words|vectors|dna|signatures)", cfg.Type)
+}
+
+func cmdBuild(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	dir := fs.String("dir", "", "index directory (created)")
+	typ := fs.String("type", "", "dataset type: words|vectors|dna|signatures")
+	in := fs.String("in", "", "input file, one object per line")
+	dim := fs.Int("dim", 0, "vector dimensionality")
+	pivots := fs.Int("pivots", 0, "number of pivots (0 = default 5)")
+	curve := fs.String("curve", "hilbert", "SFC: hilbert|zorder")
+	maxObjects := fs.Int("max", 0, "cap the number of indexed lines (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *typ == "" || *in == "" {
+		return fmt.Errorf("build needs -dir, -type and -in")
+	}
+
+	lines, err := readLines(*in, *maxObjects)
+	if err != nil {
+		return err
+	}
+	if len(lines) == 0 {
+		return fmt.Errorf("no input lines in %s", *in)
+	}
+	cfg := toolConfig{Type: *typ, Dim: *dim}
+	if *typ == "signatures" {
+		cfg.Width = len(lines[0]) / 2
+	}
+	if *typ == "words" {
+		maxLen := 0
+		for _, l := range lines {
+			if len(l) > maxLen {
+				maxLen = len(l)
+			}
+		}
+		cfg.MaxLen = maxLen
+	}
+	k, err := kindFor(cfg)
+	if err != nil {
+		return err
+	}
+	objs := make([]metric.Object, 0, len(lines))
+	for i, line := range lines {
+		o, err := k.parse(uint64(i), line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+		objs = append(objs, o)
+	}
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	idx, err := page.NewFileStore(filepath.Join(*dir, indexFile))
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+	data, err := page.NewFileStore(filepath.Join(*dir, dataFile))
+	if err != nil {
+		return err
+	}
+	defer data.Close()
+
+	kindCurve := sfc.Hilbert
+	if *curve == "zorder" {
+		kindCurve = sfc.ZOrder
+	}
+	start := time.Now()
+	tree, err := core.Build(objs, core.Options{
+		Distance:   k.dist,
+		Codec:      k.codec,
+		NumPivots:  *pivots,
+		Curve:      kindCurve,
+		IndexStore: idx,
+		DataStore:  data,
+	})
+	if err != nil {
+		return err
+	}
+	mf, err := os.Create(filepath.Join(*dir, metaFile))
+	if err != nil {
+		return err
+	}
+	if err := tree.WriteMeta(mf); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	cj, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, configFile), cj, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "indexed %d objects in %v: %d pivots, %s curve, %.1f KB\n",
+		tree.Len(), time.Since(start).Round(time.Millisecond),
+		len(tree.Pivots()), tree.CurveKind(), float64(tree.StorageBytes())/1024)
+	return nil
+}
+
+// openTree reopens a persisted index directory.
+func openTree(dir string) (*core.Tree, kind, func(), error) {
+	cj, err := os.ReadFile(filepath.Join(dir, configFile))
+	if err != nil {
+		return nil, kind{}, nil, err
+	}
+	var cfg toolConfig
+	if err := json.Unmarshal(cj, &cfg); err != nil {
+		return nil, kind{}, nil, fmt.Errorf("parse %s: %w", configFile, err)
+	}
+	k, err := kindFor(cfg)
+	if err != nil {
+		return nil, kind{}, nil, err
+	}
+	idx, err := page.OpenFileStore(filepath.Join(dir, indexFile))
+	if err != nil {
+		return nil, kind{}, nil, err
+	}
+	data, err := page.OpenFileStore(filepath.Join(dir, dataFile))
+	if err != nil {
+		idx.Close()
+		return nil, kind{}, nil, err
+	}
+	closeAll := func() {
+		idx.Close()
+		data.Close()
+	}
+	mf, err := os.Open(filepath.Join(dir, metaFile))
+	if err != nil {
+		closeAll()
+		return nil, kind{}, nil, err
+	}
+	defer mf.Close()
+	tree, err := core.Open(mf, core.OpenOptions{
+		Distance:   k.dist,
+		Codec:      k.codec,
+		IndexStore: idx,
+		DataStore:  data,
+	})
+	if err != nil {
+		closeAll()
+		return nil, kind{}, nil, err
+	}
+	return tree, k, closeAll, nil
+}
+
+func cmdQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	dir := fs.String("dir", "", "index directory")
+	q := fs.String("q", "", "query object (same format as input lines)")
+	r := fs.Float64("r", -1, "range query radius")
+	k := fs.Int("k", 0, "kNN query k")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || *q == "" {
+		return fmt.Errorf("query needs -dir and -q")
+	}
+	if (*r < 0) == (*k <= 0) {
+		return fmt.Errorf("query needs exactly one of -r or -k")
+	}
+	tree, kd, closeAll, err := openTree(*dir)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	qobj, err := kd.parse(1<<63, *q)
+	if err != nil {
+		return fmt.Errorf("parse query: %w", err)
+	}
+
+	tree.ResetStats()
+	start := time.Now()
+	var results []core.Result
+	if *r >= 0 {
+		results, err = tree.RangeQuery(qobj, *r)
+	} else {
+		results, err = tree.KNN(qobj, *k)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := tree.TakeStats()
+	for _, res := range results {
+		fmt.Fprintf(out, "%-12d d=%-10.4g %s\n", res.Object.ID(), res.Dist, kd.describe(res.Object))
+	}
+	fmt.Fprintf(out, "-- %d results in %v (PA=%d, compdists=%d)\n",
+		len(results), elapsed.Round(time.Microsecond), st.PageAccesses, st.DistanceComputations)
+	return nil
+}
+
+func cmdStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	dir := fs.String("dir", "", "index directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("stats needs -dir")
+	}
+	tree, kd, closeAll, err := openTree(*dir)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	fmt.Fprintf(out, "objects:    %d\n", tree.Len())
+	fmt.Fprintf(out, "metric:     %s (d+ = %g)\n", kd.dist.Name(), kd.dist.MaxDistance())
+	fmt.Fprintf(out, "pivots:     %d\n", len(tree.Pivots()))
+	fmt.Fprintf(out, "curve:      %s, %d bits/dim, delta %g\n", tree.CurveKind(), tree.Bits(), tree.Delta())
+	fmt.Fprintf(out, "storage:    %.1f KB\n", float64(tree.StorageBytes())/1024)
+	return nil
+}
+
+func readLines(path string, max int) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+		if max > 0 && len(lines) >= max {
+			break
+		}
+	}
+	return lines, sc.Err()
+}

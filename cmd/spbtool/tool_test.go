@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeInput(t *testing.T, dir, name string, lines []string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBuildQueryStatsWords(t *testing.T) {
+	dir := t.TempDir()
+	words := []string{
+		"citrate", "defoliate", "defoliated", "defoliates", "defoliating",
+		"defoliation", "dictionary", "word", "ward", "warden",
+		"# a comment line", "", "cart", "card",
+	}
+	in := writeInput(t, dir, "words.txt", words)
+	idxDir := filepath.Join(dir, "idx")
+
+	var sb strings.Builder
+	if err := cmdBuild([]string{"-dir", idxDir, "-type", "words", "-in", in, "-pivots", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "indexed 12 objects") {
+		t.Errorf("build output: %q", sb.String())
+	}
+	for _, f := range []string{indexFile, dataFile, metaFile, configFile} {
+		if _, err := os.Stat(filepath.Join(idxDir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+
+	sb.Reset()
+	if err := cmdQuery([]string{"-dir", idxDir, "-q", "defoliate", "-r", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"defoliate", "defoliated", "defoliates", "3 results"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("range output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := cmdQuery([]string{"-dir", idxDir, "-q", "wird", "-k", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "word") || !strings.Contains(sb.String(), "3 results") {
+		t.Errorf("knn output:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if err := cmdStats([]string{"-dir", idxDir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "objects:    12") || !strings.Contains(sb.String(), "edit") {
+		t.Errorf("stats output:\n%s", sb.String())
+	}
+}
+
+func TestBuildQueryVectors(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	var lines []string
+	for i := 0; i < 200; i++ {
+		lines = append(lines, fmt.Sprintf("%.4f,%.4f,%.4f", rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+	in := writeInput(t, dir, "vecs.csv", lines)
+	idxDir := filepath.Join(dir, "idx")
+	var sb strings.Builder
+	if err := cmdBuild([]string{"-dir", idxDir, "-type", "vectors", "-dim", "3", "-in", in, "-curve", "zorder"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := cmdQuery([]string{"-dir", idxDir, "-q", lines[7], "-k", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "d=0 ") {
+		t.Errorf("query object itself not found at d=0:\n%s", sb.String())
+	}
+}
+
+func TestBuildQuerySignatures(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(2))
+	var lines []string
+	for i := 0; i < 100; i++ {
+		b := make([]byte, 16)
+		rng.Read(b)
+		lines = append(lines, hex.EncodeToString(b))
+	}
+	in := writeInput(t, dir, "sigs.txt", lines)
+	idxDir := filepath.Join(dir, "idx")
+	var sb strings.Builder
+	if err := cmdBuild([]string{"-dir", idxDir, "-type", "signatures", "-in", in}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := cmdQuery([]string{"-dir", idxDir, "-q", lines[0], "-r", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), lines[0]) {
+		t.Errorf("signature query output:\n%s", sb.String())
+	}
+}
+
+func TestToolErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdBuild([]string{"-dir", dir}, os.Stderr); err == nil {
+		t.Error("build without -type/-in accepted")
+	}
+	if err := cmdBuild([]string{"-dir", dir, "-type", "nope", "-in", writeInput(t, dir, "x", []string{"a"})}, os.Stderr); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := cmdQuery([]string{"-dir", dir, "-q", "x", "-r", "1"}, os.Stderr); err == nil {
+		t.Error("query on missing index accepted")
+	}
+	if err := cmdQuery([]string{"-dir", dir, "-q", "x"}, os.Stderr); err == nil {
+		t.Error("query without -r/-k accepted")
+	}
+	if err := cmdQuery([]string{"-dir", dir, "-q", "x", "-r", "1", "-k", "2"}, os.Stderr); err == nil {
+		t.Error("query with both -r and -k accepted")
+	}
+	if err := cmdBuild([]string{"-dir", dir, "-type", "vectors", "-in", writeInput(t, dir, "v", []string{"1,2"}), "-dim", "3"}, os.Stderr); err == nil {
+		t.Error("ragged vector input accepted")
+	}
+	if err := cmdStats([]string{}, os.Stderr); err == nil {
+		t.Error("stats without -dir accepted")
+	}
+}

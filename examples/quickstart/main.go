@@ -1,0 +1,75 @@
+// Command quickstart demonstrates the SPB-tree public API end to end:
+// build an index over a word set under edit distance, then run a range
+// query and a kNN query, printing the paper's cost metrics for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spbtree"
+)
+
+func main() {
+	words := []string{
+		"citrate", "defoliate", "defoliated", "defoliates", "defoliating",
+		"defoliation", "dictionary", "direction", "disconnection", "word",
+		"ward", "wart", "warts", "cart", "card", "care", "scare", "share",
+		"shard", "sharp", "harp", "hard", "herd", "hard", "heard", "beard",
+		"bread", "break", "bleak", "blank", "black", "block", "clock", "cloak",
+	}
+	objs := make([]spbtree.Object, len(words))
+	for i, w := range words {
+		objs[i] = spbtree.NewStr(uint64(i), w)
+	}
+
+	tree, err := spbtree.Build(objs, spbtree.Options{
+		Distance:  spbtree.EditDistance{MaxLen: 16},
+		Codec:     spbtree.StrCodec{},
+		NumPivots: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d words with %d pivots, %d bits/dim (%s curve), %d bytes\n\n",
+		tree.Len(), len(tree.Pivots()), tree.Bits(), tree.CurveKind(), tree.StorageBytes())
+
+	q := spbtree.NewStr(1000, "defoliate")
+
+	tree.ResetStats()
+	res, err := tree.RangeQuery(q, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tree.TakeStats()
+	fmt.Printf("range query RQ(%q, r=2): %d results (PA=%d, compdists=%d)\n",
+		"defoliate", len(res), st.PageAccesses, st.DistanceComputations)
+	for _, r := range res {
+		fmt.Printf("  %-14s d<=%.0f exact=%v\n", r.Object.(*spbtree.Str).S, r.Dist, r.Exact)
+	}
+
+	tree.ResetStats()
+	nn, err := tree.KNN(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st = tree.TakeStats()
+	fmt.Printf("\nkNN query kNN(%q, 3) (PA=%d, compdists=%d)\n",
+		"defoliate", st.PageAccesses, st.DistanceComputations)
+	for _, r := range nn {
+		fmt.Printf("  %-14s d=%.0f\n", r.Object.(*spbtree.Str).S, r.Dist)
+	}
+
+	// Updates work like any B+-tree.
+	if err := tree.Insert(spbtree.NewStr(2000, "defoliator")); err != nil {
+		log.Fatal(err)
+	}
+	nn, err = tree.KNN(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter inserting %q the 3-NN set is:\n", "defoliator")
+	for _, r := range nn {
+		fmt.Printf("  %-14s d=%.0f\n", r.Object.(*spbtree.Str).S, r.Dist)
+	}
+}

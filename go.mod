@@ -1,0 +1,3 @@
+module spbtree
+
+go 1.22

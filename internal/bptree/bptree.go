@@ -1,0 +1,246 @@
+// Package bptree implements the disk-based B+-tree underlying the SPB-tree:
+// a B+-tree over uint64 space-filling-curve keys whose non-leaf entries are
+// augmented with minimum bounding boxes (MBBs) of their subtrees, encoded —
+// exactly as in the paper's Fig. 4 — as the SFC values of the box's lower and
+// upper corner points.
+//
+// Entries are ordered by the composite pair (key, val); val is the RAF
+// pointer of the object and is unique, so duplicate SFC keys (distinct
+// objects quantized to the same cell) are totally ordered and insertion and
+// deletion stay deterministic.
+//
+// The tree supports bulk-loading from sorted input, single insert and delete
+// with node rebalancing (borrow/merge), ascending leaf-level cursors, and
+// direct node access for the search algorithms in internal/core, which
+// implement their own traversals over node MBBs.
+package bptree
+
+import (
+	"errors"
+	"fmt"
+
+	"spbtree/internal/page"
+)
+
+// Geometry decodes SFC keys into grid points and re-encodes box corners; the
+// tree uses it to maintain node MBBs. sfc.Curve satisfies Geometry. A nil
+// Geometry degrades boxes to raw key intervals [min key, max key], which is
+// what plain one-dimensional users (e.g. the M-Index baseline) need.
+type Geometry interface {
+	// Dims returns the dimensionality of decoded points.
+	Dims() int
+	// Decode fills p (length Dims) with the grid point of key.
+	Decode(key uint64, p []uint32)
+	// Encode returns the key of grid point p.
+	Encode(p []uint32) uint64
+}
+
+// Pair is a composite entry identifier: the SFC key plus the unique value
+// (RAF pointer). Pairs order lexicographically.
+type Pair struct {
+	Key uint64
+	Val uint64
+}
+
+// Less reports whether p orders strictly before q.
+func (p Pair) Less(q Pair) bool {
+	if p.Key != q.Key {
+		return p.Key < q.Key
+	}
+	return p.Val < q.Val
+}
+
+// invalidPage marks "no page" (e.g. the last leaf's next pointer).
+const invalidPage page.ID = ^page.ID(0)
+
+// Options configures a Tree.
+type Options struct {
+	// Geometry maintains MBBs; nil degrades to key intervals.
+	Geometry Geometry
+	// MaxLeaf overrides the leaf fan-out (entries per leaf). 0 means the
+	// page-capacity maximum. Tests use small values to force deep trees.
+	MaxLeaf int
+	// MaxInternal overrides the internal fan-out. 0 means the page-capacity
+	// maximum.
+	MaxInternal int
+}
+
+// Tree is a disk-based B+-tree with MBB-augmented non-leaf entries.
+type Tree struct {
+	store page.Store
+	geo   Geometry
+	dims  int
+
+	maxLeaf, maxInternal int
+
+	root    child // root reference; root.page == invalidPage when empty
+	height  int   // number of levels; 0 when empty
+	count   int   // number of entries
+	nLeaves int   // number of leaf nodes
+
+	// free holds pages released by node merges and root collapses, reused
+	// by later allocations so churn does not grow the store.
+	free []page.ID
+}
+
+// FreePages returns how many released pages await reuse.
+func (t *Tree) FreePages() int { return len(t.free) }
+
+// child references a node from its parent: the minimum pair of its subtree,
+// its page, and its subtree MBB as SFC corner encodings.
+type child struct {
+	min   Pair
+	page  page.ID
+	boxLo uint64
+	boxHi uint64
+}
+
+// New creates an empty tree on store.
+func New(store page.Store, opts Options) (*Tree, error) {
+	t := &Tree{
+		store:       store,
+		geo:         opts.Geometry,
+		maxLeaf:     opts.MaxLeaf,
+		maxInternal: opts.MaxInternal,
+		root:        child{page: invalidPage},
+	}
+	if t.geo != nil {
+		t.dims = t.geo.Dims()
+	}
+	if t.maxLeaf == 0 {
+		t.maxLeaf = maxLeafCap
+	}
+	if t.maxInternal == 0 {
+		t.maxInternal = maxInternalCap(t.dims)
+	}
+	if t.maxLeaf < 2 || t.maxLeaf > maxLeafCap {
+		return nil, fmt.Errorf("bptree: MaxLeaf %d out of range [2, %d]", t.maxLeaf, maxLeafCap)
+	}
+	if t.maxInternal < 3 || t.maxInternal > maxInternalCap(t.dims) {
+		return nil, fmt.Errorf("bptree: MaxInternal %d out of range [3, %d]", t.maxInternal, maxInternalCap(t.dims))
+	}
+	return t, nil
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *Tree) Height() int { return t.height }
+
+// NumLeaves returns the number of leaf nodes, i.e. the |SPB| term of the
+// paper's join cost model (eq. 8).
+func (t *Tree) NumLeaves() int { return t.nLeaves }
+
+// Root returns the root node reference and whether the tree is non-empty.
+func (t *Tree) Root() (NodeRef, bool) {
+	if t.root.page == invalidPage {
+		return NodeRef{}, false
+	}
+	return NodeRef{MinKey: t.root.min.Key, MinVal: t.root.min.Val, Page: t.root.page, BoxLo: t.root.boxLo, BoxHi: t.root.boxHi}, true
+}
+
+// NodeRef is the public form of a parent-to-child reference, exposed so the
+// query algorithms in internal/core can traverse the tree with MBB pruning.
+type NodeRef struct {
+	// MinKey and MinVal identify the smallest pair in the subtree.
+	MinKey, MinVal uint64
+	// Page locates the node.
+	Page page.ID
+	// BoxLo and BoxHi are the SFC encodings of the subtree MBB's lower and
+	// upper corner points.
+	BoxLo, BoxHi uint64
+}
+
+// Node is the decoded form of a tree node.
+type Node struct {
+	// Leaf reports whether the node is a leaf.
+	Leaf bool
+	// Next is the following leaf's page, or false via HasNext for the last.
+	Next page.ID
+	// Keys and Vals hold the entries of a leaf node.
+	Keys, Vals []uint64
+	// Children holds the child references of a non-leaf node.
+	Children []NodeRef
+}
+
+// HasNext reports whether a leaf node has a successor leaf.
+func (n *Node) HasNext() bool { return n.Next != invalidPage }
+
+// ErrNotFound is returned by Delete when no matching entry exists.
+var ErrNotFound = errors.New("bptree: entry not found")
+
+// ReadNode reads and decodes the node on page id (a physical page access
+// unless the backing store is a cache with the page resident).
+func (t *Tree) ReadNode(id page.ID) (*Node, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	out := &Node{Leaf: n.leaf, Next: n.next}
+	if n.leaf {
+		out.Keys = append([]uint64(nil), keysOf(n.leafEntries)...)
+		out.Vals = append([]uint64(nil), valsOf(n.leafEntries)...)
+	} else {
+		out.Children = make([]NodeRef, len(n.children))
+		for i, c := range n.children {
+			out.Children[i] = NodeRef{MinKey: c.min.Key, MinVal: c.min.Val, Page: c.page, BoxLo: c.boxLo, BoxHi: c.boxHi}
+		}
+	}
+	return out, nil
+}
+
+func keysOf(es []Pair) []uint64 {
+	out := make([]uint64, len(es))
+	for i, e := range es {
+		out[i] = e.Key
+	}
+	return out
+}
+
+func valsOf(es []Pair) []uint64 {
+	out := make([]uint64, len(es))
+	for i, e := range es {
+		out[i] = e.Val
+	}
+	return out
+}
+
+// node is the in-memory working form used by mutation algorithms.
+type node struct {
+	page        page.ID
+	leaf        bool
+	next        page.ID
+	leafEntries []Pair  // leaf only
+	children    []child // internal only
+}
+
+// Walk visits every node reference top-down (parents before children),
+// calling fn with the node's depth (0 = root) and reference. It reads every
+// page; callers wanting a cheap summary should call it once at build time.
+func (t *Tree) Walk(fn func(depth int, ref NodeRef, n *Node) error) error {
+	root, ok := t.Root()
+	if !ok {
+		return nil
+	}
+	return t.walk(0, root, fn)
+}
+
+func (t *Tree) walk(depth int, ref NodeRef, fn func(int, NodeRef, *Node) error) error {
+	n, err := t.ReadNode(ref.Page)
+	if err != nil {
+		return err
+	}
+	if err := fn(depth, ref, n); err != nil {
+		return err
+	}
+	if n.Leaf {
+		return nil
+	}
+	for _, c := range n.Children {
+		if err := t.walk(depth+1, c, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

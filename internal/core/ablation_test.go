@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"spbtree/internal/metric"
+)
+
+// TestAblationsPreserveResults: the ablation flags change costs, never
+// answers.
+func TestAblationsPreserveResults(t *testing.T) {
+	objs := wordSet(400, 71)
+	dist := metric.EditDistance{MaxLen: 24}
+	base, err := Build(objs, Options{Distance: dist, Codec: metric.StrCodec{}, NumPivots: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := Build(objs, Options{
+		Distance: dist, Codec: metric.StrCodec{}, NumPivots: 3, Seed: 4,
+		DisableLemma2: true, DisableSFCMerge: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{1, 2, 4} {
+		for qi := 0; qi < 10; qi++ {
+			q := objs[qi*31]
+			a, err := base.RangeQuery(q, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ablated.RangeQuery(q, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("r=%v q=%d: %d vs %d results", r, qi, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Object.ID() != b[i].Object.ID() {
+					t.Fatalf("r=%v: result sets differ", r)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma2SavesComputations: with the lemma on, fewer distances are
+// computed for the same query (discrete metrics benefit most — the lemma is
+// exact there).
+func TestLemma2SavesComputations(t *testing.T) {
+	objs := wordSet(600, 72)
+	dist := metric.EditDistance{MaxLen: 24}
+	count := func(disable bool) int64 {
+		tree, err := Build(objs, Options{
+			Distance: dist, Codec: metric.StrCodec{}, NumPivots: 3, Seed: 4,
+			DisableLemma2: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for qi := 0; qi < 20; qi++ {
+			tree.ResetStats()
+			// Large radius: many answers, so Lemma 2 has chances to fire.
+			if _, err := tree.RangeQuery(objs[qi*17], 8); err != nil {
+				t.Fatal(err)
+			}
+			total += tree.TakeStats().DistanceComputations
+		}
+		return total
+	}
+	withLemma := count(false)
+	withoutLemma := count(true)
+	if withLemma >= withoutLemma {
+		t.Errorf("Lemma 2 saved nothing: %d with vs %d without", withLemma, withoutLemma)
+	}
+}

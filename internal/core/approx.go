@@ -1,0 +1,90 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+	"spbtree/internal/sfc"
+)
+
+// KNNApprox answers kNN(q, k) approximately: the best-first traversal of
+// Algorithm 2 runs unchanged but stops after verifying at most maxVerify
+// objects. Because candidates are visited in ascending mapped-space MIND
+// order — the lower bound whose tightness is the pivot set's precision
+// (Definition 1) — the first verified objects are exactly the most promising
+// ones, so recall degrades gracefully as the budget shrinks. A budget of
+// zero or less falls back to the exact search.
+//
+// This is the approximate-search mode metric indexes such as the M-Index
+// expose, and a natural extension of the paper's framework: the same
+// structure serves exact and budgeted queries.
+func (t *Tree) KNNApprox(q metric.Object, k, maxVerify int) ([]Result, error) {
+	if maxVerify <= 0 {
+		return t.KNN(q, k)
+	}
+	if k <= 0 || t.count == 0 {
+		return nil, nil
+	}
+	n := len(t.pivots)
+	qvec := make([]float64, n)
+	t.phi(q, qvec)
+
+	res := &knnResults{k: k}
+	pq := &mindHeap{}
+	root, ok := t.bpt.Root()
+	if !ok {
+		return nil, nil
+	}
+	boxLo := make(sfc.Point, n)
+	boxHi := make(sfc.Point, n)
+	cell := make(sfc.Point, n)
+
+	t.curve.Decode(root.BoxLo, boxLo)
+	t.curve.Decode(root.BoxHi, boxHi)
+	heap.Push(pq, mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+
+	verified := 0
+	for pq.Len() > 0 && verified < maxVerify {
+		item := heap.Pop(pq).(mindItem)
+		if item.mind >= res.bound() {
+			break
+		}
+		if !item.isNode {
+			if err := t.verifyKNN(q, res, item.val); err != nil {
+				return nil, err
+			}
+			verified++
+			continue
+		}
+		node, err := t.bpt.ReadNode(item.page)
+		if err != nil {
+			return nil, err
+		}
+		if !node.Leaf {
+			for _, c := range node.Children {
+				t.curve.Decode(c.BoxLo, boxLo)
+				t.curve.Decode(c.BoxHi, boxHi)
+				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < res.bound() {
+					heap.Push(pq, mindItem{mind: mind, page: page.ID(c.Page), isNode: true})
+				}
+			}
+			continue
+		}
+		for i := range node.Keys {
+			t.curve.Decode(node.Keys[i], cell)
+			if mind := t.mindToCell(qvec, cell); mind < res.bound() {
+				heap.Push(pq, mindItem{mind: mind, val: node.Vals[i]})
+			}
+		}
+	}
+	out := append([]Result(nil), res.items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Object.ID() < out[j].Object.ID()
+	})
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+	"spbtree/internal/sfc"
+)
+
+// RangeCount returns |RQ(q, O, r)| without materializing the objects.
+// Counting is strictly cheaper than RangeQuery: answers proved by Lemma 2
+// are counted without reading them from the RAF at all — for a count, the
+// object bytes themselves are never needed — so both compdists *and* page
+// accesses drop. Aggregation pushdown, the way a DBMS integration would run
+// COUNT(*) ... WHERE d(q, o) <= r.
+func (t *Tree) RangeCount(q metric.Object, r float64) (int, error) {
+	if r < 0 {
+		return 0, nil
+	}
+	n := len(t.pivots)
+	qvec := make([]float64, n)
+	t.phi(q, qvec)
+
+	rrLo := make(sfc.Point, n)
+	rrHi := make(sfc.Point, n)
+	t.rangeRegion(qvec, r, rrLo, rrHi)
+	if sfc.BoxVolume(rrLo, rrHi) == 0 {
+		return 0, nil
+	}
+	root, ok := t.bpt.Root()
+	if !ok {
+		return 0, nil
+	}
+
+	boxLo := make(sfc.Point, n)
+	boxHi := make(sfc.Point, n)
+	cell := make(sfc.Point, n)
+
+	count := 0
+	stack := []pageRef{{page: root.Page, boxLo: root.BoxLo, boxHi: root.BoxHi}}
+	for len(stack) > 0 {
+		ref := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.curve.Decode(ref.boxLo, boxLo)
+		t.curve.Decode(ref.boxHi, boxHi)
+		if !sfc.Intersects(rrLo, rrHi, boxLo, boxHi) {
+			continue
+		}
+		node, err := t.bpt.ReadNode(ref.page)
+		if err != nil {
+			return 0, err
+		}
+		if !node.Leaf {
+			for _, c := range node.Children {
+				stack = append(stack, pageRef{page: c.Page, boxLo: c.BoxLo, boxHi: c.BoxHi})
+			}
+			continue
+		}
+		for i := range node.Keys {
+			t.curve.Decode(node.Keys[i], cell)
+			if !sfc.Contains(rrLo, rrHi, cell) {
+				continue // Lemma 1
+			}
+			if !t.noLemma2 {
+				if _, ok := t.lemma2Bound(qvec, cell, r); ok {
+					count++ // Lemma 2: counted without any I/O
+					continue
+				}
+			}
+			obj, err := t.raf.Read(node.Vals[i])
+			if err != nil {
+				return 0, err
+			}
+			if t.dist.Distance(q, obj) <= r {
+				count++
+			}
+		}
+	}
+	return count, nil
+}
+
+// pageRef is a lightweight node reference for count traversals.
+type pageRef struct {
+	page         page.ID
+	boxLo, boxHi uint64
+}
+
+// RangeIDs returns the identifiers of RQ(q, O, r), sorted — between
+// RangeCount and RangeQuery in cost: Lemma-2 answers still require one RAF
+// read for their id, but no distance computation.
+func (t *Tree) RangeIDs(q metric.Object, r float64) ([]uint64, error) {
+	res, err := t.RangeQuery(q, r)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, len(res))
+	for i, x := range res {
+		ids[i] = x.Object.ID()
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}

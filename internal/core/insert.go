@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spbtree/internal/bptree"
+	"spbtree/internal/metric"
+	"spbtree/internal/sfc"
+)
+
+// ErrNotFound is returned by Delete when the object is not indexed.
+var ErrNotFound = errors.New("core: object not found")
+
+// Insert adds one object (paper Appendix C): compute φ(o) and its SFC value
+// (|P| distance computations), append the object to the RAF, and insert the
+// (SFC, pointer) entry into the B+-tree. Inserted objects land at the RAF
+// tail rather than in SFC order; heavy churn therefore degrades clustering
+// until the index is rebuilt, the usual bulk-load-plus-deltas trade-off.
+func (t *Tree) Insert(o metric.Object) error {
+	n := len(t.pivots)
+	vec := make([]float64, n)
+	t.phi(o, vec)
+	if err := t.validateVec(o, vec); err != nil {
+		return err
+	}
+	cells := make(sfc.Point, n)
+	t.cells(vec, cells)
+	key := t.curve.Encode(cells)
+
+	off, err := t.raf.Append(o)
+	if err != nil {
+		return err
+	}
+	if err := t.raf.Flush(); err != nil {
+		return err
+	}
+	if err := t.bpt.Insert(key, off); err != nil {
+		return err
+	}
+	t.count++
+	t.cm.observeInsert(vec)
+	t.cm.markDirty()
+	return nil
+}
+
+// Delete removes the object with o's identity (same φ and ID). The B+-tree
+// entry is removed; the RAF record is left unreferenced (the RAF is
+// append-only, as in the paper's design where objects are compacted only on
+// rebuild).
+func (t *Tree) Delete(o metric.Object) error {
+	n := len(t.pivots)
+	vec := make([]float64, n)
+	t.phi(o, vec)
+	cells := make(sfc.Point, n)
+	t.cells(vec, cells)
+	key := t.curve.Encode(cells)
+
+	for c := t.bpt.Seek(key); c.Valid() && c.Key() == key; c.Next() {
+		obj, err := t.raf.Read(c.Val())
+		if err != nil {
+			return err
+		}
+		if obj.ID() == o.ID() {
+			if err := t.bpt.Delete(key, c.Val()); err != nil {
+				if errors.Is(err, bptree.ErrNotFound) {
+					return fmt.Errorf("%w: index entry vanished for object %d", ErrNotFound, o.ID())
+				}
+				return err
+			}
+			t.count--
+			t.cm.markDirty()
+			return nil
+		}
+	}
+	if c := t.bpt.Seek(key); c.Err() != nil {
+		return c.Err()
+	}
+	return fmt.Errorf("%w: id %d", ErrNotFound, o.ID())
+}
+
+// Get retrieves an indexed object by an exemplar with the same φ and ID, or
+// ErrNotFound. It exists mainly for tests and tools.
+func (t *Tree) Get(o metric.Object) (metric.Object, error) {
+	n := len(t.pivots)
+	vec := make([]float64, n)
+	t.phi(o, vec)
+	cells := make(sfc.Point, n)
+	t.cells(vec, cells)
+	key := t.curve.Encode(cells)
+	for c := t.bpt.Seek(key); c.Valid() && c.Key() == key; c.Next() {
+		obj, err := t.raf.Read(c.Val())
+		if err != nil {
+			return nil, err
+		}
+		if obj.ID() == o.ID() {
+			return obj, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: id %d", ErrNotFound, o.ID())
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"container/heap"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/sfc"
+)
+
+// NearestIter starts an incremental nearest-neighbor scan from q in the
+// style of Hjaltason and Samet: Next returns indexed objects in ascending
+// distance order, lazily, so callers can consume exactly as many neighbors
+// as they need (distance-ordered joins, result pagination) without fixing k
+// in advance.
+//
+// The iterator interleaves two priority queues: the Algorithm-2 MIND heap
+// over tree entries and a result heap of already-verified objects. An object
+// is emitted once its exact distance is no larger than the best unexplored
+// lower bound, which guarantees global ordering.
+func (t *Tree) NearestIter(q metric.Object) *NearestIter {
+	n := len(t.pivots)
+	it := &NearestIter{t: t, qvec: make([]float64, n)}
+	t.phi(q, it.qvec)
+	it.q = q
+	it.boxLo = make(sfc.Point, n)
+	it.boxHi = make(sfc.Point, n)
+	it.cell = make(sfc.Point, n)
+	if root, ok := t.bpt.Root(); ok {
+		t.curve.Decode(root.BoxLo, it.boxLo)
+		t.curve.Decode(root.BoxHi, it.boxHi)
+		heap.Push(&it.pq, mindItem{mind: t.mindToBox(it.qvec, it.boxLo, it.boxHi), page: root.Page, isNode: true})
+	}
+	return it
+}
+
+// NearestIter yields objects in ascending distance order; see
+// Tree.NearestIter.
+type NearestIter struct {
+	t    *Tree
+	q    metric.Object
+	qvec []float64
+
+	pq       mindHeap   // unexplored entries by lower bound
+	verified resultHeap // computed but not yet emitted results
+
+	boxLo, boxHi, cell sfc.Point
+	err                error
+}
+
+// Next returns the next nearest object; ok is false when the index is
+// exhausted or an error occurred (check Err).
+func (it *NearestIter) Next() (res Result, ok bool) {
+	if it.err != nil {
+		return Result{}, false
+	}
+	for {
+		// Emit a verified result once nothing unexplored can beat it.
+		if len(it.verified) > 0 && (it.pq.Len() == 0 || it.verified[0].Dist <= it.pq[0].mind) {
+			return heap.Pop(&it.verified).(Result), true
+		}
+		if it.pq.Len() == 0 {
+			return Result{}, false
+		}
+		item := heap.Pop(&it.pq).(mindItem)
+		if !item.isNode {
+			obj, err := it.t.raf.Read(item.val)
+			if err != nil {
+				it.err = err
+				return Result{}, false
+			}
+			d := it.t.dist.Distance(it.q, obj)
+			heap.Push(&it.verified, Result{Object: obj, Dist: d, Exact: true})
+			continue
+		}
+		node, err := it.t.bpt.ReadNode(item.page)
+		if err != nil {
+			it.err = err
+			return Result{}, false
+		}
+		if !node.Leaf {
+			for _, c := range node.Children {
+				it.t.curve.Decode(c.BoxLo, it.boxLo)
+				it.t.curve.Decode(c.BoxHi, it.boxHi)
+				heap.Push(&it.pq, mindItem{mind: it.t.mindToBox(it.qvec, it.boxLo, it.boxHi), page: c.Page, isNode: true})
+			}
+			continue
+		}
+		for i := range node.Keys {
+			it.t.curve.Decode(node.Keys[i], it.cell)
+			heap.Push(&it.pq, mindItem{mind: it.t.mindToCell(it.qvec, it.cell), val: node.Vals[i]})
+		}
+	}
+}
+
+// Err returns the first error the iterator encountered.
+func (it *NearestIter) Err() error { return it.err }
+
+// resultHeap is a min-heap of verified results by distance (ties by id for
+// determinism).
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist < h[j].Dist
+	}
+	return h[i].Object.ID() < h[j].Object.ID()
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}

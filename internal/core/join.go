@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/sfc"
+)
+
+// JoinPair is one similarity-join answer ⟨q, o⟩ with d(q, o) ≤ ε.
+type JoinPair struct {
+	Q, O metric.Object
+	Dist float64
+}
+
+// Join computes SJ(Q, O, ε) with the paper's Algorithm 3 (SJA): a single
+// merge pass over the leaf levels of two SPB-trees in ascending SFC order,
+// keeping lists of visited-but-still-matchable objects on each side. The
+// Z-order curve's coordinatewise monotonicity gives Lemma 6's
+// [minRR, maxRR] key window, which both skips verifications and evicts list
+// entries that can never match again.
+//
+// Both trees must have been built over the same mapped space: tq built
+// normally with Curve: sfc.ZOrder, and to built with ShareMapping: tq (or
+// vice versa). Self-joins (tq == to) are allowed.
+func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
+	if err := joinCompatible(tq, to); err != nil {
+		return nil, err
+	}
+	if eps < 0 {
+		return nil, nil
+	}
+	n := len(tq.pivots)
+
+	var pairs []JoinPair
+	var listQ, listO []joinElem
+
+	cq := tq.bpt.SeekFirst()
+	co := to.bpt.SeekFirst()
+	for cq.Valid() || co.Valid() {
+		if err := cq.Err(); err != nil {
+			return nil, err
+		}
+		if err := co.Err(); err != nil {
+			return nil, err
+		}
+		takeQ := false
+		switch {
+		case !co.Valid():
+			takeQ = true
+		case !cq.Valid():
+			takeQ = false
+		default:
+			takeQ = cq.Key() <= co.Key()
+		}
+		if takeQ {
+			elem, err := tq.loadJoinElem(cq.Key(), cq.Val(), eps, n)
+			if err != nil {
+				return nil, err
+			}
+			verifyJoin(tq, elem, &listO, eps, func(other joinElem, d float64) {
+				pairs = append(pairs, JoinPair{Q: elem.obj, O: other.obj, Dist: d})
+			})
+			listQ = append(listQ, elem)
+			cq.Next()
+		} else {
+			elem, err := to.loadJoinElem(co.Key(), co.Val(), eps, n)
+			if err != nil {
+				return nil, err
+			}
+			verifyJoin(tq, elem, &listQ, eps, func(other joinElem, d float64) {
+				pairs = append(pairs, JoinPair{Q: other.obj, O: elem.obj, Dist: d})
+			})
+			listO = append(listO, elem)
+			co.Next()
+		}
+	}
+	if err := cq.Err(); err != nil {
+		return nil, err
+	}
+	if err := co.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// joinCompatible ensures the two trees share a Z-order mapped space.
+func joinCompatible(tq, to *Tree) error {
+	if tq.kind != sfc.ZOrder || to.kind != sfc.ZOrder {
+		return fmt.Errorf("core: similarity joins require Z-order SPB-trees (Lemma 6); got %v and %v", tq.kind, to.kind)
+	}
+	if len(tq.pivots) != len(to.pivots) || tq.bits != to.bits || tq.delta != to.delta {
+		return fmt.Errorf("core: join trees have incompatible mappings; build one with ShareMapping")
+	}
+	for i := range tq.pivots {
+		if tq.pivots[i] != to.pivots[i] {
+			return fmt.Errorf("core: join trees use different pivot tables; build one with ShareMapping")
+		}
+	}
+	return nil
+}
+
+// joinElem is a visited object kept in a merge list: its SFC key, quantized
+// cell point, the object itself, its Lemma 6 window [minRR, maxRR], and its
+// cell-space range region [rrLo, rrHi] for the Lemma 5 test.
+type joinElem struct {
+	key          uint64
+	cells        sfc.Point
+	obj          metric.Object
+	minRR, maxRR uint64
+	rrLo, rrHi   sfc.Point
+}
+
+// loadJoinElem reads the object behind a leaf entry and precomputes its join
+// geometry. The pivot distances come from the quantized cells already stored
+// in the index — no distance computations — so the range region is widened
+// by one cell of slack, keeping Lemma 5 conservative and therefore exact.
+func (t *Tree) loadJoinElem(key, val uint64, eps float64, n int) (joinElem, error) {
+	obj, err := t.raf.Read(val)
+	if err != nil {
+		return joinElem{}, err
+	}
+	e := joinElem{
+		key:   key,
+		cells: make(sfc.Point, n),
+		obj:   obj,
+		rrLo:  make(sfc.Point, n),
+		rrHi:  make(sfc.Point, n),
+	}
+	t.curve.Decode(key, e.cells)
+	maxCell := uint32(uint64(1)<<t.bits - 1)
+	for i, c := range e.cells {
+		lower := t.cellLower(c) - eps
+		if lower < 0 {
+			lower = 0
+		}
+		if t.exact {
+			e.rrLo[i] = uint32(math.Ceil(lower))
+		} else {
+			e.rrLo[i] = t.cellOf(lower)
+		}
+		hc := uint64(math.Floor((t.cellUpper(c) + eps) / t.delta))
+		if hc > uint64(maxCell) {
+			hc = uint64(maxCell)
+		}
+		e.rrHi[i] = uint32(hc)
+	}
+	e.minRR = t.curve.Encode(e.rrLo)
+	e.maxRR = t.curve.Encode(e.rrHi)
+	return e, nil
+}
+
+// verifyJoin is the Verify function of Algorithm 3: walk the opposite list
+// from newest to oldest, evicting entries whose maxRR has fallen behind the
+// current key (Lemma 6 — they can never match any later element either),
+// skipping entries outside the key window, testing cell containment
+// (Lemma 5), and only then computing the metric distance.
+func verifyJoin(t *Tree, cur joinElem, list *[]joinElem, eps float64, emit func(other joinElem, d float64)) {
+	l := *list
+	for i := len(l) - 1; i >= 0; i-- {
+		o := l[i]
+		if o.maxRR < cur.key {
+			// No current or future element can match o: evict.
+			copy(l[i:], l[i+1:])
+			l = l[:len(l)-1]
+			continue
+		}
+		if o.key >= cur.minRR {
+			if sfc.Contains(cur.rrLo, cur.rrHi, o.cells) { // Lemma 5
+				if d := t.dist.Distance(cur.obj, o.obj); d <= eps {
+					emit(o, d)
+				}
+			}
+		}
+	}
+	*list = l
+}

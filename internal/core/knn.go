@@ -1,0 +1,184 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+	"spbtree/internal/sfc"
+)
+
+// KNN answers kNN(q, k) with the paper's Algorithm 2 (NNA): a best-first
+// traversal over B+-tree entries ordered by their minimum mapped-space
+// distance MIND to q, pruning entries with MIND ≥ curND_k (Lemma 3) and
+// terminating as soon as the heap's minimum crosses that bound. With the
+// Greedy strategy (Table 5), reaching a leaf verifies all of its qualifying
+// objects at once, so no RAF page is read twice.
+func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
+	if k <= 0 || t.count == 0 {
+		return nil, nil
+	}
+	n := len(t.pivots)
+	qvec := make([]float64, n)
+	t.phi(q, qvec)
+
+	res := &knnResults{k: k}
+	pq := &mindHeap{}
+	root, ok := t.bpt.Root()
+	if !ok {
+		return nil, nil
+	}
+
+	boxLo := make(sfc.Point, n)
+	boxHi := make(sfc.Point, n)
+	cell := make(sfc.Point, n)
+
+	t.curve.Decode(root.BoxLo, boxLo)
+	t.curve.Decode(root.BoxHi, boxHi)
+	heap.Push(pq, mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(mindItem)
+		if item.mind >= res.bound() {
+			break // Lemma 3 early termination
+		}
+		if !item.isNode {
+			// A leaf entry: fetch the object and verify.
+			if err := t.verifyKNN(q, res, item.val); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		node, err := t.bpt.ReadNode(item.page)
+		if err != nil {
+			return nil, err
+		}
+		if !node.Leaf {
+			for _, c := range node.Children {
+				t.curve.Decode(c.BoxLo, boxLo)
+				t.curve.Decode(c.BoxHi, boxHi)
+				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < res.bound() {
+					heap.Push(pq, mindItem{mind: mind, page: c.Page, isNode: true})
+				}
+			}
+			continue
+		}
+		for i := range node.Keys {
+			t.curve.Decode(node.Keys[i], cell)
+			mind := t.mindToCell(qvec, cell)
+			if mind >= res.bound() {
+				continue
+			}
+			if t.traversal == Greedy {
+				if err := t.verifyKNN(q, res, node.Vals[i]); err != nil {
+					return nil, err
+				}
+			} else {
+				heap.Push(pq, mindItem{mind: mind, val: node.Vals[i]})
+			}
+		}
+	}
+
+	out := append([]Result(nil), res.items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Object.ID() < out[j].Object.ID()
+	})
+	return out, nil
+}
+
+// verifyKNN reads the object at a RAF offset, computes its distance and
+// feeds the running top-k.
+func (t *Tree) verifyKNN(q metric.Object, res *knnResults, val uint64) error {
+	obj, err := t.raf.Read(val)
+	if err != nil {
+		return err
+	}
+	d := t.dist.Distance(q, obj)
+	res.offer(Result{Object: obj, Dist: d, Exact: true})
+	return nil
+}
+
+// knnResults keeps the k best candidates in a max-heap so curND_k updates in
+// O(log k).
+type knnResults struct {
+	k     int
+	items []Result // max-heap by Dist
+}
+
+// bound returns curND_k: +∞ until k candidates exist.
+func (r *knnResults) bound() float64 {
+	if len(r.items) < r.k {
+		return math.Inf(1)
+	}
+	return r.items[0].Dist
+}
+
+func (r *knnResults) offer(x Result) {
+	if len(r.items) < r.k {
+		r.items = append(r.items, x)
+		r.up(len(r.items) - 1)
+		return
+	}
+	if x.Dist >= r.items[0].Dist {
+		return
+	}
+	r.items[0] = x
+	r.down(0)
+}
+
+func (r *knnResults) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if r.items[parent].Dist >= r.items[i].Dist {
+			break
+		}
+		r.items[parent], r.items[i] = r.items[i], r.items[parent]
+		i = parent
+	}
+}
+
+func (r *knnResults) down(i int) {
+	for {
+		l, rr := 2*i+1, 2*i+2
+		big := i
+		if l < len(r.items) && r.items[l].Dist > r.items[big].Dist {
+			big = l
+		}
+		if rr < len(r.items) && r.items[rr].Dist > r.items[big].Dist {
+			big = rr
+		}
+		if big == i {
+			return
+		}
+		r.items[i], r.items[big] = r.items[big], r.items[i]
+		i = big
+	}
+}
+
+// mindItem is a heap element of Algorithm 2: a tree node (isNode) or a leaf
+// entry's object pointer.
+type mindItem struct {
+	mind   float64
+	isNode bool
+	page   page.ID
+	val    uint64
+}
+
+type mindHeap []mindItem
+
+func (h mindHeap) Len() int            { return len(h) }
+func (h mindHeap) Less(i, j int) bool  { return h[i].mind < h[j].mind }
+func (h mindHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mindHeap) Push(x interface{}) { *h = append(*h, x.(mindItem)) }
+func (h *mindHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/sfc"
+)
+
+// phi fills vec with the raw pivot distances ⟨d(o,p_1), …, d(o,p_n)⟩ — the
+// first mapping stage of the paper's Fig. 1.
+func (t *Tree) phi(o metric.Object, vec []float64) {
+	for i, p := range t.pivots {
+		vec[i] = t.dist.Distance(o, p)
+	}
+}
+
+// validateVec rejects objects whose pivot distances exceed the metric's
+// declared d+. Such distances would quantize into clamped cells that
+// under-represent them, silently breaking the lower-bound property every
+// pruning lemma rests on — a configuration error (e.g. EditDistance.MaxLen
+// smaller than the longest string) that must fail loudly at indexing time.
+func (t *Tree) validateVec(o metric.Object, vec []float64) error {
+	limit := t.dPlus * (1 + 1e-9)
+	for i, d := range vec {
+		if d > limit {
+			return fmt.Errorf("core: object %d is at distance %g from pivot %d, beyond the metric's MaxDistance %g — fix the DistanceFunc configuration",
+				o.ID(), d, i, t.dPlus)
+		}
+	}
+	return nil
+}
+
+// cellOf quantizes a raw distance into its δ-cell, clamped to the grid.
+func (t *Tree) cellOf(d float64) uint32 {
+	if d < 0 {
+		d = 0
+	}
+	c := uint64(math.Floor(d / t.delta))
+	if max := uint64(1)<<t.bits - 1; c > max {
+		c = max
+	}
+	return uint32(c)
+}
+
+// cells quantizes a raw distance vector into grid coordinates.
+func (t *Tree) cells(vec []float64, out sfc.Point) {
+	for i, d := range vec {
+		out[i] = t.cellOf(d)
+	}
+}
+
+// cellLower returns the smallest distance a cell can represent.
+func (t *Tree) cellLower(c uint32) float64 { return float64(c) * t.delta }
+
+// cellUpper returns the largest distance a cell can represent. For exact
+// (discrete, δ=1) grids, the cell is the distance itself; otherwise the cell
+// covers [cδ, (c+1)δ).
+func (t *Tree) cellUpper(c uint32) float64 {
+	if t.exact {
+		return float64(c)
+	}
+	return float64(c+1) * t.delta
+}
+
+// rangeRegion computes the mapped range region RR(q, r) of Lemma 1 in cell
+// space: dimension i spans every cell whose distance interval intersects
+// [d(q,p_i)−r, d(q,p_i)+r].
+func (t *Tree) rangeRegion(qvec []float64, r float64, lo, hi sfc.Point) {
+	maxCell := uint32(uint64(1)<<t.bits - 1)
+	for i, dq := range qvec {
+		lower := dq - r
+		if lower < 0 {
+			lower = 0
+		}
+		if t.exact {
+			lo[i] = uint32(math.Ceil(lower))
+		} else {
+			lo[i] = t.cellOf(lower)
+		}
+		upper := dq + r
+		c := uint64(math.Floor(upper / t.delta))
+		if c > uint64(maxCell) {
+			c = uint64(maxCell)
+		}
+		hi[i] = uint32(c)
+		if lo[i] > maxCell {
+			lo[i] = maxCell + 1 // empty dimension ⇒ empty region
+		}
+	}
+}
+
+// mindToCell returns the L∞ lower bound MIND between the query (raw pivot
+// distances qvec) and an object quantized to cell point p — the per-entry
+// pruning distance of Algorithm 2.
+func (t *Tree) mindToCell(qvec []float64, p sfc.Point) float64 {
+	var m float64
+	for i, dq := range qvec {
+		lb := t.cellLower(p[i]) - dq
+		if ub := dq - t.cellUpper(p[i]); ub > lb {
+			lb = ub
+		}
+		if lb > m {
+			m = lb
+		}
+	}
+	return m
+}
+
+// mindToBox returns the L∞ lower bound MIND between the query and a node
+// MBB [lo, hi] in cell space — Lemma 3's pruning distance.
+func (t *Tree) mindToBox(qvec []float64, lo, hi sfc.Point) float64 {
+	var m float64
+	for i, dq := range qvec {
+		lb := t.cellLower(lo[i]) - dq
+		if ub := dq - t.cellUpper(hi[i]); ub > lb {
+			lb = ub
+		}
+		if lb > m {
+			m = lb
+		}
+	}
+	return m
+}
+
+// lemma2Bound checks the verification-free inclusion of Lemma 2: if some
+// pivot p_i has d(o,p_i) ≤ r − d(q,p_i), the triangle inequality proves
+// d(q,o) ≤ r without computing it. Only the quantized upper bound of
+// d(o,p_i) is known, which keeps the test conservative (and exact for
+// discrete metrics). It returns the proved upper bound and whether the
+// lemma applies.
+func (t *Tree) lemma2Bound(qvec []float64, p sfc.Point, r float64) (float64, bool) {
+	for i, dq := range qvec {
+		if ub := t.cellUpper(p[i]); ub <= r-dq {
+			return dq + ub, true
+		}
+	}
+	return 0, false
+}

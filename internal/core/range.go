@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sort"
+
+	"spbtree/internal/bptree"
+	"spbtree/internal/metric"
+	"spbtree/internal/sfc"
+)
+
+// RangeQuery answers RQ(q, O, r) = {o ∈ O | d(q, o) ≤ r} with the paper's
+// Algorithm 1 (RQA): nodes whose MBBs miss the mapped range region RR(q, r)
+// are pruned (Lemma 1); leaves fully inside RR skip the per-entry region
+// test; sparse intersections are resolved by enumerating the region's SFC
+// values instead of decoding every entry; and Lemma 2 proves some answers
+// without computing their distances.
+func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
+	if r < 0 {
+		return nil, nil
+	}
+	n := len(t.pivots)
+	qvec := make([]float64, n)
+	t.phi(q, qvec)
+
+	rrLo := make(sfc.Point, n)
+	rrHi := make(sfc.Point, n)
+	t.rangeRegion(qvec, r, rrLo, rrHi)
+	if sfc.BoxVolume(rrLo, rrHi) == 0 {
+		return nil, nil
+	}
+
+	var results []Result
+	root, ok := t.bpt.Root()
+	if !ok {
+		return nil, nil
+	}
+
+	boxLo := make(sfc.Point, n)
+	boxHi := make(sfc.Point, n)
+	cell := make(sfc.Point, n)
+	iLo := make(sfc.Point, n)
+	iHi := make(sfc.Point, n)
+
+	stack := []bptree.NodeRef{root}
+	for len(stack) > 0 {
+		ref := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.curve.Decode(ref.BoxLo, boxLo)
+		t.curve.Decode(ref.BoxHi, boxHi)
+		if !sfc.Intersects(rrLo, rrHi, boxLo, boxHi) {
+			continue // Lemma 1
+		}
+		node, err := t.bpt.ReadNode(ref.Page)
+		if err != nil {
+			return nil, err
+		}
+		if !node.Leaf {
+			for _, c := range node.Children {
+				t.curve.Decode(c.BoxLo, boxLo)
+				t.curve.Decode(c.BoxHi, boxHi)
+				if sfc.Intersects(rrLo, rrHi, boxLo, boxHi) {
+					stack = append(stack, c)
+				}
+			}
+			continue
+		}
+
+		// Leaf handling, Algorithm 1 lines 11-23.
+		t.curve.Decode(ref.BoxLo, boxLo)
+		t.curve.Decode(ref.BoxHi, boxHi)
+		contained := sfc.Contains(rrLo, rrHi, boxLo) && sfc.Contains(rrLo, rrHi, boxHi)
+		switch {
+		case contained:
+			// MBB(N) ⊆ RR: every entry's region test is implied.
+			for i := range node.Keys {
+				res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, false, cell, rrLo, rrHi)
+				if err != nil {
+					return nil, err
+				}
+				if res != nil {
+					results = append(results, *res)
+				}
+			}
+		default:
+			merged := false
+			if !t.noSFCMerge && sfc.IntersectBox(rrLo, rrHi, boxLo, boxHi, iLo, iHi) {
+				if t.kind == sfc.ZOrder {
+					// Z-order leaves support BIGMIN skip scans (Tropf &
+					// Herzog): jump directly to the next entry key inside
+					// the region instead of enumerating cells — the
+					// UB/ZB-tree technique the paper cites as related work.
+					merged = true
+					ei := 0
+					for ei < len(node.Keys) {
+						z, ok := sfc.NextInBox(t.curve, iLo, iHi, node.Keys[ei])
+						if !ok {
+							break
+						}
+						if node.Keys[ei] < z {
+							ei += sort.Search(len(node.Keys)-ei, func(j int) bool { return node.Keys[ei+j] >= z })
+							continue
+						}
+						res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi)
+						if err != nil {
+							return nil, err
+						}
+						if res != nil {
+							results = append(results, *res)
+						}
+						ei++
+					}
+				} else if vol := sfc.BoxVolume(iLo, iHi); vol < uint64(len(node.Keys)) {
+					// Hilbert: fewer cells than entries, so enumerate the
+					// region's SFC values and merge with the sorted leaf
+					// entries — no entry outside the region is ever decoded
+					// (Algorithm 1, lines 14-20).
+					keys := sfc.KeysInBox(t.curve, iLo, iHi, len(node.Keys))
+					if keys != nil {
+						merged = true
+						ki, ei := 0, 0
+						for ki < len(keys) && ei < len(node.Keys) {
+							switch {
+							case node.Keys[ei] == keys[ki]:
+								res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi)
+								if err != nil {
+									return nil, err
+								}
+								if res != nil {
+									results = append(results, *res)
+								}
+								ei++
+							case node.Keys[ei] > keys[ki]:
+								ki++
+							default:
+								ei++
+							}
+						}
+					}
+				}
+			}
+			if !merged {
+				for i := range node.Keys {
+					res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, true, cell, rrLo, rrHi)
+					if err != nil {
+						return nil, err
+					}
+					if res != nil {
+						results = append(results, *res)
+					}
+				}
+			}
+		}
+	}
+
+	sort.Slice(results, func(i, j int) bool { return results[i].Object.ID() < results[j].Object.ID() })
+	return results, nil
+}
+
+// verifyRQ is the VerifyRQ function of Algorithm 1: optionally re-check the
+// region containment (Lemma 1), try the computation-free inclusion of
+// Lemma 2, and otherwise fetch the object and compute its distance.
+func (t *Tree) verifyRQ(q metric.Object, qvec []float64, key, val uint64, r float64, checkRegion bool, cell, rrLo, rrHi sfc.Point) (*Result, error) {
+	t.curve.Decode(key, cell)
+	if checkRegion && !sfc.Contains(rrLo, rrHi, cell) {
+		return nil, nil // Lemma 1
+	}
+	if !t.noLemma2 {
+		if ub, ok := t.lemma2Bound(qvec, cell, r); ok {
+			obj, err := t.raf.Read(val)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Object: obj, Dist: ub, Exact: false}, nil
+		}
+	}
+	obj, err := t.raf.Read(val)
+	if err != nil {
+		return nil, err
+	}
+	if d := t.dist.Distance(q, obj); d <= r {
+		return &Result{Object: obj, Dist: d, Exact: true}, nil
+	}
+	return nil, nil
+}

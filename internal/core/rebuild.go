@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"spbtree/internal/bptree"
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+	"spbtree/internal/raf"
+)
+
+// Rebuild compacts the tree into fresh page stores: live objects are read in
+// index order, re-appended to a new RAF in exact SFC order, and the B+-tree
+// is re-bulk-loaded. It restores the two things churn degrades —
+// out-of-SFC-order RAF placement from inserts and orphaned RAF records from
+// deletes — the bulk-load-plus-deltas maintenance cycle the paper's design
+// implies. The pivot table and quantization are kept (no distance
+// computations); cost-model distributions are kept as-is.
+//
+// New stores may be supplied (e.g. fresh files to swap in); nil arguments
+// select in-memory stores. The old stores are left untouched.
+func (t *Tree) Rebuild(indexStore, dataStore page.Store) error {
+	if indexStore == nil {
+		indexStore = page.NewMemStore()
+	}
+	if dataStore == nil {
+		dataStore = page.NewMemStore()
+	}
+	// Collect live entries in key order from the leaf chain.
+	type liveEntry struct {
+		key uint64
+		obj metric.Object
+	}
+	var live []liveEntry
+	for c := t.bpt.SeekFirst(); c.Valid(); c.Next() {
+		obj, err := t.raf.Read(c.Val())
+		if err != nil {
+			return err
+		}
+		live = append(live, liveEntry{key: c.Key(), obj: obj})
+	}
+	if c := t.bpt.SeekFirst(); c.Err() != nil {
+		return c.Err()
+	}
+
+	cacheSize := t.idxCache.Capacity()
+	newIdx := page.NewCache(indexStore, cacheSize)
+	newData := page.NewCache(dataStore, t.dataCache.Capacity())
+	newBpt, err := bptree.New(newIdx, bptree.Options{Geometry: curveGeometry{t.curve}})
+	if err != nil {
+		return err
+	}
+	newRAF := raf.New(newData, t.codec)
+
+	entries := make([]bptree.Pair, len(live))
+	for i, e := range live {
+		off, err := newRAF.Append(e.obj)
+		if err != nil {
+			return err
+		}
+		entries[i] = bptree.Pair{Key: e.key, Val: off}
+	}
+	if err := newRAF.Flush(); err != nil {
+		return err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Less(entries[j]) })
+	if err := newBpt.BulkLoad(entries); err != nil {
+		return err
+	}
+
+	t.bpt = newBpt
+	t.raf = newRAF
+	t.idxCache = newIdx
+	t.dataCache = newData
+	t.count = len(live)
+	t.cm.markDirty()
+	return nil
+}
+
+// FragmentationBytes estimates how many RAF bytes are dead (orphaned by
+// deletes), from the gap between RAF records and live index entries at the
+// file's average record size — when this grows large relative to
+// Tree.StorageBytes, a Rebuild pays off. It reads no pages.
+func (t *Tree) FragmentationBytes() int64 {
+	if t.raf.Count() == 0 {
+		return 0
+	}
+	dead := t.raf.Count() - t.bpt.Len()
+	if dead <= 0 {
+		return 0
+	}
+	avg := float64(t.raf.Size()) / float64(t.raf.Count())
+	return int64(avg * float64(dead))
+}

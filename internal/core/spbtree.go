@@ -1,0 +1,435 @@
+// Package core implements the SPB-tree — the Space-filling curve and
+// Pivot-based B+-tree of Chen et al. — and its query algorithms: range
+// queries (Algorithm 1), kNN queries (Algorithm 2, incremental and greedy
+// traversal), similarity joins (Algorithm 3), and the I/O and CPU cost
+// models of Sections 4.4 and 5.3.
+//
+// An SPB-tree has three parts (paper Fig. 4): a pivot table mapping the
+// metric space to an L∞ vector space, a B+-tree with MBB-augmented entries
+// indexing the SFC values of the mapped (and δ-quantized) vectors, and a
+// random access file (RAF) storing the actual objects in SFC order.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"spbtree/internal/bptree"
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+	"spbtree/internal/pivot"
+	"spbtree/internal/raf"
+	"spbtree/internal/sfc"
+)
+
+// TraversalStrategy selects how kNN search walks the tree (paper Table 5).
+type TraversalStrategy int
+
+const (
+	// Incremental is best-first traversal over entry MIND values; optimal in
+	// distance computations (Lemma 4) but can re-touch RAF pages when the
+	// verified set is large.
+	Incremental TraversalStrategy = iota
+	// Greedy verifies a whole leaf as soon as it is reached: never touches a
+	// RAF page twice, at the price of some extra distance computations.
+	Greedy
+)
+
+// String implements fmt.Stringer.
+func (s TraversalStrategy) String() string {
+	if s == Greedy {
+		return "greedy"
+	}
+	return "incremental"
+}
+
+// Options configures Build.
+type Options struct {
+	// Distance is the metric; required.
+	Distance metric.DistanceFunc
+	// Codec decodes objects from the RAF; required.
+	Codec metric.Codec
+	// NumPivots is |P|; 0 selects 5, the paper's default (close to the
+	// intrinsic dimensionality of its datasets).
+	NumPivots int
+	// Selector picks the pivots; nil selects HFI, the paper's algorithm.
+	Selector pivot.Selector
+	// Curve is the SFC family; Hilbert by default. Similarity joins require
+	// ZOrder trees (Lemma 6).
+	Curve sfc.Kind
+	// DeltaFrac is δ expressed as a fraction of d+ for continuous metrics;
+	// 0 selects the paper's default 0.005. Discrete metrics always use δ=1
+	// when the bit budget allows.
+	DeltaFrac float64
+	// CacheSize is the buffer cache capacity in pages for each of the index
+	// and data stores; the paper's default is 32. Negative disables caching.
+	CacheSize int
+	// Traversal is the kNN strategy; Incremental by default.
+	Traversal TraversalStrategy
+	// IndexStore and DataStore are the page stores for the B+-tree and RAF.
+	// nil selects fresh in-memory stores.
+	IndexStore, DataStore page.Store
+	// ShareMapping reuses another tree's pivot table and quantization so two
+	// trees live in the same mapped space — required for similarity joins.
+	ShareMapping *Tree
+	// Seed seeds pivot selection and cost-model sampling; 0 means 1.
+	Seed int64
+	// CostSample is the reservoir size for the union distance distribution
+	// used by the cost models; 0 means 1024.
+	CostSample int
+	// DisableLemma2 turns off the computation-free result inclusion of
+	// Lemma 2 in range queries. Results are identical; the flag exists for
+	// the ablation benchmarks quantifying the lemma's savings.
+	DisableLemma2 bool
+	// DisableSFCMerge turns off Algorithm 1's computeSFC merge step (lines
+	// 14-20), falling back to per-entry region tests. Results are
+	// identical; the flag exists for the ablation benchmarks.
+	DisableSFCMerge bool
+}
+
+// Tree is a built SPB-tree.
+type Tree struct {
+	dist  *metric.Counter
+	codec metric.Codec
+
+	pivots []metric.Object
+	curve  sfc.Curve
+	kind   sfc.Kind
+	delta  float64 // effective cell width in distance units
+	exact  bool    // cells are exact distances (discrete metric, δ=1)
+	bits   int
+	dPlus  float64
+
+	bpt       *bptree.Tree
+	raf       *raf.File
+	idxCache  *page.Cache
+	dataCache *page.Cache
+	traversal TraversalStrategy
+
+	noLemma2   bool // ablation: skip Lemma 2 inclusion
+	noSFCMerge bool // ablation: skip the computeSFC merge step
+
+	count int
+
+	cm costModel
+}
+
+// Result is one similarity-search answer.
+type Result struct {
+	// Object is the answer object, read back from the RAF.
+	Object metric.Object
+	// Dist is d(q, object) when Exact, else an upper bound proved by
+	// Lemma 2 without computing the distance.
+	Dist float64
+	// Exact reports whether Dist was actually computed.
+	Exact bool
+}
+
+// Build constructs an SPB-tree over objs: selects pivots, applies the
+// two-stage pivot-and-SFC mapping, writes the RAF in ascending SFC order and
+// bulk-loads the B+-tree (paper Section 3, Appendix B).
+func Build(objs []metric.Object, opts Options) (*Tree, error) {
+	if opts.Distance == nil {
+		return nil, fmt.Errorf("core: Options.Distance is required")
+	}
+	if opts.Codec == nil {
+		return nil, fmt.Errorf("core: Options.Codec is required")
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	t := &Tree{
+		dist:       metric.NewCounter(opts.Distance),
+		codec:      opts.Codec,
+		kind:       opts.Curve,
+		traversal:  opts.Traversal,
+		dPlus:      opts.Distance.MaxDistance(),
+		noLemma2:   opts.DisableLemma2,
+		noSFCMerge: opts.DisableSFCMerge,
+	}
+
+	// Pivot table: either shared with a partner tree (joins need a common
+	// mapped space) or freshly selected.
+	if opts.ShareMapping != nil {
+		s := opts.ShareMapping
+		t.pivots = s.pivots
+		t.delta = s.delta
+		t.exact = s.exact
+		t.bits = s.bits
+		t.kind = s.kind
+		t.dPlus = s.dPlus
+	} else {
+		k := opts.NumPivots
+		if k == 0 {
+			k = 5
+		}
+		sel := opts.Selector
+		if sel == nil {
+			sel = pivot.HFI{}
+		}
+		// Selection runs on the unwrapped metric: the paper's construction
+		// compdists counts exactly the |P|·|O| pivot-mapping computations
+		// (Table 6), with sample-based selection work excluded.
+		t.pivots = sel.Select(objs, t.dist.Unwrap(), k, rng)
+		if len(t.pivots) == 0 {
+			return nil, fmt.Errorf("core: pivot selection returned no pivots (dataset size %d)", len(objs))
+		}
+		if err := t.chooseQuantization(opts.DeltaFrac); err != nil {
+			return nil, err
+		}
+	}
+	t.curve = sfc.New(t.kind, len(t.pivots), t.bits)
+
+	// Stores and caches.
+	idxStore := opts.IndexStore
+	if idxStore == nil {
+		idxStore = page.NewMemStore()
+	}
+	dataStore := opts.DataStore
+	if dataStore == nil {
+		dataStore = page.NewMemStore()
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = 32
+	}
+	if cacheSize < 0 {
+		cacheSize = 0
+	}
+	t.idxCache = page.NewCache(idxStore, cacheSize)
+	t.dataCache = page.NewCache(dataStore, cacheSize)
+
+	var err error
+	t.bpt, err = bptree.New(t.idxCache, bptree.Options{Geometry: curveGeometry{t.curve}})
+	if err != nil {
+		return nil, err
+	}
+	t.raf = raf.New(t.dataCache, t.codec)
+
+	t.cm.init(len(t.pivots), t.dPlus, opts.CostSample, seed)
+	t.cm.cellWidth = t.delta
+	if opts.ShareMapping != nil {
+		t.cm.precision = opts.ShareMapping.cm.precision
+		t.cm.pairDists = opts.ShareMapping.cm.pairDists
+	} else {
+		// Measure Definition 1's precision of the chosen pivot set and keep
+		// the sampled pairwise distances: they calibrate the kNN cost model
+		// (precision) and supply the homogeneous distance distribution for
+		// eND_k. The unwrapped metric keeps these sample computations out of
+		// the compdists accounting.
+		raw := t.dist.Unwrap()
+		// The pair sample scales with the dataset so the kNN cost model's
+		// small-k quantiles stay above the sample resolution.
+		nPairs := len(objs)
+		if nPairs < 1000 {
+			nPairs = 1000
+		}
+		if nPairs > 20000 {
+			nPairs = 20000
+		}
+		pairs := pivot.SamplePairs(objs, raw, nPairs, rng)
+		t.cm.precision = pivot.Precision(t.pivots, pairs, raw)
+		t.cm.pairDists = make([]float64, len(pairs))
+		for i, p := range pairs {
+			t.cm.pairDists[i] = p.D
+		}
+		sort.Float64s(t.cm.pairDists)
+	}
+
+	// First mapping stage: φ(o) for every object, collecting cost-model
+	// distributions on the way.
+	type mapped struct {
+		obj metric.Object
+		key uint64
+	}
+	ms := make([]mapped, len(objs))
+	vec := make([]float64, len(t.pivots))
+	cells := make(sfc.Point, len(t.pivots))
+	for i, o := range objs {
+		t.phi(o, vec)
+		if err := t.validateVec(o, vec); err != nil {
+			return nil, err
+		}
+		t.cm.observe(vec, rng)
+		t.cells(vec, cells)
+		ms[i] = mapped{obj: o, key: t.curve.Encode(cells)}
+	}
+	// Second stage: order by SFC value; ties broken by id for determinism.
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].key != ms[j].key {
+			return ms[i].key < ms[j].key
+		}
+		return ms[i].obj.ID() < ms[j].obj.ID()
+	})
+
+	// RAF in SFC order, then bulk-load the B+-tree with (key, offset).
+	entries := make([]bptree.Pair, len(ms))
+	for i, m := range ms {
+		off, err := t.raf.Append(m.obj)
+		if err != nil {
+			return nil, err
+		}
+		entries[i] = bptree.Pair{Key: m.key, Val: off}
+	}
+	if err := t.raf.Flush(); err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Less(entries[j]) })
+	if err := t.bpt.BulkLoad(entries); err != nil {
+		return nil, err
+	}
+	t.count = len(objs)
+
+	if err := t.cm.snapshotBoxes(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// chooseQuantization fixes δ and the per-dimension bit budget. Discrete
+// metrics use δ=1 (cells are exact distances); continuous metrics partition
+// [0, d+] into 1/DeltaFrac cells. Either way bits×|P| must fit the 64-bit
+// SFC key, coarsening δ if necessary (pruning only weakens, never breaks).
+func (t *Tree) chooseQuantization(deltaFrac float64) error {
+	n := len(t.pivots)
+	maxBits := 64 / n
+	if maxBits > 32 {
+		maxBits = 32
+	}
+	if maxBits < 1 {
+		return fmt.Errorf("core: %d pivots cannot fit a 64-bit SFC key", n)
+	}
+	if t.dist.Discrete() {
+		cellsNeeded := uint64(math.Floor(t.dPlus)) + 1
+		bits := bitsFor(cellsNeeded)
+		if bits <= maxBits {
+			t.bits = bits
+			t.delta = 1
+			t.exact = true
+			return nil
+		}
+		t.bits = maxBits
+		t.delta = t.dPlus / float64(uint64(1)<<maxBits-1)
+		t.exact = false
+		return nil
+	}
+	if deltaFrac == 0 {
+		deltaFrac = 0.005
+	}
+	if deltaFrac < 0 || deltaFrac >= 1 {
+		return fmt.Errorf("core: DeltaFrac %v out of (0, 1)", deltaFrac)
+	}
+	cellsNeeded := uint64(math.Ceil(1/deltaFrac)) + 1
+	bits := bitsFor(cellsNeeded)
+	if bits > maxBits {
+		bits = maxBits
+	}
+	t.bits = bits
+	// Effective δ so that d+ lands in the last cell.
+	t.delta = t.dPlus * deltaFrac
+	if minDelta := t.dPlus / float64(uint64(1)<<bits-1); t.delta < minDelta {
+		t.delta = minDelta
+	}
+	t.exact = false
+	return nil
+}
+
+func bitsFor(cells uint64) int {
+	bits := 1
+	for uint64(1)<<bits < cells {
+		bits++
+	}
+	return bits
+}
+
+// Pivots returns the pivot table.
+func (t *Tree) Pivots() []metric.Object { return t.pivots }
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.count }
+
+// CurveKind returns which SFC the tree uses.
+func (t *Tree) CurveKind() sfc.Kind { return t.kind }
+
+// Bits returns the per-dimension bit budget of the SFC grid.
+func (t *Tree) Bits() int { return t.bits }
+
+// Delta returns the effective cell width in distance units.
+func (t *Tree) Delta() float64 { return t.delta }
+
+// Traversal returns the configured kNN traversal strategy.
+func (t *Tree) Traversal() TraversalStrategy { return t.traversal }
+
+// SetTraversal switches the kNN traversal strategy.
+func (t *Tree) SetTraversal(s TraversalStrategy) { t.traversal = s }
+
+// Stats is a per-operation measurement in the paper's metrics.
+type Stats struct {
+	// PageAccesses is PA: physical page reads+writes below the caches,
+	// summed over the B+-tree and RAF stores.
+	PageAccesses int64
+	// DistanceComputations is compdists.
+	DistanceComputations int64
+	// Elapsed is wall time.
+	Elapsed time.Duration
+}
+
+// ResetStats zeroes both stores' I/O counters and the distance counter and
+// flushes both caches — the paper's cold-start protocol before each of its
+// 500 measured queries.
+func (t *Tree) ResetStats() {
+	t.idxCache.Stats().Reset()
+	t.dataCache.Stats().Reset()
+	t.dist.Reset()
+	t.idxCache.Flush()
+	t.dataCache.Flush()
+}
+
+// WarmReset zeroes the counters but keeps cache contents, for measuring
+// sequences that intentionally share a warm cache.
+func (t *Tree) WarmReset() {
+	t.idxCache.Stats().Reset()
+	t.dataCache.Stats().Reset()
+	t.dist.Reset()
+}
+
+// TakeStats reads the counters accumulated since the last reset.
+func (t *Tree) TakeStats() Stats {
+	return Stats{
+		PageAccesses:         t.idxCache.Stats().Accesses() + t.dataCache.Stats().Accesses(),
+		DistanceComputations: t.dist.Count(),
+	}
+}
+
+// StorageBytes returns the index footprint: B+-tree pages plus RAF pages
+// plus the pivot table, in bytes (paper Table 6's Storage column).
+func (t *Tree) StorageBytes() int64 {
+	pivotBytes := 0
+	for _, p := range t.pivots {
+		pivotBytes += len(p.AppendBinary(nil)) + 12
+	}
+	return int64(t.idxCache.NumPages())*page.Size + int64(t.raf.PagesUsed())*page.Size + int64(pivotBytes)
+}
+
+// Measure runs fn against cold caches and returns the observed Stats.
+func (t *Tree) Measure(fn func() error) (Stats, error) {
+	t.ResetStats()
+	start := time.Now()
+	err := fn()
+	s := t.TakeStats()
+	s.Elapsed = time.Since(start)
+	return s, err
+}
+
+// curveGeometry adapts sfc.Curve to bptree.Geometry.
+type curveGeometry struct{ c sfc.Curve }
+
+func (g curveGeometry) Dims() int                   { return g.c.Dims() }
+func (g curveGeometry) Decode(k uint64, p []uint32) { g.c.Decode(k, sfc.Point(p)) }
+func (g curveGeometry) Encode(p []uint32) uint64    { return g.c.Encode(sfc.Point(p)) }

@@ -1,0 +1,262 @@
+// Package dataset generates synthetic stand-ins for the paper's five
+// evaluation datasets (Table 2). The real corpora (English words, HSV image
+// features, DNA loci, handwritten signatures) are not redistributable, so
+// each generator reproduces the salient statistics the experiments depend
+// on: dimensionality, metric, value distribution (clustered, not uniform),
+// and approximate intrinsic dimensionality. See DESIGN.md §3 for the
+// substitution rationale.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"spbtree/internal/metric"
+)
+
+// Dataset bundles objects with their metric and codec.
+type Dataset struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// Objects are the generated objects with ids 0..n-1.
+	Objects []metric.Object
+	// Distance is the dataset's metric (Table 2's Measurement column).
+	Distance metric.DistanceFunc
+	// Codec decodes the dataset's objects from RAF payloads.
+	Codec metric.Codec
+}
+
+// Queries returns the query workload: the first n objects, the paper's
+// protocol ("the first 500 objects in every dataset").
+func (d Dataset) Queries(n int) []metric.Object {
+	if n > len(d.Objects) {
+		n = len(d.Objects)
+	}
+	return d.Objects[:n]
+}
+
+// Words generates English-like words from a syllable model with the skewed
+// length distribution of a dictionary (lengths ~1-34, mean ≈ 8), compared
+// under edit distance.
+func Words(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		objs[i] = metric.NewStr(uint64(i), randomWord(rng))
+	}
+	return Dataset{
+		Name:     "Words",
+		Objects:  objs,
+		Distance: metric.EditDistance{MaxLen: 34},
+		Codec:    metric.StrCodec{},
+	}
+}
+
+var (
+	onsets   = []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "qu", "r", "s", "t", "v", "w", "st", "tr", "ch", "sh", "th", "pl", "br", ""}
+	nuclei   = []string{"a", "e", "i", "o", "u", "ai", "ea", "ou", "io", "ee"}
+	codas    = []string{"", "", "n", "s", "t", "r", "l", "m", "d", "ng", "st", "ck"}
+	suffixes = []string{"", "", "", "s", "ed", "ing", "ly", "er", "tion", "ness", "ate", "ation"}
+)
+
+func randomWord(rng *rand.Rand) string {
+	// 1 + geometric-ish number of syllables gives the dictionary's skew.
+	syllables := 1
+	for syllables < 8 && rng.Float64() < 0.55 {
+		syllables++
+	}
+	w := ""
+	for s := 0; s < syllables; s++ {
+		w += onsets[rng.Intn(len(onsets))] + nuclei[rng.Intn(len(nuclei))] + codas[rng.Intn(len(codas))]
+	}
+	w += suffixes[rng.Intn(len(suffixes))]
+	if len(w) > 34 {
+		w = w[:34]
+	}
+	if w == "" {
+		w = "a"
+	}
+	return w
+}
+
+// Color generates 16-dimensional feature vectors as a mixture of Gaussian
+// clusters in the unit cube, compared under the L5-norm (the paper's Color:
+// 112,682 HSV color histograms, intrinsic dimensionality ≈ 2.9).
+func Color(n int, seed int64) Dataset {
+	objs := clusteredVectors(n, 16, 12, 0.06, seed)
+	return Dataset{
+		Name:     "Color",
+		Objects:  objs,
+		Distance: metric.L5(16),
+		Codec:    metric.VectorCodec{Dim: 16},
+	}
+}
+
+// Synthetic generates 20-dimensional vectors on a low-dimensional latent
+// manifold plus noise, compared under L2 (the paper's Synthetic: 1M 20-d
+// vectors, intrinsic dimensionality ≈ 4.8).
+func Synthetic(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const dim, latent = 20, 5
+	// Random mixing matrix maps the latent space into 20 dimensions.
+	mix := make([][]float64, dim)
+	for i := range mix {
+		row := make([]float64, latent)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		mix[i] = row
+	}
+	objs := make([]metric.Object, n)
+	z := make([]float64, latent)
+	for i := range objs {
+		for j := range z {
+			z[j] = rng.Float64()
+		}
+		coords := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			v := 0.0
+			for j := 0; j < latent; j++ {
+				v += mix[d][j] * z[j]
+			}
+			coords[d] = clamp01(sigmoid(v) + 0.02*rng.NormFloat64())
+		}
+		objs[i] = metric.NewVector(uint64(i), coords)
+	}
+	return Dataset{
+		Name:     "Synthetic",
+		Objects:  objs,
+		Distance: metric.L2(20),
+		Codec:    metric.VectorCodec{Dim: 20},
+	}
+}
+
+// DNA generates DNA reads of length ≈ 108 as mutated copies of a set of
+// family seeds, compared under angular distance over tri-gram count vectors
+// (the paper's DNA: 1M loci under "cosine similarity under tri-gram
+// counting space"; see DESIGN.md §3 for the angular-distance substitution).
+func DNA(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const bases = "ACGT"
+	families := 1 + n/64
+	seeds := make([]string, families)
+	for i := range seeds {
+		b := make([]byte, 100+rng.Intn(17))
+		for j := range b {
+			b[j] = bases[rng.Intn(4)]
+		}
+		seeds[i] = string(b)
+	}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		s := []byte(seeds[rng.Intn(families)])
+		// Point mutations plus occasional indels.
+		for m := rng.Intn(12); m > 0; m-- {
+			switch rng.Intn(4) {
+			case 0: // insertion
+				p := rng.Intn(len(s) + 1)
+				s = append(s[:p], append([]byte{bases[rng.Intn(4)]}, s[p:]...)...)
+			case 1: // deletion
+				if len(s) > 4 {
+					p := rng.Intn(len(s))
+					s = append(s[:p], s[p+1:]...)
+				}
+			default: // substitution
+				s[rng.Intn(len(s))] = bases[rng.Intn(4)]
+			}
+		}
+		objs[i] = metric.NewSeq(uint64(i), string(s))
+	}
+	return Dataset{
+		Name:     "DNA",
+		Objects:  objs,
+		Distance: metric.TrigramAngular{},
+		Codec:    metric.SeqCodec{},
+	}
+}
+
+// Signature generates 64-byte binary signatures as bit-flipped copies of
+// cluster seeds, compared under Hamming distance (the paper's Signature:
+// 49,740 signatures, intrinsic dimensionality ≈ 14.8 — the hardest
+// workload).
+func Signature(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	const width = 64
+	clusters := 1 + n/128
+	seeds := make([][]byte, clusters)
+	for i := range seeds {
+		b := make([]byte, width)
+		rng.Read(b)
+		seeds[i] = b
+	}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		b := make([]byte, width)
+		copy(b, seeds[rng.Intn(clusters)])
+		for flips := rng.Intn(120); flips > 0; flips-- {
+			bit := rng.Intn(8 * width)
+			b[bit/8] ^= 1 << (bit % 8)
+		}
+		objs[i] = metric.NewBitString(uint64(i), b)
+	}
+	return Dataset{
+		Name:     "Signature",
+		Objects:  objs,
+		Distance: metric.Hamming{Bytes: width},
+		Codec:    metric.BitStringCodec{Bytes: width},
+	}
+}
+
+// ByName returns the named dataset generator's output, matching the paper's
+// dataset names case-insensitively.
+func ByName(name string, n int, seed int64) (Dataset, bool) {
+	switch name {
+	case "words", "Words":
+		return Words(n, seed), true
+	case "color", "Color":
+		return Color(n, seed), true
+	case "dna", "DNA":
+		return DNA(n, seed), true
+	case "signature", "Signature":
+		return Signature(n, seed), true
+	case "synthetic", "Synthetic":
+		return Synthetic(n, seed), true
+	}
+	return Dataset{}, false
+}
+
+// clusteredVectors draws n dim-dimensional points from a mixture of
+// clusters Gaussian blobs with per-coordinate stddev sigma.
+func clusteredVectors(n, dim, clusters int, sigma float64, seed int64) []metric.Object {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		c := make([]float64, dim)
+		for j := range c {
+			c[j] = rng.Float64()
+		}
+		centers[i] = c
+	}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		c := centers[rng.Intn(clusters)]
+		coords := make([]float64, dim)
+		for j := range coords {
+			coords[j] = clamp01(c[j] + sigma*rng.NormFloat64())
+		}
+		objs[i] = metric.NewVector(uint64(i), coords)
+	}
+	return objs
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

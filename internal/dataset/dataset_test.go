@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"spbtree/internal/metric"
+)
+
+func TestGeneratorsBasicShape(t *testing.T) {
+	for _, name := range []string{"words", "color", "dna", "signature", "synthetic"} {
+		ds, ok := ByName(name, 500, 1)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		if len(ds.Objects) != 500 {
+			t.Fatalf("%s: %d objects", name, len(ds.Objects))
+		}
+		ids := map[uint64]bool{}
+		for _, o := range ds.Objects {
+			if ids[o.ID()] {
+				t.Fatalf("%s: duplicate id %d", name, o.ID())
+			}
+			ids[o.ID()] = true
+		}
+		// Codec round trip on a sample.
+		for i := 0; i < 10; i++ {
+			o := ds.Objects[i*37%len(ds.Objects)]
+			back, err := ds.Codec.Decode(o.ID(), o.AppendBinary(nil))
+			if err != nil {
+				t.Fatalf("%s: codec: %v", name, err)
+			}
+			if ds.Distance.Distance(o, back) != 0 {
+				t.Fatalf("%s: round-tripped object at distance > 0", name)
+			}
+		}
+		// Distances stay within d+.
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 100; i++ {
+			a := ds.Objects[rng.Intn(len(ds.Objects))]
+			b := ds.Objects[rng.Intn(len(ds.Objects))]
+			d := ds.Distance.Distance(a, b)
+			if d < 0 || d > ds.Distance.MaxDistance()+1e-9 {
+				t.Fatalf("%s: distance %v outside [0, %v]", name, d, ds.Distance.MaxDistance())
+			}
+		}
+	}
+	if _, ok := ByName("nope", 10, 1); ok {
+		t.Error("unknown dataset name accepted")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Words(100, 7)
+	b := Words(100, 7)
+	for i := range a.Objects {
+		if a.Objects[i].(*metric.Str).S != b.Objects[i].(*metric.Str).S {
+			t.Fatal("Words not deterministic for equal seeds")
+		}
+	}
+	c := Words(100, 8)
+	same := 0
+	for i := range a.Objects {
+		if a.Objects[i].(*metric.Str).S == c.Objects[i].(*metric.Str).S {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestIntrinsicDimensionalityBands(t *testing.T) {
+	// Table 2's shape: Signature has by far the highest intrinsic
+	// dimensionality; Color among the lowest.
+	rng := rand.New(rand.NewSource(3))
+	rho := func(ds Dataset) float64 {
+		return metric.IntrinsicDimensionality(ds.Objects, ds.Distance, 2000, rng)
+	}
+	color := rho(Color(2000, 1))
+	sig := rho(Signature(2000, 1))
+	synth := rho(Synthetic(2000, 1))
+	if !(sig > color && sig > synth) {
+		t.Errorf("intrinsic dims: signature %.1f should exceed color %.1f and synthetic %.1f", sig, color, synth)
+	}
+	if color < 0.5 || color > 12 {
+		t.Errorf("color intrinsic dim %.1f out of plausible band", color)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	ds := Color(50, 1)
+	if q := ds.Queries(10); len(q) != 10 || q[0].ID() != 0 {
+		t.Errorf("Queries(10) wrong: %d, first id %d", len(q), q[0].ID())
+	}
+	if q := ds.Queries(500); len(q) != 50 {
+		t.Errorf("Queries beyond size returned %d", len(q))
+	}
+}
+
+func TestWordLengths(t *testing.T) {
+	ds := Words(2000, 5)
+	var min, max, total int
+	min = 1 << 30
+	for _, o := range ds.Objects {
+		n := len(o.(*metric.Str).S)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		total += n
+	}
+	if min < 1 || max > 34 {
+		t.Errorf("word lengths outside [1, 34]: min=%d max=%d", min, max)
+	}
+	mean := float64(total) / float64(len(ds.Objects))
+	if mean < 4 || mean > 16 {
+		t.Errorf("mean word length %.1f implausible", mean)
+	}
+}
+
+func TestDNALengths(t *testing.T) {
+	ds := DNA(500, 6)
+	for _, o := range ds.Objects {
+		n := len(o.(*metric.Seq).S)
+		if n < 80 || n > 140 {
+			t.Errorf("DNA read length %d outside band", n)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package forest implements the paper's future-work direction ("extend the
+// SPB-tree to different distributed environments"): a partitioned SPB-tree.
+// Objects are hash-partitioned across shards, every shard is an independent
+// SPB-tree over the *same* pivot mapping (so pruning quality matches the
+// monolithic index), and queries scatter to all shards in parallel and
+// gather-merge the answers.
+//
+// Each shard owns its page stores, caches and counters, exactly as separate
+// nodes would; the scatter-gather layer is the part a networked deployment
+// would replace with RPCs.
+package forest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spbtree/internal/core"
+	"spbtree/internal/metric"
+	"spbtree/internal/sfc"
+)
+
+// Options configures Build.
+type Options struct {
+	// Tree configures each shard (Distance and Codec are required;
+	// IndexStore/DataStore must stay nil — every shard allocates its own).
+	Tree core.Options
+	// Shards is the partition count; 0 means 4.
+	Shards int
+	// Parallel bounds concurrent shard queries; 0 means all shards at once.
+	Parallel int
+}
+
+// Forest is a partitioned SPB-tree.
+type Forest struct {
+	shards   []*core.Tree
+	parallel int
+}
+
+// Build hash-partitions objs by id and builds one SPB-tree per shard. Shard
+// 0 selects the pivot table; every other shard shares its mapping.
+func Build(objs []metric.Object, opts Options) (*Forest, error) {
+	if opts.Tree.IndexStore != nil || opts.Tree.DataStore != nil {
+		return nil, fmt.Errorf("forest: per-shard stores are allocated internally; leave IndexStore/DataStore nil")
+	}
+	n := opts.Shards
+	if n == 0 {
+		n = 4
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("forest: Shards must be positive")
+	}
+	parts := make([][]metric.Object, n)
+	for _, o := range objs {
+		s := int(o.ID() % uint64(n))
+		parts[s] = append(parts[s], o)
+	}
+	for i, p := range parts {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("forest: shard %d is empty; fewer shards than distinct objects required", i)
+		}
+	}
+	f := &Forest{parallel: opts.Parallel}
+	first := opts.Tree
+	t0, err := core.Build(parts[0], first)
+	if err != nil {
+		return nil, fmt.Errorf("forest: shard 0: %w", err)
+	}
+	f.shards = append(f.shards, t0)
+	for i := 1; i < n; i++ {
+		shOpts := opts.Tree
+		shOpts.ShareMapping = t0
+		t, err := core.Build(parts[i], shOpts)
+		if err != nil {
+			return nil, fmt.Errorf("forest: shard %d: %w", i, err)
+		}
+		f.shards = append(f.shards, t)
+	}
+	return f, nil
+}
+
+// Shards returns the per-shard trees (read-only use).
+func (f *Forest) Shards() []*core.Tree { return f.shards }
+
+// Len returns the total object count.
+func (f *Forest) Len() int {
+	n := 0
+	for _, s := range f.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// scatter runs fn for every shard, bounded by the parallelism limit, and
+// returns the first error.
+func (f *Forest) scatter(fn func(i int, t *core.Tree) error) error {
+	limit := f.parallel
+	if limit <= 0 || limit > len(f.shards) {
+		limit = len(f.shards)
+	}
+	sem := make(chan struct{}, limit)
+	errs := make([]error, len(f.shards))
+	var wg sync.WaitGroup
+	for i, t := range f.shards {
+		wg.Add(1)
+		go func(i int, t *core.Tree) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i, t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RangeQuery scatters RQ(q, shard, r) and concatenates the answers.
+func (f *Forest) RangeQuery(q metric.Object, r float64) ([]core.Result, error) {
+	per := make([][]core.Result, len(f.shards))
+	err := f.scatter(func(i int, t *core.Tree) error {
+		res, err := t.RangeQuery(q, r)
+		per[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Result
+	for _, res := range per {
+		out = append(out, res...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.ID() < out[j].Object.ID() })
+	return out, nil
+}
+
+// KNN scatters kNN(q, k) to every shard and merges the per-shard top-k sets
+// into the global top-k — the standard distributed-kNN reduction.
+func (f *Forest) KNN(q metric.Object, k int) ([]core.Result, error) {
+	per := make([][]core.Result, len(f.shards))
+	err := f.scatter(func(i int, t *core.Tree) error {
+		res, err := t.KNN(q, k)
+		per[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []core.Result
+	for _, res := range per {
+		all = append(all, res...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Object.ID() < all[j].Object.ID()
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// Join computes SJ(Q, O, ε) between two forests sharing one mapped space:
+// every (Q-shard, O-shard) pair runs an independent SJA merge, all pairs in
+// parallel — the shuffle-free join plan a shared-pivot partitioning allows.
+func Join(fq, fo *Forest, eps float64) ([]core.JoinPair, error) {
+	type task struct{ qi, oi int }
+	var tasks []task
+	for qi := range fq.shards {
+		for oi := range fo.shards {
+			tasks = append(tasks, task{qi, oi})
+		}
+	}
+	limit := fq.parallel
+	if limit <= 0 || limit > len(tasks) {
+		limit = len(tasks)
+	}
+	sem := make(chan struct{}, limit)
+	per := make([][]core.JoinPair, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for ti, tk := range tasks {
+		wg.Add(1)
+		go func(ti int, tk task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			per[ti], errs[ti] = core.Join(fq.shards[tk.qi], fo.shards[tk.oi], eps)
+		}(ti, tk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []core.JoinPair
+	for _, pairs := range per {
+		out = append(out, pairs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Q.ID() != out[j].Q.ID() {
+			return out[i].Q.ID() < out[j].Q.ID()
+		}
+		return out[i].O.ID() < out[j].O.ID()
+	})
+	return out, nil
+}
+
+// BuildPartner builds a second forest over objs sharing f's pivot mapping
+// and shard count, the precondition for Join. The curve must be Z-order.
+func (f *Forest) BuildPartner(objs []metric.Object, opts Options) (*Forest, error) {
+	if opts.Shards == 0 {
+		opts.Shards = len(f.shards)
+	}
+	opts.Tree.ShareMapping = f.shards[0]
+	opts.Tree.Curve = sfc.ZOrder
+	return Build(objs, opts)
+}
+
+// ResetStats resets every shard.
+func (f *Forest) ResetStats() {
+	for _, s := range f.shards {
+		s.ResetStats()
+	}
+}
+
+// TakeStats aggregates per-shard counters — the total work across the
+// "cluster".
+func (f *Forest) TakeStats() core.Stats {
+	var total core.Stats
+	for _, s := range f.shards {
+		st := s.TakeStats()
+		total.PageAccesses += st.PageAccesses
+		total.DistanceComputations += st.DistanceComputations
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Package join implements the similarity-join baselines of the paper's
+// Fig. 17: the (improved) Quickjoin algorithm of Jacox-Samet as refined by
+// Fredriksson-Braithwaite, a simplified eD-index-based R-S join in the
+// spirit of Dohnal et al. and Pearson-Silva, and a nested-loop reference.
+package join
+
+import (
+	"sort"
+
+	"spbtree/internal/metric"
+)
+
+// Pair is one join answer ⟨a, b⟩ with d(a, b) ≤ ε; A comes from the first
+// input set and B from the second.
+type Pair struct {
+	A, B metric.Object
+	Dist float64
+}
+
+// NestedLoop computes SJ(Q, O, ε) by exhaustive comparison — the correctness
+// reference for every other join in this repository.
+func NestedLoop(Q, O []metric.Object, eps float64, dist metric.DistanceFunc) []Pair {
+	var out []Pair
+	for _, q := range Q {
+		for _, o := range O {
+			if d := dist.Distance(q, o); d <= eps {
+				out = append(out, Pair{A: q, B: o, Dist: d})
+			}
+		}
+	}
+	return out
+}
+
+// sortPairs orders pairs deterministically for comparisons in tests.
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A.ID() != ps[j].A.ID() {
+			return ps[i].A.ID() < ps[j].A.ID()
+		}
+		return ps[i].B.ID() < ps[j].B.ID()
+	})
+}

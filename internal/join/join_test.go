@@ -1,0 +1,247 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"spbtree/internal/metric"
+)
+
+func vectors(n, dim int, seed int64, idBase uint64) []metric.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		coords := make([]float64, dim)
+		for j := range coords {
+			coords[j] = rng.Float64()
+		}
+		objs[i] = metric.NewVector(idBase+uint64(i), coords)
+	}
+	return objs
+}
+
+func words(n int, seed int64, idBase uint64) []metric.Object {
+	rng := rand.New(rand.NewSource(seed))
+	syl := []string{"an", "ber", "co", "du", "el", "fi", "gor", "hu"}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		var w string
+		for k := 0; k < 2+rng.Intn(3); k++ {
+			w += syl[rng.Intn(len(syl))]
+		}
+		objs[i] = metric.NewStr(idBase+uint64(i), w)
+	}
+	return objs
+}
+
+func pairSet(ps []Pair) map[[2]uint64]bool {
+	out := map[[2]uint64]bool{}
+	for _, p := range ps {
+		out[[2]uint64{p.A.ID(), p.B.ID()}] = true
+	}
+	return out
+}
+
+func comparePairs(t *testing.T, name string, got, want []Pair) {
+	t.Helper()
+	gs, ws := pairSet(got), pairSet(want)
+	if len(got) != len(gs) {
+		t.Fatalf("%s: %d duplicate pairs emitted", name, len(got)-len(gs))
+	}
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: got %d pairs, want %d", name, len(gs), len(ws))
+	}
+	for k := range ws {
+		if !gs[k] {
+			t.Fatalf("%s: missing pair %v", name, k)
+		}
+	}
+}
+
+func TestQuickjoinRSMatchesNestedLoop(t *testing.T) {
+	dist := metric.L2(4)
+	Q := vectors(300, 4, 1, 0)
+	O := vectors(350, 4, 2, 10000)
+	for _, eps := range []float64{0.05, 0.15, 0.3} {
+		qj := &Quickjoin{Dist: dist}
+		got := qj.Join(Q, O, eps)
+		want := NestedLoop(Q, O, eps, dist)
+		comparePairs(t, "quickjoin", got, want)
+	}
+}
+
+func TestQuickjoinSelfJoin(t *testing.T) {
+	dist := metric.L2(3)
+	O := vectors(250, 3, 3, 0)
+	qj := &Quickjoin{Dist: dist}
+	got := qj.Join(O, O, 0.1)
+	want := NestedLoop(O, O, 0.1, dist)
+	comparePairs(t, "quickjoin-self", got, want)
+}
+
+func TestQuickjoinStrings(t *testing.T) {
+	dist := metric.EditDistance{MaxLen: 12}
+	Q := words(200, 4, 0)
+	O := words(220, 5, 10000)
+	for _, eps := range []float64{1, 2} {
+		qj := &Quickjoin{Dist: dist}
+		got := qj.Join(Q, O, eps)
+		want := NestedLoop(Q, O, eps, dist)
+		comparePairs(t, "quickjoin-words", got, want)
+	}
+}
+
+func TestQuickjoinDuplicateHeavy(t *testing.T) {
+	// All-identical data exercises the degenerate-partition fallback.
+	objs := make([]metric.Object, 200)
+	for i := range objs {
+		objs[i] = metric.NewVector(uint64(i), []float64{0.5, 0.5})
+	}
+	O := make([]metric.Object, 200)
+	for i := range O {
+		O[i] = metric.NewVector(uint64(10000+i), []float64{0.5, 0.5})
+	}
+	dist := metric.L2(2)
+	qj := &Quickjoin{Dist: dist}
+	got := qj.Join(objs, O, 0.01)
+	if len(got) != 200*200 {
+		t.Fatalf("duplicate-heavy join: %d pairs, want %d", len(got), 200*200)
+	}
+}
+
+func TestQuickjoinSavesComputations(t *testing.T) {
+	dist := metric.NewCounter(metric.L2(6))
+	Q := vectors(500, 6, 6, 0)
+	O := vectors(500, 6, 7, 10000)
+	qj := &Quickjoin{Dist: dist}
+	qj.Join(Q, O, 0.05)
+	if dist.Count() >= int64(len(Q)*len(O)) {
+		t.Errorf("quickjoin compdists %d >= |Q||O|: no better than nested loop", dist.Count())
+	}
+}
+
+func TestEDIndexRSMatchesNestedLoop(t *testing.T) {
+	dist := metric.L2(4)
+	Q := vectors(250, 4, 8, 0)
+	O := vectors(300, 4, 9, 10000)
+	eps0 := 0.2
+	ed, err := BuildED(Q, O, EDOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 4}, Eps0: eps0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.05, 0.15, 0.2} {
+		got, err := ed.Join(eps, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NestedLoop(Q, O, eps, dist)
+		comparePairs(t, "edindex", got, want)
+	}
+	// ε beyond ε₀ must be rejected — the rebuild-for-larger-ε limit the
+	// paper reports in Section 6.4.
+	if _, err := ed.Join(0.3, false); err == nil {
+		t.Error("eD-index accepted ε > ε₀")
+	}
+	// Rebuilding with a larger ε₀ then handles it.
+	ed2, err := BuildED(Q, O, EDOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 4}, Eps0: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ed2.Join(0.4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePairs(t, "edindex-rebuilt", got, NestedLoop(Q, O, 0.4, dist))
+}
+
+func TestEDIndexSelfJoin(t *testing.T) {
+	dist := metric.L2(3)
+	O := vectors(300, 3, 10, 0)
+	ed, err := BuildED(O, O, EDOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 3}, Eps0: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ed.Join(0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NestedLoop(O, O, 0.1, dist)
+	comparePairs(t, "edindex-self", got, want)
+}
+
+func TestEDIndexStrings(t *testing.T) {
+	dist := metric.EditDistance{MaxLen: 12}
+	Q := words(200, 11, 0)
+	O := words(250, 12, 10000)
+	ed, err := BuildED(Q, O, EDOptions{Distance: dist, Codec: metric.StrCodec{}, Eps0: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{1, 2, 3} {
+		got, err := ed.Join(eps, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NestedLoop(Q, O, eps, dist)
+		comparePairs(t, "edindex-words", got, want)
+	}
+}
+
+func TestEDIndexStatsAndReplication(t *testing.T) {
+	dist := metric.L2(4)
+	Q := vectors(400, 4, 13, 0)
+	O := vectors(400, 4, 14, 10000)
+	ed, err := BuildED(Q, O, EDOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 4}, Eps0: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed.ResetStats()
+	if _, err := ed.Join(0.15, false); err != nil {
+		t.Fatal(err)
+	}
+	pa, cd := ed.TakeStats()
+	if pa == 0 || cd == 0 {
+		t.Errorf("stats pa=%d cd=%d", pa, cd)
+	}
+	if ed.StorageBytes() <= 0 {
+		t.Error("no storage reported")
+	}
+}
+
+func TestEDIndexValidation(t *testing.T) {
+	dist := metric.L2(2)
+	if _, err := BuildED(nil, nil, EDOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 2}}); err == nil {
+		t.Error("Eps0 0 accepted")
+	}
+	if _, err := BuildED(nil, nil, EDOptions{Eps0: 1}); err == nil {
+		t.Error("missing metric accepted")
+	}
+	// Empty inputs are fine.
+	ed, err := BuildED(nil, nil, EDOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 2}, Eps0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ed.Join(0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty join returned %d pairs", len(got))
+	}
+}
+
+func TestNestedLoopBaseline(t *testing.T) {
+	dist := metric.L2(2)
+	Q := []metric.Object{
+		metric.NewVector(1, []float64{0, 0}),
+		metric.NewVector(2, []float64{0.5, 0.5}),
+	}
+	O := []metric.Object{
+		metric.NewVector(10, []float64{0, 0.05}),
+		metric.NewVector(11, []float64{0.9, 0.9}),
+	}
+	got := NestedLoop(Q, O, 0.1, dist)
+	if len(got) != 1 || got[0].A.ID() != 1 || got[0].B.ID() != 10 {
+		t.Fatalf("NestedLoop = %+v", got)
+	}
+}

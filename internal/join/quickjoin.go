@@ -1,0 +1,199 @@
+package join
+
+import (
+	"math/rand"
+
+	"spbtree/internal/metric"
+)
+
+// Quickjoin is the in-memory Quickjoin of Jacox and Samet with the
+// Fredriksson-Braithwaite refinement of reusing partitioning distances as
+// pivot filters inside the base-case nested loops. It is "QJA" in the
+// paper's Fig. 17: no index is built in advance, so there are no page
+// accesses to report — only distance computations and wall time.
+type Quickjoin struct {
+	// Dist is the metric; required. Wrap it in a metric.Counter to observe
+	// compdists.
+	Dist metric.DistanceFunc
+	// SmallLimit is the base-case size below which nested loops run;
+	// 0 means 32.
+	SmallLimit int
+	// Seed seeds pivot choices; 0 means 1.
+	Seed int64
+	// maxDepth guards degenerate recursions.
+	rng *rand.Rand
+}
+
+// item carries an object, which input set it came from, and the distance to
+// the current partitioning pivot (the filter distance).
+type item struct {
+	obj  metric.Object
+	side uint8
+	dPiv float64
+}
+
+// Join computes SJ(Q, O, ε). If Q and O alias the same slice the result is
+// the self-join including identity pairs, matching Definition 4 applied to
+// Q = O.
+func (qj *Quickjoin) Join(Q, O []metric.Object, eps float64) []Pair {
+	if eps < 0 {
+		return nil
+	}
+	seed := qj.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	qj.rng = rand.New(rand.NewSource(seed))
+	selfJoin := len(Q) == len(O) && len(Q) > 0 && &Q[0] == &O[0]
+
+	items := make([]item, 0, len(Q)+len(O))
+	for _, q := range Q {
+		items = append(items, item{obj: q, side: 0})
+	}
+	if selfJoin {
+		// A self-join runs over one copy of the set; every in-set pair maps
+		// to both (a,b) and (b,a) plus identity pairs at emission time.
+		var out []Pair
+		qj.join(items, eps, 0, func(a, b item, d float64) {
+			out = append(out, Pair{A: a.obj, B: b.obj, Dist: d}, Pair{A: b.obj, B: a.obj, Dist: d})
+		})
+		for _, q := range Q {
+			out = append(out, Pair{A: q, B: q, Dist: 0})
+		}
+		sortPairs(out)
+		return out
+	}
+	for _, o := range O {
+		items = append(items, item{obj: o, side: 1})
+	}
+	var out []Pair
+	qj.join(items, eps, 0, func(a, b item, d float64) {
+		switch {
+		case a.side == 0 && b.side == 1:
+			out = append(out, Pair{A: a.obj, B: b.obj, Dist: d})
+		case a.side == 1 && b.side == 0:
+			out = append(out, Pair{A: b.obj, B: a.obj, Dist: d})
+		}
+	})
+	sortPairs(out)
+	return out
+}
+
+const maxDepth = 64
+
+// join finds all pairs within items at distance ≤ eps and emits them once.
+func (qj *Quickjoin) join(items []item, eps float64, depth int, emit func(a, b item, d float64)) {
+	limit := qj.SmallLimit
+	if limit == 0 {
+		limit = 32
+	}
+	if len(items) <= limit || depth >= maxDepth {
+		qj.nested(items, eps, emit)
+		return
+	}
+	p := items[qj.rng.Intn(len(items))].obj
+	rho := qj.Dist.Distance(p, items[qj.rng.Intn(len(items))].obj)
+
+	var in, out, winIn, winOut []item
+	for _, it := range items {
+		d := qj.Dist.Distance(p, it.obj)
+		it.dPiv = d
+		if d < rho {
+			in = append(in, it)
+			if d >= rho-eps {
+				winIn = append(winIn, it)
+			}
+		} else {
+			out = append(out, it)
+			if d <= rho+eps {
+				winOut = append(winOut, it)
+			}
+		}
+	}
+	if len(in) == 0 || len(out) == 0 {
+		// Degenerate pivot/radius (duplicate-heavy data): partitioning made
+		// no progress, fall back before recursing forever.
+		qj.nested(items, eps, emit)
+		return
+	}
+	qj.join(in, eps, depth+1, emit)
+	qj.join(out, eps, depth+1, emit)
+	qj.joinWin(winIn, winOut, eps, depth+1, emit)
+}
+
+// joinWin finds pairs across two window sets.
+func (qj *Quickjoin) joinWin(A, B []item, eps float64, depth int, emit func(a, b item, d float64)) {
+	if len(A) == 0 || len(B) == 0 {
+		return
+	}
+	limit := qj.SmallLimit
+	if limit == 0 {
+		limit = 32
+	}
+	if len(A)+len(B) <= limit || depth >= maxDepth {
+		qj.nestedCross(A, B, eps, emit)
+		return
+	}
+	all := append(append([]item(nil), A...), B...)
+	p := all[qj.rng.Intn(len(all))].obj
+	rho := qj.Dist.Distance(p, all[qj.rng.Intn(len(all))].obj)
+
+	part := func(items []item) (in, out, winIn, winOut []item) {
+		for _, it := range items {
+			d := qj.Dist.Distance(p, it.obj)
+			it.dPiv = d
+			if d < rho {
+				in = append(in, it)
+				if d >= rho-eps {
+					winIn = append(winIn, it)
+				}
+			} else {
+				out = append(out, it)
+				if d <= rho+eps {
+					winOut = append(winOut, it)
+				}
+			}
+		}
+		return
+	}
+	aIn, aOut, aWinIn, aWinOut := part(A)
+	bIn, bOut, bWinIn, bWinOut := part(B)
+	if (len(aIn)+len(bIn) == 0) || (len(aOut)+len(bOut) == 0) {
+		qj.nestedCross(A, B, eps, emit)
+		return
+	}
+	qj.joinWin(aIn, bIn, eps, depth+1, emit)
+	qj.joinWin(aOut, bOut, eps, depth+1, emit)
+	qj.joinWin(aWinIn, bWinOut, eps, depth+1, emit)
+	qj.joinWin(aWinOut, bWinIn, eps, depth+1, emit)
+}
+
+// nested joins all pairs within items, filtering with the cached pivot
+// distances (the "improved" part of improved Quickjoin).
+func (qj *Quickjoin) nested(items []item, eps float64, emit func(a, b item, d float64)) {
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			a, b := items[i], items[j]
+			if diff := a.dPiv - b.dPiv; diff > eps || -diff > eps {
+				continue // triangle-inequality filter, no computation
+			}
+			if d := qj.Dist.Distance(a.obj, b.obj); d <= eps {
+				emit(a, b, d)
+			}
+		}
+	}
+}
+
+// nestedCross joins pairs across A×B with the same filter.
+func (qj *Quickjoin) nestedCross(A, B []item, eps float64, emit func(a, b item, d float64)) {
+	for _, a := range A {
+		for _, b := range B {
+			if diff := a.dPiv - b.dPiv; diff > eps || -diff > eps {
+				continue
+			}
+			if d := qj.Dist.Distance(a.obj, b.obj); d <= eps {
+				emit(a, b, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package metric
+
+import (
+	"testing"
+)
+
+// FuzzLevenshtein cross-checks the two-row DP against the full-matrix
+// reference and the metric axioms on arbitrary byte strings.
+func FuzzLevenshtein(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "abc")
+	f.Add("same", "same")
+	f.Add("a\x00b", "\xffxyz")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 64 || len(b) > 64 {
+			return // keep the quadratic reference cheap
+		}
+		got := Levenshtein(a, b)
+		want := naiveLevenshtein(a, b)
+		if got != want {
+			t.Fatalf("Levenshtein(%q, %q) = %d, want %d", a, b, got, want)
+		}
+		if sym := Levenshtein(b, a); sym != got {
+			t.Fatalf("asymmetric: %d vs %d", got, sym)
+		}
+		if (got == 0) != (a == b) {
+			t.Fatalf("identity violated for %q, %q", a, b)
+		}
+		// Bounds: |len(a)-len(b)| <= d <= max(len(a), len(b)).
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		if got < lo || got > hi {
+			t.Fatalf("distance %d outside [%d, %d]", got, lo, hi)
+		}
+	})
+}
+
+// FuzzCodecsNoPanic feeds arbitrary payloads to every codec: errors are
+// fine, panics are not, and successful decodes must re-encode to the same
+// bytes.
+func FuzzCodecsNoPanic(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Add([]byte("ACGTACGT"), uint8(2))
+	f.Add(make([]byte, 64), uint8(3))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, which uint8) {
+		codecs := []Codec{
+			VectorCodec{Dim: 3},
+			StrCodec{},
+			BitStringCodec{Bytes: 8},
+			SeqCodec{},
+			SetCodec{},
+		}
+		c := codecs[int(which)%len(codecs)]
+		obj, err := c.Decode(42, data)
+		if err != nil {
+			return
+		}
+		if obj.ID() != 42 {
+			t.Fatalf("decoded id %d", obj.ID())
+		}
+		round := obj.AppendBinary(nil)
+		if string(round) != string(data) {
+			// Sets normalize (sort/dedup); re-decoding the normalized form
+			// must then be stable.
+			round2, err := c.Decode(42, round)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if string(round2.AppendBinary(nil)) != string(round) {
+				t.Fatal("encoding not idempotent")
+			}
+		}
+	})
+}

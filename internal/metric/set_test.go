@@ -1,0 +1,80 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJaccardKnownValues(t *testing.T) {
+	a := NewSet(1, []uint64{1, 2, 3, 4})
+	b := NewSet(2, []uint64{3, 4, 5, 6})
+	d := Jaccard{}
+	if got, want := d.Distance(a, b), 1-2.0/6.0; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+	if got := d.Distance(a, a); got != 0 {
+		t.Errorf("Jaccard(x,x) = %v", got)
+	}
+	disjoint := NewSet(3, []uint64{9, 10})
+	if got := d.Distance(a, disjoint); got != 1 {
+		t.Errorf("disjoint Jaccard = %v, want 1", got)
+	}
+	empty := NewSet(4, nil)
+	if got := d.Distance(empty, empty); got != 0 {
+		t.Errorf("Jaccard(∅,∅) = %v", got)
+	}
+	if got := d.Distance(a, empty); got != 1 {
+		t.Errorf("Jaccard(x,∅) = %v, want 1", got)
+	}
+}
+
+func TestNewSetSortsAndDedups(t *testing.T) {
+	s := NewSet(1, []uint64{5, 1, 5, 3, 1})
+	if len(s.Elems) != 3 || s.Elems[0] != 1 || s.Elems[1] != 3 || s.Elems[2] != 5 {
+		t.Errorf("Elems = %v", s.Elems)
+	}
+}
+
+func TestJaccardTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := Jaccard{}
+	randSet := func() *Set {
+		n := 1 + rng.Intn(12)
+		e := make([]uint64, n)
+		for i := range e {
+			e[i] = uint64(rng.Intn(20))
+		}
+		return NewSet(uint64(rng.Int63()), e)
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randSet(), randSet(), randSet()
+		metricAxioms(t, d, a, b, c, func(x, y Object) bool {
+			xs, ys := x.(*Set), y.(*Set)
+			if len(xs.Elems) != len(ys.Elems) {
+				return false
+			}
+			for i := range xs.Elems {
+				if xs.Elems[i] != ys.Elems[i] {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestSetCodecRoundTrip(t *testing.T) {
+	s := NewSet(9, []uint64{7, 3, 99, 1 << 40})
+	got, err := (SetCodec{}).Decode(9, s.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.(*Set)
+	if len(gs.Elems) != 4 || gs.Elems[3] != 1<<40 {
+		t.Errorf("round trip: %v", gs.Elems)
+	}
+	if _, err := (SetCodec{}).Decode(1, []byte{1, 2, 3}); err == nil {
+		t.Error("ragged payload accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Stats summarizes the pairwise distance distribution of a dataset sample.
+type Stats struct {
+	// Mean and Variance of sampled pairwise distances.
+	Mean, Variance float64
+	// Max is the largest sampled pairwise distance (an empirical d+).
+	Max float64
+	// IntrinsicDim is ρ = μ² / (2σ²), the intrinsic dimensionality estimator
+	// of Chávez et al. used in Section 3.2 of the paper.
+	IntrinsicDim float64
+	// Pairs is the number of sampled pairs.
+	Pairs int
+}
+
+// SampleStats estimates distance-distribution statistics from up to pairs
+// random object pairs drawn with the given source. A nil rng falls back to a
+// fixed seed so results are reproducible.
+func SampleStats(objs []Object, d DistanceFunc, pairs int, rng *rand.Rand) Stats {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var s Stats
+	if len(objs) < 2 || pairs <= 0 {
+		return s
+	}
+	var sum, sumSq float64
+	for i := 0; i < pairs; i++ {
+		a := objs[rng.Intn(len(objs))]
+		b := objs[rng.Intn(len(objs))]
+		for b == a {
+			b = objs[rng.Intn(len(objs))]
+		}
+		v := d.Distance(a, b)
+		sum += v
+		sumSq += v * v
+		if v > s.Max {
+			s.Max = v
+		}
+		s.Pairs++
+	}
+	n := float64(s.Pairs)
+	s.Mean = sum / n
+	s.Variance = sumSq/n - s.Mean*s.Mean
+	if s.Variance < 0 {
+		s.Variance = 0
+	}
+	if s.Variance > 0 {
+		s.IntrinsicDim = s.Mean * s.Mean / (2 * s.Variance)
+	} else {
+		s.IntrinsicDim = math.Inf(1)
+	}
+	return s
+}
+
+// IntrinsicDimensionality is a convenience wrapper returning only ρ.
+func IntrinsicDimensionality(objs []Object, d DistanceFunc, pairs int, rng *rand.Rand) float64 {
+	return SampleStats(objs, d, pairs, rng).IntrinsicDim
+}

@@ -1,0 +1,107 @@
+package metric
+
+import "fmt"
+
+// Str is a string object, used for the Words workload under edit distance.
+type Str struct {
+	Id uint64
+	S  string
+}
+
+// NewStr returns a string object.
+func NewStr(id uint64, s string) *Str { return &Str{Id: id, S: s} }
+
+// ID returns the object identifier.
+func (s *Str) ID() uint64 { return s.Id }
+
+// AppendBinary appends the raw string bytes.
+func (s *Str) AppendBinary(dst []byte) []byte { return append(dst, s.S...) }
+
+// String implements fmt.Stringer.
+func (s *Str) String() string { return fmt.Sprintf("Str(%d, %q)", s.Id, s.S) }
+
+// StrCodec decodes Str payloads.
+type StrCodec struct{}
+
+// Decode implements Codec.
+func (StrCodec) Decode(id uint64, data []byte) (Object, error) {
+	return &Str{Id: id, S: string(data)}, nil
+}
+
+// EditDistance is the Levenshtein distance over byte strings. Distances are
+// integers, so the space is discrete and indexed with δ = 1.
+type EditDistance struct {
+	// MaxLen is the maximum string length in the dataset; d+ = MaxLen
+	// (transforming a string into an unrelated one of maximal length costs
+	// at most MaxLen operations when the shorter can be empty).
+	MaxLen int
+}
+
+// Distance implements DistanceFunc using the two-row dynamic program.
+func (e EditDistance) Distance(a, b Object) float64 {
+	sa, ok := a.(*Str)
+	if !ok {
+		panic(badType("EditDistance", "*Str", a))
+	}
+	sb, ok := b.(*Str)
+	if !ok {
+		panic(badType("EditDistance", "*Str", b))
+	}
+	return float64(Levenshtein(sa.S, sb.S))
+}
+
+// MaxDistance returns d+ = MaxLen.
+func (e EditDistance) MaxDistance() float64 { return float64(e.MaxLen) }
+
+// Discrete reports true: edit distances are integers.
+func (e EditDistance) Discrete() bool { return true }
+
+// Name implements DistanceFunc.
+func (e EditDistance) Name() string { return "edit" }
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insertion, deletion and substitution).
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	// Keep the shorter string as the DP row to bound memory.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// row[j] holds the distance between a[:i] and b[:j] for the current i.
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[j-1] of the previous iteration (diagonal)
+		row[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cur := row[j]
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost
+			if d := row[j] + 1; d < best { // deletion
+				best = d
+			}
+			if d := row[j-1] + 1; d < best { // insertion
+				best = d
+			}
+			row[j] = best
+			prev = cur
+		}
+	}
+	return row[len(b)]
+}
+
+var (
+	_ DistanceFunc = EditDistance{}
+	_ Codec        = StrCodec{}
+)

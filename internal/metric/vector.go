@@ -1,0 +1,167 @@
+package metric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Vector is a fixed-dimension real-valued object. It backs the Color
+// (16-d, L5-norm) and Synthetic (20-d, L2-norm) workloads of the paper.
+type Vector struct {
+	Id     uint64
+	Coords []float64
+}
+
+// NewVector returns a vector object with the given id and coordinates.
+func NewVector(id uint64, coords []float64) *Vector {
+	return &Vector{Id: id, Coords: coords}
+}
+
+// ID returns the object identifier.
+func (v *Vector) ID() uint64 { return v.Id }
+
+// AppendBinary appends the coordinates as little-endian float64 bits.
+func (v *Vector) AppendBinary(dst []byte) []byte {
+	for _, c := range v.Coords {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(c))
+	}
+	return dst
+}
+
+// String implements fmt.Stringer.
+func (v *Vector) String() string {
+	return fmt.Sprintf("Vector(%d, dim=%d)", v.Id, len(v.Coords))
+}
+
+// VectorCodec decodes Vector payloads of a known dimensionality.
+type VectorCodec struct {
+	// Dim is the expected number of coordinates per vector.
+	Dim int
+}
+
+// Decode implements Codec.
+func (c VectorCodec) Decode(id uint64, data []byte) (Object, error) {
+	if len(data) != 8*c.Dim {
+		return nil, fmt.Errorf("metric: vector payload is %d bytes, want %d (dim %d)", len(data), 8*c.Dim, c.Dim)
+	}
+	coords := make([]float64, c.Dim)
+	for i := range coords {
+		coords[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return &Vector{Id: id, Coords: coords}, nil
+}
+
+// LpNorm is the Minkowski distance of order P over vectors whose coordinates
+// lie in [0, Scale]. P must be >= 1 for the triangle inequality to hold.
+// The paper uses L5 for the Color dataset and L2 for the Synthetic dataset.
+type LpNorm struct {
+	// P is the Minkowski order (>= 1).
+	P float64
+	// Dim is the vector dimensionality, used to derive d+.
+	Dim int
+	// Scale is the per-coordinate domain width (coordinates in [0, Scale]).
+	Scale float64
+}
+
+// L2 returns the Euclidean distance over dim-dimensional unit-cube vectors.
+func L2(dim int) LpNorm { return LpNorm{P: 2, Dim: dim, Scale: 1} }
+
+// L5 returns the Minkowski-5 distance over dim-dimensional unit-cube vectors.
+func L5(dim int) LpNorm { return LpNorm{P: 5, Dim: dim, Scale: 1} }
+
+// Distance implements DistanceFunc.
+func (l LpNorm) Distance(a, b Object) float64 {
+	va, ok := a.(*Vector)
+	if !ok {
+		panic(badType("LpNorm", "*Vector", a))
+	}
+	vb, ok := b.(*Vector)
+	if !ok {
+		panic(badType("LpNorm", "*Vector", b))
+	}
+	if len(va.Coords) != len(vb.Coords) {
+		panic(fmt.Sprintf("metric: LpNorm on vectors of dim %d and %d", len(va.Coords), len(vb.Coords)))
+	}
+	switch l.P {
+	case 2:
+		var s float64
+		for i, c := range va.Coords {
+			d := c - vb.Coords[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	case 1:
+		var s float64
+		for i, c := range va.Coords {
+			s += math.Abs(c - vb.Coords[i])
+		}
+		return s
+	default:
+		var s float64
+		for i, c := range va.Coords {
+			s += math.Pow(math.Abs(c-vb.Coords[i]), l.P)
+		}
+		return math.Pow(s, 1/l.P)
+	}
+}
+
+// MaxDistance returns d+ = Scale * Dim^(1/P), the diameter of the cube.
+func (l LpNorm) MaxDistance() float64 {
+	return l.Scale * math.Pow(float64(l.Dim), 1/l.P)
+}
+
+// Discrete reports false: Lp distances are real-valued.
+func (l LpNorm) Discrete() bool { return false }
+
+// Name implements DistanceFunc.
+func (l LpNorm) Name() string {
+	if l.P == math.Trunc(l.P) {
+		return fmt.Sprintf("L%d", int(l.P))
+	}
+	return fmt.Sprintf("L%g", l.P)
+}
+
+// LInf is the Chebyshev (L∞) distance over vectors. It is the distance D(·)
+// of the mapped pivot space (Section 3.1 of the paper) and is also available
+// as a plain metric.
+type LInf struct {
+	// Dim is the vector dimensionality.
+	Dim int
+	// Scale is the per-coordinate domain width.
+	Scale float64
+}
+
+// Distance implements DistanceFunc.
+func (l LInf) Distance(a, b Object) float64 {
+	va, ok := a.(*Vector)
+	if !ok {
+		panic(badType("LInf", "*Vector", a))
+	}
+	vb, ok := b.(*Vector)
+	if !ok {
+		panic(badType("LInf", "*Vector", b))
+	}
+	var m float64
+	for i, c := range va.Coords {
+		if d := math.Abs(c - vb.Coords[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxDistance returns the cube's L∞ diameter, Scale.
+func (l LInf) MaxDistance() float64 { return l.Scale }
+
+// Discrete reports false.
+func (l LInf) Discrete() bool { return false }
+
+// Name implements DistanceFunc.
+func (l LInf) Name() string { return "Linf" }
+
+var (
+	_ DistanceFunc = LpNorm{}
+	_ DistanceFunc = LInf{}
+	_ Codec        = VectorCodec{}
+)

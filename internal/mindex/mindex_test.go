@@ -1,0 +1,202 @@
+package mindex
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spbtree/internal/metric"
+)
+
+func vectors(n, dim int, seed int64) []metric.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		coords := make([]float64, dim)
+		for j := range coords {
+			coords[j] = rng.Float64()
+		}
+		objs[i] = metric.NewVector(uint64(i), coords)
+	}
+	return objs
+}
+
+func bfRange(objs []metric.Object, q metric.Object, r float64, d metric.DistanceFunc) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, o := range objs {
+		if d.Distance(q, o) <= r {
+			out[o.ID()] = true
+		}
+	}
+	return out
+}
+
+func bfKNN(objs []metric.Object, q metric.Object, k int, d metric.DistanceFunc) []float64 {
+	ds := make([]float64, len(objs))
+	for i, o := range objs {
+		ds[i] = d.Distance(q, o)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	objs := vectors(700, 6, 1)
+	dist := metric.L2(6)
+	tr, err := Build(objs, Options{Distance: dist, Codec: metric.VectorCodec{Dim: 6}, NumPivots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		q := objs[rng.Intn(len(objs))]
+		r := 0.1 + 0.3*rng.Float64()
+		got, err := tr.RangeQuery(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bfRange(objs, q, r, dist)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (r=%v): got %d, want %d", trial, r, len(got), len(want))
+		}
+		for _, res := range got {
+			if !want[res.Object.ID()] {
+				t.Fatalf("spurious result %d", res.Object.ID())
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	objs := vectors(500, 5, 3)
+	dist := metric.L2(5)
+	tr, err := Build(objs, Options{Distance: dist, Codec: metric.VectorCodec{Dim: 5}, NumPivots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, k := range []int{1, 8, 32} {
+		for trial := 0; trial < 6; trial++ {
+			q := objs[rng.Intn(len(objs))]
+			got, err := tr.KNN(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bfKNN(objs, q, k, dist)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+					t.Fatalf("k=%d dist[%d] = %v, want %v", k, i, got[i].Dist, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEditDistanceWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	syl := []string{"an", "ber", "co", "du", "el", "fi", "gor", "hu"}
+	objs := make([]metric.Object, 400)
+	for i := range objs {
+		var w string
+		for k := 0; k < 2+rng.Intn(3); k++ {
+			w += syl[rng.Intn(len(syl))]
+		}
+		objs[i] = metric.NewStr(uint64(i), w)
+	}
+	dist := metric.EditDistance{MaxLen: 12}
+	tr, err := Build(objs, Options{Distance: dist, Codec: metric.StrCodec{}, NumPivots: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{1, 2, 4} {
+		got, err := tr.RangeQuery(objs[3], r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bfRange(objs, objs[3], r, dist)
+		if len(got) != len(want) {
+			t.Fatalf("r=%v: got %d, want %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestInsertThenQuery(t *testing.T) {
+	objs := vectors(300, 4, 6)
+	dist := metric.L2(4)
+	tr, err := Build(objs[:200], Options{Distance: dist, Codec: metric.VectorCodec{Dim: 4}, NumPivots: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs[200:] {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tr.RangeQuery(objs[0], 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bfRange(objs, objs[0], 0.3, dist)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestPivotFilteringKeepsCompdistsLow(t *testing.T) {
+	objs := vectors(2000, 8, 7)
+	dist := metric.L2(8)
+	tr, err := Build(objs, Options{Distance: dist, Codec: metric.VectorCodec{Dim: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetStats()
+	if _, err := tr.RangeQuery(objs[0], 0.2); err != nil {
+		t.Fatal(err)
+	}
+	pa, cd := tr.TakeStats()
+	if cd >= int64(len(objs))/2 {
+		t.Errorf("compdists %d: pivot filtering ineffective", cd)
+	}
+	if pa == 0 {
+		t.Error("no page accesses counted")
+	}
+}
+
+func TestStorageIncludesDistanceVectors(t *testing.T) {
+	objs := vectors(1000, 4, 8)
+	tr, err := Build(objs, Options{Distance: metric.L2(4), Codec: metric.VectorCodec{Dim: 4}, NumPivots: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each record carries 20 pivot distances (160 B) on top of a 32 B
+	// vector: the data file alone must exceed 160 KB.
+	if tr.StorageBytes() < 190_000 {
+		t.Errorf("StorageBytes = %d, expected the distance-vector overhead", tr.StorageBytes())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(nil, Options{Distance: metric.L2(2), Codec: metric.VectorCodec{Dim: 2}}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Build(vectors(5, 2, 1), Options{}); err == nil {
+		t.Error("missing options accepted")
+	}
+	tr, err := Build(vectors(50, 2, 1), Options{Distance: metric.L2(2), Codec: metric.VectorCodec{Dim: 2}, NumPivots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tr.RangeQuery(vectors(1, 2, 9)[0], -1); err != nil || res != nil {
+		t.Errorf("negative radius: %v %v", res, err)
+	}
+	if res, err := tr.KNN(vectors(1, 2, 9)[0], 0); err != nil || res != nil {
+		t.Errorf("k=0: %v %v", res, err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package mtree implements the M-tree of Ciaccia, Patella and Zezula — the
+// classic compact-partitioning metric access method and the first baseline
+// of the paper's evaluation (Tables 6-7, Figs. 12-13).
+//
+// An M-tree node holds routing entries ⟨routing object, covering radius,
+// distance to parent, child⟩; leaves hold ⟨object, distance to parent⟩.
+// Objects are stored inline in the nodes (unlike the SPB-tree's separate
+// RAF), which is exactly why its storage footprint and construction I/O are
+// larger. Distances to parents enable the standard pruning
+// |d(q, parent) − d(parent, o)| > r + r_cov without extra computations.
+package mtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+)
+
+// Options configures an M-tree.
+type Options struct {
+	// Distance is the metric; required.
+	Distance metric.DistanceFunc
+	// Codec decodes objects from node pages; required.
+	Codec metric.Codec
+	// Store backs the tree; nil selects a fresh in-memory store.
+	Store page.Store
+	// CacheSize is the buffer-cache capacity in pages (default 32; negative
+	// disables).
+	CacheSize int
+	// MinFanout splits aim for at least this many entries per node when the
+	// byte budget allows; 0 means 4.
+	MinFanout int
+	// Seed seeds bulk-load sampling; 0 means 1.
+	Seed int64
+}
+
+// Tree is a disk-based M-tree.
+type Tree struct {
+	dist  *metric.Counter
+	codec metric.Codec
+	store *page.Cache
+	rng   *rand.Rand
+
+	rootPage page.ID
+	hasRoot  bool
+	count    int
+	height   int
+	minFan   int
+}
+
+// entry is the in-memory node entry form. Leaf entries have child == none;
+// routing entries carry the covering radius and subtree page.
+type entry struct {
+	obj     metric.Object
+	objLen  int // cached serialized payload length
+	dParent float64
+	radius  float64
+	child   page.ID
+	isLeaf  bool
+}
+
+type node struct {
+	page    page.ID
+	leaf    bool
+	entries []entry
+}
+
+const noPage = ^page.ID(0)
+
+// New creates an empty M-tree.
+func New(opts Options) (*Tree, error) {
+	if opts.Distance == nil || opts.Codec == nil {
+		return nil, fmt.Errorf("mtree: Distance and Codec are required")
+	}
+	store := opts.Store
+	if store == nil {
+		store = page.NewMemStore()
+	}
+	cs := opts.CacheSize
+	if cs == 0 {
+		cs = 32
+	}
+	if cs < 0 {
+		cs = 0
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	minFan := opts.MinFanout
+	if minFan == 0 {
+		minFan = 4
+	}
+	return &Tree{
+		dist:     metric.NewCounter(opts.Distance),
+		codec:    opts.Codec,
+		store:    page.NewCache(store, cs),
+		rng:      rand.New(rand.NewSource(seed)),
+		rootPage: noPage,
+		minFan:   minFan,
+	}, nil
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// ResetStats zeroes I/O and distance counters and flushes the cache.
+func (t *Tree) ResetStats() {
+	t.store.Stats().Reset()
+	t.dist.Reset()
+	t.store.Flush()
+}
+
+// TakeStats reads (page accesses, distance computations) since the reset.
+func (t *Tree) TakeStats() (pa, compdists int64) {
+	return t.store.Stats().Accesses(), t.dist.Count()
+}
+
+// StorageBytes returns the tree's page footprint.
+func (t *Tree) StorageBytes() int64 {
+	return int64(t.store.NumPages()) * page.Size
+}
+
+// --- queries ---------------------------------------------------------------
+
+// Result is one search answer.
+type Result struct {
+	Object metric.Object
+	Dist   float64
+}
+
+// RangeQuery returns every object within distance r of q.
+func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
+	if !t.hasRoot || r < 0 {
+		return nil, nil
+	}
+	var out []Result
+	err := t.rangeSearch(t.rootPage, q, r, 0, true, &out)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.ID() < out[j].Object.ID() })
+	return out, nil
+}
+
+// rangeSearch descends the subtree. dQParent is d(q, parent routing object),
+// valid unless atRoot.
+func (t *Tree) rangeSearch(pg page.ID, q metric.Object, r float64, dQParent float64, atRoot bool, out *[]Result) error {
+	n, err := t.readNode(pg)
+	if err != nil {
+		return err
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		// Parent-distance pruning: |d(q,parent) − d(parent,e)| lower-bounds
+		// d(q, e.obj).
+		if !atRoot && math.Abs(dQParent-e.dParent) > r+e.radius {
+			continue
+		}
+		d := t.dist.Distance(q, e.obj)
+		if n.leaf {
+			if d <= r {
+				*out = append(*out, Result{Object: e.obj, Dist: d})
+			}
+			continue
+		}
+		if d <= r+e.radius {
+			if err := t.rangeSearch(e.child, q, r, d, false, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// KNN returns the k nearest neighbors of q.
+func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
+	if !t.hasRoot || k <= 0 {
+		return nil, nil
+	}
+	res := &topK{k: k}
+	pq := &pqueue{}
+	heap.Push(pq, pqItem{dmin: 0, page: t.rootPage, atRoot: true})
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pqItem)
+		if item.dmin >= res.bound() {
+			break
+		}
+		n, err := t.readNode(item.page)
+		if err != nil {
+			return nil, err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if !item.atRoot && math.Abs(item.dParent-e.dParent)-e.radius >= res.bound() {
+				continue
+			}
+			d := t.dist.Distance(q, e.obj)
+			if n.leaf {
+				res.offer(Result{Object: e.obj, Dist: d})
+				continue
+			}
+			if dmin := math.Max(0, d-e.radius); dmin < res.bound() {
+				heap.Push(pq, pqItem{dmin: dmin, page: e.child, dParent: d})
+			}
+		}
+	}
+	out := res.items
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Object.ID() < out[j].Object.ID()
+	})
+	return out, nil
+}
+
+type pqItem struct {
+	dmin    float64
+	page    page.ID
+	dParent float64
+	atRoot  bool
+}
+
+type pqueue []pqItem
+
+func (h pqueue) Len() int            { return len(h) }
+func (h pqueue) Less(i, j int) bool  { return h[i].dmin < h[j].dmin }
+func (h pqueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pqueue) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pqueue) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// topK is a bounded max-heap of the best candidates.
+type topK struct {
+	k     int
+	items []Result
+}
+
+func (r *topK) bound() float64 {
+	if len(r.items) < r.k {
+		return math.Inf(1)
+	}
+	return r.items[0].Dist
+}
+
+func (r *topK) offer(x Result) {
+	if len(r.items) < r.k {
+		r.items = append(r.items, x)
+		i := len(r.items) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if r.items[p].Dist >= r.items[i].Dist {
+				break
+			}
+			r.items[p], r.items[i] = r.items[i], r.items[p]
+			i = p
+		}
+		return
+	}
+	if x.Dist >= r.items[0].Dist {
+		return
+	}
+	r.items[0] = x
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		big := i
+		if l < len(r.items) && r.items[l].Dist > r.items[big].Dist {
+			big = l
+		}
+		if rr < len(r.items) && r.items[rr].Dist > r.items[big].Dist {
+			big = rr
+		}
+		if big == i {
+			break
+		}
+		r.items[i], r.items[big] = r.items[big], r.items[i]
+		i = big
+	}
+}

@@ -1,0 +1,285 @@
+package mtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+)
+
+func vectors(n, dim int, seed int64) []metric.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		coords := make([]float64, dim)
+		for j := range coords {
+			coords[j] = rng.Float64()
+		}
+		objs[i] = metric.NewVector(uint64(i), coords)
+	}
+	return objs
+}
+
+func words(n int, seed int64) []metric.Object {
+	rng := rand.New(rand.NewSource(seed))
+	syl := []string{"an", "ber", "co", "du", "el", "fi", "gor", "hu", "in", "jo"}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		var w string
+		for k := 0; k < 2+rng.Intn(4); k++ {
+			w += syl[rng.Intn(len(syl))]
+		}
+		objs[i] = metric.NewStr(uint64(i), w)
+	}
+	return objs
+}
+
+func bfRange(objs []metric.Object, q metric.Object, r float64, d metric.DistanceFunc) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, o := range objs {
+		if d.Distance(q, o) <= r {
+			out[o.ID()] = true
+		}
+	}
+	return out
+}
+
+func bfKNN(objs []metric.Object, q metric.Object, k int, d metric.DistanceFunc) []float64 {
+	ds := make([]float64, len(objs))
+	for i, o := range objs {
+		ds[i] = d.Distance(q, o)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func buildBulk(t *testing.T, objs []metric.Object, dist metric.DistanceFunc, codec metric.Codec) *Tree {
+	t.Helper()
+	tr, err := New(Options{Distance: dist, Codec: codec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(objs); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBulkLoadRangeMatchesBruteForce(t *testing.T) {
+	objs := vectors(800, 6, 1)
+	dist := metric.L2(6)
+	tr := buildBulk(t, objs, dist, metric.VectorCodec{Dim: 6})
+	if tr.Len() != 800 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		q := objs[rng.Intn(len(objs))]
+		r := 0.1 + 0.3*rng.Float64()
+		got, err := tr.RangeQuery(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bfRange(objs, q, r, dist)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (r=%v): got %d, want %d", trial, r, len(got), len(want))
+		}
+		for _, res := range got {
+			if !want[res.Object.ID()] {
+				t.Fatalf("spurious result %d", res.Object.ID())
+			}
+		}
+	}
+}
+
+func TestBulkLoadKNNMatchesBruteForce(t *testing.T) {
+	objs := vectors(600, 5, 3)
+	dist := metric.L2(5)
+	tr := buildBulk(t, objs, dist, metric.VectorCodec{Dim: 5})
+	rng := rand.New(rand.NewSource(4))
+	for _, k := range []int{1, 8, 32} {
+		for trial := 0; trial < 8; trial++ {
+			q := objs[rng.Intn(len(objs))]
+			got, err := tr.KNN(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bfKNN(objs, q, k, dist)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results", k, len(got))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+					t.Fatalf("k=%d dist[%d] = %v, want %v", k, i, got[i].Dist, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInsertOnlyTreeMatchesBruteForce(t *testing.T) {
+	objs := words(400, 5)
+	dist := metric.EditDistance{MaxLen: 24}
+	tr, err := New(Options{Distance: dist, Codec: metric.StrCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		q := objs[rng.Intn(len(objs))]
+		r := float64(1 + rng.Intn(3))
+		got, err := tr.RangeQuery(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bfRange(objs, q, r, dist)
+		if len(got) != len(want) {
+			t.Fatalf("r=%v: got %d, want %d", r, len(got), len(want))
+		}
+	}
+	// kNN on the insert-built tree too.
+	got, err := tr.KNN(objs[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bfKNN(objs, objs[0], 5, dist)
+	for i := range got {
+		if got[i].Dist != want[i] {
+			t.Fatalf("kNN dist[%d] = %v, want %v", i, got[i].Dist, want[i])
+		}
+	}
+}
+
+func TestMixedBulkThenInsert(t *testing.T) {
+	objs := vectors(500, 4, 7)
+	dist := metric.L2(4)
+	tr := buildBulk(t, objs[:300], dist, metric.VectorCodec{Dim: 4})
+	for _, o := range objs[300:] {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		q := objs[rng.Intn(len(objs))]
+		got, err := tr.RangeQuery(q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bfRange(objs, q, 0.3, dist)
+		if len(got) != len(want) {
+			t.Fatalf("got %d, want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestPruningSavesDistanceComputations(t *testing.T) {
+	objs := vectors(2000, 8, 9)
+	dist := metric.L2(8)
+	tr := buildBulk(t, objs, dist, metric.VectorCodec{Dim: 8})
+	tr.ResetStats()
+	if _, err := tr.KNN(objs[0], 4); err != nil {
+		t.Fatal(err)
+	}
+	_, cd := tr.TakeStats()
+	if cd >= int64(len(objs)) {
+		t.Errorf("kNN compdists %d >= |O|: no pruning", cd)
+	}
+	if cd == 0 {
+		t.Error("no distance computations counted")
+	}
+}
+
+func TestStatsAndStorage(t *testing.T) {
+	objs := vectors(300, 6, 10)
+	tr := buildBulk(t, objs, metric.L2(6), metric.VectorCodec{Dim: 6})
+	tr.ResetStats()
+	if _, err := tr.RangeQuery(objs[0], 0.2); err != nil {
+		t.Fatal(err)
+	}
+	pa, cd := tr.TakeStats()
+	if pa == 0 || cd == 0 {
+		t.Errorf("stats pa=%d cd=%d", pa, cd)
+	}
+	if tr.StorageBytes() < int64(300*6*8) {
+		t.Errorf("storage %d below raw payload", tr.StorageBytes())
+	}
+}
+
+func TestDegenerateDuplicates(t *testing.T) {
+	// Many identical objects must not break clustering or splits.
+	objs := make([]metric.Object, 300)
+	for i := range objs {
+		objs[i] = metric.NewVector(uint64(i), []float64{0.5, 0.5})
+	}
+	dist := metric.L2(2)
+	tr := buildBulk(t, objs, dist, metric.VectorCodec{Dim: 2})
+	got, err := tr.RangeQuery(objs[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("duplicates: got %d of 300", len(got))
+	}
+}
+
+func TestEmptyAndValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("missing options accepted")
+	}
+	tr, err := New(Options{Distance: metric.L2(2), Codec: metric.VectorCodec{Dim: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tr.RangeQuery(metric.NewVector(0, []float64{0, 0}), 1); err != nil || res != nil {
+		t.Errorf("query on empty tree: %v %v", res, err)
+	}
+	if err := tr.BulkLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(metric.NewVector(0, []float64{0, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(vectors(5, 2, 1)); err == nil {
+		t.Error("BulkLoad on non-empty tree accepted")
+	}
+}
+
+func TestFileStoreBacked(t *testing.T) {
+	fs, err := page.NewTempFileStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	objs := vectors(400, 4, 11)
+	dist := metric.L2(4)
+	tr, err := New(Options{Distance: dist, Codec: metric.VectorCodec{Dim: 4}, Store: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(objs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.RangeQuery(objs[0], 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bfRange(objs, objs[0], 0.25, dist)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}

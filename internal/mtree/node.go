@@ -1,0 +1,122 @@
+package mtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spbtree/internal/page"
+)
+
+// On-disk node layout:
+//
+//	byte 0    flags: bit 0 = leaf
+//	bytes 1-2 entry count
+//	bytes 3-7 reserved
+//	entries   id u64 | objLen u32 | obj bytes | dParent f64
+//	          [+ radius f64 + child u32 for routing entries]
+const nodeHeader = 8
+
+func leafEntryBytes(objLen int) int    { return 8 + 4 + objLen + 8 }
+func routingEntryBytes(objLen int) int { return 8 + 4 + objLen + 8 + 8 + 4 }
+
+func (e *entry) bytes() int {
+	if e.isLeaf {
+		return leafEntryBytes(e.objLen)
+	}
+	return routingEntryBytes(e.objLen)
+}
+
+func nodeBytes(entries []entry) int {
+	n := nodeHeader
+	for i := range entries {
+		n += entries[i].bytes()
+	}
+	return n
+}
+
+func (t *Tree) writeNode(n *node) error {
+	var buf [page.Size]byte
+	if n.leaf {
+		buf[0] = 1
+	}
+	if len(n.entries) > 0xFFFF {
+		return fmt.Errorf("mtree: node %d entry count %d overflow", n.page, len(n.entries))
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	off := nodeHeader
+	for i := range n.entries {
+		e := &n.entries[i]
+		payload := e.obj.AppendBinary(nil)
+		need := e.bytes()
+		if off+need > page.Size {
+			return fmt.Errorf("mtree: node %d overflows page (%d bytes)", n.page, off+need)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], e.obj.ID())
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(payload)))
+		copy(buf[off+12:], payload)
+		p := off + 12 + len(payload)
+		binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(e.dParent))
+		p += 8
+		if !n.leaf {
+			binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(e.radius))
+			binary.LittleEndian.PutUint32(buf[p+8:], uint32(e.child))
+			p += 12
+		}
+		off = p
+	}
+	if err := t.store.Write(n.page, buf[:]); err != nil {
+		return fmt.Errorf("mtree: write node: %w", err)
+	}
+	return nil
+}
+
+func (t *Tree) readNode(pg page.ID) (*node, error) {
+	var buf [page.Size]byte
+	if err := t.store.Read(pg, buf[:]); err != nil {
+		return nil, fmt.Errorf("mtree: read node: %w", err)
+	}
+	n := &node{page: pg, leaf: buf[0]&1 != 0}
+	cnt := int(binary.LittleEndian.Uint16(buf[1:3]))
+	n.entries = make([]entry, cnt)
+	off := nodeHeader
+	for i := 0; i < cnt; i++ {
+		if off+12 > page.Size {
+			return nil, fmt.Errorf("mtree: corrupt node %d", pg)
+		}
+		id := binary.LittleEndian.Uint64(buf[off:])
+		objLen := int(binary.LittleEndian.Uint32(buf[off+8:]))
+		if objLen < 0 || off+12+objLen+8 > page.Size {
+			return nil, fmt.Errorf("mtree: corrupt node %d: objLen %d", pg, objLen)
+		}
+		obj, err := t.codec.Decode(id, buf[off+12:off+12+objLen])
+		if err != nil {
+			return nil, fmt.Errorf("mtree: node %d entry %d: %w", pg, i, err)
+		}
+		e := &n.entries[i]
+		e.obj = obj
+		e.objLen = objLen
+		e.isLeaf = n.leaf
+		p := off + 12 + objLen
+		e.dParent = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+		p += 8
+		if !n.leaf {
+			if p+12 > page.Size {
+				return nil, fmt.Errorf("mtree: corrupt routing entry in node %d", pg)
+			}
+			e.radius = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+			e.child = page.ID(binary.LittleEndian.Uint32(buf[p+8:]))
+			p += 12
+		}
+		off = p
+	}
+	return n, nil
+}
+
+func (t *Tree) allocNode(leaf bool) (*node, error) {
+	pg, err := t.store.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("mtree: alloc: %w", err)
+	}
+	return &node{page: pg, leaf: leaf}, nil
+}

@@ -1,0 +1,178 @@
+package omni
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spbtree/internal/metric"
+)
+
+func vectors(n, dim int, seed int64) []metric.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		coords := make([]float64, dim)
+		for j := range coords {
+			coords[j] = rng.Float64()
+		}
+		objs[i] = metric.NewVector(uint64(i), coords)
+	}
+	return objs
+}
+
+func bfRange(objs []metric.Object, q metric.Object, r float64, d metric.DistanceFunc) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, o := range objs {
+		if d.Distance(q, o) <= r {
+			out[o.ID()] = true
+		}
+	}
+	return out
+}
+
+func bfKNN(objs []metric.Object, q metric.Object, k int, d metric.DistanceFunc) []float64 {
+	ds := make([]float64, len(objs))
+	for i, o := range objs {
+		ds[i] = d.Distance(q, o)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	objs := vectors(700, 6, 1)
+	dist := metric.L2(6)
+	tr, err := Build(objs, Options{Distance: dist, Codec: metric.VectorCodec{Dim: 6}, NumFoci: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		q := objs[rng.Intn(len(objs))]
+		r := 0.1 + 0.3*rng.Float64()
+		got, err := tr.RangeQuery(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bfRange(objs, q, r, dist)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	objs := vectors(600, 5, 3)
+	dist := metric.L2(5)
+	tr, err := Build(objs, Options{Distance: dist, Codec: metric.VectorCodec{Dim: 5}, NumFoci: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, k := range []int{1, 8, 32} {
+		for trial := 0; trial < 8; trial++ {
+			q := objs[rng.Intn(len(objs))]
+			got, err := tr.KNN(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bfKNN(objs, q, k, dist)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d results", k, len(got))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+					t.Fatalf("k=%d dist[%d] = %v, want %v", k, i, got[i].Dist, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInsertThenQuery(t *testing.T) {
+	objs := vectors(400, 4, 5)
+	dist := metric.L2(4)
+	tr, err := Build(objs[:250], Options{Distance: dist, Codec: metric.VectorCodec{Dim: 4}, NumFoci: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs[250:] {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got, err := tr.RangeQuery(objs[0], 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bfRange(objs, objs[0], 0.3, dist)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestStringsMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	syl := []string{"an", "ber", "co", "du", "el", "fi"}
+	objs := make([]metric.Object, 300)
+	for i := range objs {
+		var w string
+		for k := 0; k < 2+rng.Intn(3); k++ {
+			w += syl[rng.Intn(len(syl))]
+		}
+		objs[i] = metric.NewStr(uint64(i), w)
+	}
+	dist := metric.EditDistance{MaxLen: 12}
+	tr, err := Build(objs, Options{Distance: dist, Codec: metric.StrCodec{}, NumFoci: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.RangeQuery(objs[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bfRange(objs, objs[0], 2, dist)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestStatsAndStorage(t *testing.T) {
+	objs := vectors(500, 6, 7)
+	dist := metric.L2(6)
+	tr, err := Build(objs, Options{Distance: dist, Codec: metric.VectorCodec{Dim: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ResetStats()
+	if _, err := tr.KNN(objs[0], 8); err != nil {
+		t.Fatal(err)
+	}
+	pa, cd := tr.TakeStats()
+	if pa == 0 || cd == 0 {
+		t.Errorf("stats pa=%d cd=%d", pa, cd)
+	}
+	if cd >= int64(len(objs)) {
+		t.Errorf("kNN compdists %d >= |O|: no pruning", cd)
+	}
+	if tr.StorageBytes() <= 0 {
+		t.Error("no storage reported")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(nil, Options{Distance: metric.L2(2), Codec: metric.VectorCodec{Dim: 2}}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Build(vectors(5, 2, 1), Options{}); err == nil {
+		t.Error("missing options accepted")
+	}
+}

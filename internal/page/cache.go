@@ -1,0 +1,132 @@
+package page
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a write-through LRU buffer cache layered over a Store. Reads that
+// hit the cache do not touch the underlying store and therefore do not count
+// toward its Stats — exactly the experimental setup of the paper's Fig. 10,
+// where the cache is flushed before each query and PA measures the misses.
+//
+// A capacity of zero disables caching: every access goes to the store.
+type Cache struct {
+	mu       sync.Mutex
+	store    Store
+	capacity int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	index    map[ID]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	id   ID
+	data [Size]byte
+}
+
+// NewCache wraps store with an LRU cache holding up to capacity pages.
+func NewCache(store Store, capacity int) *Cache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache{
+		store:    store,
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[ID]*list.Element, capacity),
+	}
+}
+
+// Read implements Store.
+func (c *Cache) Read(id ID, buf []byte) error {
+	if len(buf) != Size {
+		return errBufSize
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[id]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		copy(buf, el.Value.(*cacheEntry).data[:])
+		return nil
+	}
+	c.misses++
+	if err := c.store.Read(id, buf); err != nil {
+		return err
+	}
+	c.insertLocked(id, buf)
+	return nil
+}
+
+// Write implements Store: write-through, updating any cached copy.
+func (c *Cache) Write(id ID, buf []byte) error {
+	if len(buf) != Size {
+		return errBufSize
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.store.Write(id, buf); err != nil {
+		return err
+	}
+	if el, ok := c.index[id]; ok {
+		c.lru.MoveToFront(el)
+		copy(el.Value.(*cacheEntry).data[:], buf)
+	} else {
+		c.insertLocked(id, buf)
+	}
+	return nil
+}
+
+func (c *Cache) insertLocked(id ID, buf []byte) {
+	if c.capacity == 0 {
+		return
+	}
+	e := &cacheEntry{id: id}
+	copy(e.data[:], buf)
+	c.index[id] = c.lru.PushFront(e)
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		delete(c.index, back.Value.(*cacheEntry).id)
+		c.lru.Remove(back)
+	}
+}
+
+// Alloc implements Store.
+func (c *Cache) Alloc() (ID, error) { return c.store.Alloc() }
+
+// NumPages implements Store.
+func (c *Cache) NumPages() int { return c.store.NumPages() }
+
+// Stats implements Store, returning the underlying store's physical I/O
+// counters (cache hits are invisible to them).
+func (c *Cache) Stats() *Stats { return c.store.Stats() }
+
+// Close implements Store.
+func (c *Cache) Close() error { return c.store.Close() }
+
+// Flush empties the cache. The paper flushes the buffer before each of its
+// 500 measured queries so that PA reflects a cold start.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	clear(c.index)
+}
+
+// HitRate returns the fraction of reads served from the cache, and the
+// absolute hit/miss counts, since construction.
+func (c *Cache) HitRate() (rate float64, hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hits+c.misses == 0 {
+		return 0, 0, 0
+	}
+	return float64(c.hits) / float64(c.hits+c.misses), c.hits, c.misses
+}
+
+// Capacity returns the cache capacity in pages.
+func (c *Cache) Capacity() int { return c.capacity }
+
+var _ Store = (*Cache)(nil)

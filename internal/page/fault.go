@@ -1,0 +1,74 @@
+package page
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel returned by a FaultStore once its budget is
+// exhausted. Tests use errors.Is against it.
+var ErrInjected = errors.New("page: injected I/O fault")
+
+// FaultStore wraps a Store and fails every operation after a configurable
+// number of successful physical accesses. It exists for failure-injection
+// tests: every index must surface, not swallow, storage errors.
+type FaultStore struct {
+	inner Store
+	// budget is the number of operations allowed before failures begin.
+	budget atomic.Int64
+}
+
+// NewFaultStore wraps inner, allowing opsBeforeFailure successful operations.
+func NewFaultStore(inner Store, opsBeforeFailure int64) *FaultStore {
+	fs := &FaultStore{inner: inner}
+	fs.budget.Store(opsBeforeFailure)
+	return fs
+}
+
+// SetBudget resets the number of operations allowed before failures begin;
+// tests use it to let a structure build healthily and then fail mid-query.
+func (f *FaultStore) SetBudget(opsBeforeFailure int64) {
+	f.budget.Store(opsBeforeFailure)
+}
+
+func (f *FaultStore) take() error {
+	if f.budget.Add(-1) < 0 {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Read implements Store.
+func (f *FaultStore) Read(id ID, buf []byte) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.inner.Read(id, buf)
+}
+
+// Write implements Store.
+func (f *FaultStore) Write(id ID, buf []byte) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.inner.Write(id, buf)
+}
+
+// Alloc implements Store.
+func (f *FaultStore) Alloc() (ID, error) {
+	if err := f.take(); err != nil {
+		return 0, err
+	}
+	return f.inner.Alloc()
+}
+
+// NumPages implements Store.
+func (f *FaultStore) NumPages() int { return f.inner.NumPages() }
+
+// Stats implements Store.
+func (f *FaultStore) Stats() *Stats { return f.inner.Stats() }
+
+// Close implements Store.
+func (f *FaultStore) Close() error { return f.inner.Close() }
+
+var _ Store = (*FaultStore)(nil)

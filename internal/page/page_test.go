@@ -1,0 +1,354 @@
+package page
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewTempFileStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return map[string]Store{"mem": NewMemStore(), "file": fs}
+}
+
+func TestStoreReadWrite(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			id0, err := s.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			id1, err := s.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id0 == id1 {
+				t.Fatal("Alloc returned duplicate ids")
+			}
+			if s.NumPages() != 2 {
+				t.Fatalf("NumPages = %d", s.NumPages())
+			}
+
+			buf := make([]byte, Size)
+			// Fresh page reads as zeros.
+			if err := s.Read(id1, buf); err != nil {
+				t.Fatal(err)
+			}
+			for i, b := range buf {
+				if b != 0 {
+					t.Fatalf("fresh page byte %d = %d", i, b)
+				}
+			}
+
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			if err := s.Write(id0, buf); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, Size)
+			if err := s.Read(id0, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != byte(i) {
+					t.Fatalf("byte %d = %d, want %d", i, got[i], byte(i))
+				}
+			}
+
+			if s.Stats().Reads() == 0 || s.Stats().Writes() == 0 {
+				t.Errorf("stats not counting: %d reads %d writes", s.Stats().Reads(), s.Stats().Writes())
+			}
+			s.Stats().Reset()
+			if s.Stats().Accesses() != 0 {
+				t.Error("Reset did not zero stats")
+			}
+		})
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			buf := make([]byte, Size)
+			if err := s.Read(0, buf); !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("read unallocated: %v", err)
+			}
+			if err := s.Write(7, buf); !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("write unallocated: %v", err)
+			}
+			if err := s.Read(0, buf[:10]); err == nil {
+				t.Error("short buffer accepted")
+			}
+			if _, err := s.Alloc(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Write(0, buf[:Size-1]); err == nil {
+				t.Error("short write buffer accepted")
+			}
+		})
+	}
+}
+
+func TestCacheAbsorbsRepeatedReads(t *testing.T) {
+	mem := NewMemStore()
+	c := NewCache(mem, 4)
+	id, _ := c.Alloc()
+	buf := make([]byte, Size)
+	buf[0] = 0xAB
+	if err := c.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	mem.Stats().Reset()
+	for i := 0; i < 10; i++ {
+		if err := c.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != 0xAB {
+			t.Fatal("cache returned wrong data")
+		}
+	}
+	if got := mem.Stats().Reads(); got != 0 {
+		t.Errorf("cached reads caused %d physical reads", got)
+	}
+	c.Flush()
+	if err := c.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Stats().Reads(); got != 1 {
+		t.Errorf("post-flush read caused %d physical reads, want 1", got)
+	}
+	rate, hits, misses := c.HitRate()
+	if hits != 10 || misses != 1 || rate < 0.9 {
+		t.Errorf("hit accounting: rate=%v hits=%d misses=%d", rate, hits, misses)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	mem := NewMemStore()
+	c := NewCache(mem, 2)
+	buf := make([]byte, Size)
+	var ids []ID
+	for i := 0; i < 3; i++ {
+		id, _ := c.Alloc()
+		buf[0] = byte(i)
+		if err := c.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	mem.Stats().Reset()
+	// Page 0 was evicted by pages 1 and 2.
+	if err := c.Read(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatalf("read wrong page content %d", buf[0])
+	}
+	if mem.Stats().Reads() != 1 {
+		t.Errorf("evicted page read physically %d times, want 1", mem.Stats().Reads())
+	}
+	// Pages 2 should still be resident (0 evicted 1).
+	mem.Stats().Reset()
+	if err := c.Read(ids[2], buf); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Stats().Reads() != 0 {
+		t.Errorf("resident page missed cache")
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	mem := NewMemStore()
+	c := NewCache(mem, 0)
+	id, _ := c.Alloc()
+	buf := make([]byte, Size)
+	if err := c.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	mem.Stats().Reset()
+	for i := 0; i < 3; i++ {
+		if err := c.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mem.Stats().Reads() != 3 {
+		t.Errorf("zero-capacity cache absorbed reads: %d physical", mem.Stats().Reads())
+	}
+}
+
+func TestCacheWriteUpdatesResidentCopy(t *testing.T) {
+	mem := NewMemStore()
+	c := NewCache(mem, 4)
+	id, _ := c.Alloc()
+	buf := make([]byte, Size)
+	buf[0] = 1
+	c.Write(id, buf)
+	c.Read(id, buf) // ensure resident
+	buf[0] = 2
+	c.Write(id, buf)
+	got := make([]byte, Size)
+	c.Read(id, got)
+	if got[0] != 2 {
+		t.Errorf("cache served stale data %d", got[0])
+	}
+}
+
+func TestFaultStore(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem, 2)
+	if _, err := fs.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, Size)
+	if err := fs.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Read(0, buf); !errors.Is(err, ErrInjected) {
+		t.Errorf("third op error = %v, want ErrInjected", err)
+	}
+	if _, err := fs.Alloc(); !errors.Is(err, ErrInjected) {
+		t.Errorf("alloc after budget: %v", err)
+	}
+}
+
+func TestFileStorePersistsAcrossLargeOffsets(t *testing.T) {
+	fs, err := NewTempFileStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var last ID
+	for i := 0; i < 300; i++ {
+		last, _ = fs.Alloc()
+	}
+	buf := make([]byte, Size)
+	buf[Size-1] = 0x5A
+	if err := fs.Write(last, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, Size)
+	if err := fs.Read(last, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[Size-1] != 0x5A {
+		t.Error("high page lost data")
+	}
+	// A page in the hole reads as zeros.
+	if err := fs.Read(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[Size-1] != 0 {
+		t.Error("hole page not zero")
+	}
+}
+
+func TestFileStoreCreateOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.pages")
+	fs, err := NewFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, Size)
+	for i := 0; i < 5; i++ {
+		id, err := fs.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i + 1)
+		if err := fs.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != 5 {
+		t.Fatalf("reopened NumPages = %d", re.NumPages())
+	}
+	if err := re.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 4 {
+		t.Fatalf("page 3 byte = %d", buf[0])
+	}
+	// Reopened stores keep growing.
+	id, err := re.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 5 {
+		t.Fatalf("post-reopen Alloc = %d", id)
+	}
+	if _, err := OpenFileStore(filepath.Join(dir, "missing")); err == nil {
+		t.Error("OpenFileStore on missing path accepted")
+	}
+}
+
+func TestCacheAccessors(t *testing.T) {
+	mem := NewMemStore()
+	c := NewCache(mem, 4)
+	if c.Capacity() != 4 {
+		t.Errorf("Capacity = %d", c.Capacity())
+	}
+	if c.Stats() != mem.Stats() {
+		t.Error("Stats not delegated")
+	}
+	if _, err := c.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPages() != 1 {
+		t.Errorf("NumPages = %d", c.NumPages())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Negative capacity clamps to zero.
+	if NewCache(mem, -3).Capacity() != 0 {
+		t.Error("negative capacity not clamped")
+	}
+	rate, _, _ := NewCache(mem, 1).HitRate()
+	if rate != 0 {
+		t.Errorf("fresh cache hit rate %v", rate)
+	}
+}
+
+func TestFaultStoreAccessorsAndSetBudget(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem, 0)
+	if _, err := fs.Alloc(); !errors.Is(err, ErrInjected) {
+		t.Fatal("budget 0 allowed an op")
+	}
+	fs.SetBudget(2)
+	if _, err := fs.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, Size)
+	if err := fs.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Read(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatal("budget not re-exhausted")
+	}
+	if fs.NumPages() != 1 {
+		t.Errorf("NumPages = %d", fs.NumPages())
+	}
+	if fs.Stats() != mem.Stats() {
+		t.Error("Stats not delegated")
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package pivot
+
+import (
+	"math/rand"
+
+	"spbtree/internal/metric"
+)
+
+// HF is the hull-of-foci outlier heuristic of the Omni-family (Traina et
+// al.): it finds objects near the convex hull of the dataset. The first two
+// foci are the endpoints of an approximate diameter; each further focus is
+// the object whose distances to the chosen foci deviate least from the edge
+// length, which pushes selections toward the hull.
+//
+// HF is O(|O|) per focus on the sampled subset and is the candidate
+// generator inside HFI.
+type HF struct {
+	// MaxSample bounds how many objects HF scans; 0 means 5000.
+	MaxSample int
+}
+
+// Name implements Selector.
+func (HF) Name() string { return "HF" }
+
+// Select implements Selector.
+func (h HF) Select(objs []metric.Object, dist metric.DistanceFunc, k int, rng *rand.Rand) []metric.Object {
+	rng = defaultRNG(rng)
+	ms := h.MaxSample
+	if ms == 0 {
+		ms = 5000
+	}
+	s := sample(objs, ms, rng)
+	if k <= 0 || len(s) == 0 {
+		return nil
+	}
+	if len(s) <= k {
+		return s
+	}
+
+	// farthest returns the object maximizing distance from `from`, also
+	// handing back the full distance array so errors accumulate without
+	// recomputation — this is what keeps HF O(|O|) per focus.
+	farthest := func(from metric.Object) (metric.Object, []float64) {
+		ds := make([]float64, len(s))
+		var best metric.Object
+		bd := -1.0
+		for i, o := range s {
+			ds[i] = dist.Distance(from, o)
+			if o != from && ds[i] > bd {
+				bd, best = ds[i], o
+			}
+		}
+		return best, ds
+	}
+
+	seed := s[rng.Intn(len(s))]
+	f1, _ := farthest(seed)
+	f2, d1s := farthest(f1)
+	edge := dist.Distance(f1, f2)
+
+	pivots := []metric.Object{f1}
+	// errSum[i] accumulates Σ_f |d(s[i], f) − edge| over chosen foci.
+	errSum := make([]float64, len(s))
+	for i := range s {
+		errSum[i] = abs(d1s[i] - edge)
+	}
+	addFocus := func(f metric.Object) {
+		for i, o := range s {
+			errSum[i] += abs(dist.Distance(f, o) - edge)
+		}
+		_ = f
+	}
+	if k >= 2 {
+		pivots = append(pivots, f2)
+		addFocus(f2)
+	}
+	for len(pivots) < k {
+		var best metric.Object
+		bestErr := -1.0
+		for i, o := range s {
+			if contains(pivots, o) {
+				continue
+			}
+			if best == nil || errSum[i] < bestErr {
+				best, bestErr = o, errSum[i]
+			}
+		}
+		if best == nil {
+			break
+		}
+		pivots = append(pivots, best)
+		addFocus(best)
+	}
+	return pivots
+}
+
+// FFT is the farthest-first traversal: each pivot maximizes the minimum
+// distance to the pivots chosen so far, approximately maximizing pairwise
+// pivot separation.
+type FFT struct {
+	// MaxSample bounds how many objects FFT scans; 0 means 5000.
+	MaxSample int
+}
+
+// Name implements Selector.
+func (FFT) Name() string { return "FFT" }
+
+// Select implements Selector.
+func (f FFT) Select(objs []metric.Object, dist metric.DistanceFunc, k int, rng *rand.Rand) []metric.Object {
+	rng = defaultRNG(rng)
+	ms := f.MaxSample
+	if ms == 0 {
+		ms = 5000
+	}
+	s := sample(objs, ms, rng)
+	if k <= 0 || len(s) == 0 {
+		return nil
+	}
+	if len(s) <= k {
+		return s
+	}
+	// Start from the object farthest from a random seed so the first pivot
+	// is already an outlier.
+	seed := s[rng.Intn(len(s))]
+	minDist := make([]float64, len(s))
+	var first metric.Object
+	bd := -1.0
+	for i, o := range s {
+		d := dist.Distance(seed, o)
+		minDist[i] = d
+		if d > bd {
+			bd, first = d, o
+		}
+	}
+	pivots := []metric.Object{first}
+	for i, o := range s {
+		minDist[i] = dist.Distance(first, o)
+	}
+	for len(pivots) < k {
+		var best metric.Object
+		bd := -1.0
+		for i, o := range s {
+			if contains(pivots, o) {
+				continue
+			}
+			if minDist[i] > bd {
+				bd, best = minDist[i], o
+			}
+		}
+		if best == nil {
+			break
+		}
+		pivots = append(pivots, best)
+		for i, o := range s {
+			if d := dist.Distance(best, o); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return pivots
+}
+
+// SSS is sparse spatial selection (Brisaboa et al.): scanning in random
+// order, an object becomes a pivot when its distance to every chosen pivot
+// is at least Alpha × d+, so pivot density adapts to the dataset's span.
+type SSS struct {
+	// Alpha controls pivot density; 0 means the customary 0.35.
+	Alpha float64
+	// MaxSample bounds the scan; 0 means 5000.
+	MaxSample int
+}
+
+// Name implements Selector.
+func (SSS) Name() string { return "SSS" }
+
+// Select implements Selector.
+func (s SSS) Select(objs []metric.Object, dist metric.DistanceFunc, k int, rng *rand.Rand) []metric.Object {
+	rng = defaultRNG(rng)
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = 0.35
+	}
+	ms := s.MaxSample
+	if ms == 0 {
+		ms = 5000
+	}
+	scan := sample(objs, ms, rng)
+	if k <= 0 || len(scan) == 0 {
+		return nil
+	}
+	dPlus := dist.MaxDistance()
+	threshold := alpha * dPlus
+	pivots := []metric.Object{scan[0]}
+	for _, o := range scan[1:] {
+		if len(pivots) >= k {
+			break
+		}
+		ok := true
+		for _, p := range pivots {
+			if dist.Distance(o, p) < threshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pivots = append(pivots, o)
+		}
+	}
+	// The threshold may admit fewer than k pivots; relax by halving until
+	// filled so callers always get k when the dataset allows.
+	for len(pivots) < k && threshold > 1e-9 {
+		threshold /= 2
+		for _, o := range scan {
+			if len(pivots) >= k {
+				break
+			}
+			if contains(pivots, o) {
+				continue
+			}
+			ok := true
+			for _, p := range pivots {
+				if dist.Distance(o, p) < threshold {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				pivots = append(pivots, o)
+			}
+		}
+	}
+	return pivots
+}

@@ -1,0 +1,105 @@
+package pivot
+
+import (
+	"math/rand"
+
+	"spbtree/internal/metric"
+)
+
+// HFI is the paper's pivot-selection contribution (Section 3.2, Appendix A):
+// HF-based Incremental selection. HF first harvests a small candidate set CP
+// of outliers (the paper fixes |CP| = 40); then pivots are chosen from CP
+// one at a time, each maximizing the precision criterion of Definition 1 —
+// the mean ratio between mapped-space and metric-space distances over a
+// sample of object pairs. The rationale: good pivots are usually outliers,
+// but outliers are not always good pivots, so candidate generation is
+// outlier-driven while the final choice is precision-driven.
+//
+// Complexity is O(|O| + |P||CP|) distance-vector work as in the paper; the
+// pair distances to every candidate are computed once, so each incremental
+// round only takes max/ratio arithmetic.
+type HFI struct {
+	// Candidates is |CP|; 0 means the paper's 40.
+	Candidates int
+	// SamplePairs is the number of object pairs the precision criterion
+	// averages over; 0 means 500.
+	SamplePairs int
+	// MaxSample bounds the HF scan; 0 means 5000.
+	MaxSample int
+}
+
+// Name implements Selector.
+func (HFI) Name() string { return "HFI" }
+
+// Select implements Selector.
+func (h HFI) Select(objs []metric.Object, dist metric.DistanceFunc, k int, rng *rand.Rand) []metric.Object {
+	rng = defaultRNG(rng)
+	nc := h.Candidates
+	if nc == 0 {
+		nc = 40
+	}
+	np := h.SamplePairs
+	if np == 0 {
+		np = 500
+	}
+	if k <= 0 || len(objs) == 0 {
+		return nil
+	}
+
+	cands := HF{MaxSample: h.MaxSample}.Select(objs, dist, nc, rng)
+	if len(cands) <= k {
+		return cands
+	}
+	pairs := SamplePairs(objs, dist, np, rng)
+	if len(pairs) == 0 {
+		return cands[:k]
+	}
+
+	// cd[t][c] = |d(pairs[t].A, cands[c]) - d(pairs[t].B, cands[c])|, the
+	// lower-bound contribution candidate c makes to pair t.
+	cd := make([][]float64, len(pairs))
+	for t, p := range pairs {
+		row := make([]float64, len(cands))
+		for c, cand := range cands {
+			row[c] = abs(dist.Distance(p.A, cand) - dist.Distance(p.B, cand))
+		}
+		cd[t] = row
+	}
+
+	cur := make([]float64, len(pairs)) // best lower bound per pair so far
+	var chosen []int
+	for len(chosen) < k {
+		best := -1
+		bestScore := -1.0
+		for c := range cands {
+			if intContains(chosen, c) {
+				continue
+			}
+			var score float64
+			for t, p := range pairs {
+				lb := cur[t]
+				if cd[t][c] > lb {
+					lb = cd[t][c]
+				}
+				score += lb / p.D
+			}
+			if score > bestScore {
+				bestScore, best = score, c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		for t := range pairs {
+			if cd[t][best] > cur[t] {
+				cur[t] = cd[t][best]
+			}
+		}
+	}
+	out := make([]metric.Object, len(chosen))
+	for i, c := range chosen {
+		out[i] = cands[c]
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Package pivot implements the pivot-selection algorithms evaluated in the
+// paper (Section 3.2 and Fig. 9): the outlier-based HF and FFT heuristics,
+// the density-controlled SSS, the minimum-correlation "Spacing" method, a
+// PCA-style variance method, and the paper's own contribution HFI — HF
+// candidate generation followed by incremental selection that maximizes the
+// precision criterion of Definition 1.
+package pivot
+
+import (
+	"math/rand"
+
+	"spbtree/internal/metric"
+)
+
+// Selector chooses k pivots from a dataset.
+type Selector interface {
+	// Select returns up to k pivots drawn from objs. Implementations sample
+	// internally to stay cheap on large datasets; rng seeds that sampling
+	// (nil falls back to a fixed seed for reproducibility).
+	Select(objs []metric.Object, dist metric.DistanceFunc, k int, rng *rand.Rand) []metric.Object
+	// Name identifies the algorithm in benchmark output.
+	Name() string
+}
+
+// Pair is a sampled object pair with its precomputed distance, used by the
+// precision criterion.
+type Pair struct {
+	A, B metric.Object
+	D    float64
+}
+
+// SamplePairs draws n random object pairs with positive distance.
+func SamplePairs(objs []metric.Object, dist metric.DistanceFunc, n int, rng *rand.Rand) []Pair {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	pairs := make([]Pair, 0, n)
+	if len(objs) < 2 {
+		return pairs
+	}
+	for attempts := 0; len(pairs) < n && attempts < 4*n; attempts++ {
+		a := objs[rng.Intn(len(objs))]
+		b := objs[rng.Intn(len(objs))]
+		if a == b {
+			continue
+		}
+		d := dist.Distance(a, b)
+		if d <= 0 {
+			continue
+		}
+		pairs = append(pairs, Pair{A: a, B: b, D: d})
+	}
+	return pairs
+}
+
+// Precision evaluates a pivot set per Definition 1 of the paper: the mean
+// over sampled pairs of D(φ(a), φ(b)) / d(a, b), where D is the L∞ distance
+// in the mapped space. Values approach 1 as the mapping preserves more of
+// the original proximity; higher is better.
+func Precision(pivots []metric.Object, pairs []Pair, dist metric.DistanceFunc) float64 {
+	if len(pairs) == 0 || len(pivots) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pairs {
+		var lb float64
+		for _, pv := range pivots {
+			da := dist.Distance(p.A, pv)
+			db := dist.Distance(p.B, pv)
+			if diff := abs(da - db); diff > lb {
+				lb = diff
+			}
+		}
+		sum += lb / p.D
+	}
+	return sum / float64(len(pairs))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sample returns up to n objects drawn without replacement.
+func sample(objs []metric.Object, n int, rng *rand.Rand) []metric.Object {
+	if len(objs) <= n {
+		out := make([]metric.Object, len(objs))
+		copy(out, objs)
+		return out
+	}
+	idx := rng.Perm(len(objs))[:n]
+	out := make([]metric.Object, n)
+	for i, j := range idx {
+		out[i] = objs[j]
+	}
+	return out
+}
+
+func defaultRNG(rng *rand.Rand) *rand.Rand {
+	if rng == nil {
+		return rand.New(rand.NewSource(1))
+	}
+	return rng
+}
+
+// contains reports whether o is already in set (by pointer identity, which
+// is how all selectors here track chosen pivots).
+func contains(set []metric.Object, o metric.Object) bool {
+	for _, s := range set {
+		if s == o {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package pivot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spbtree/internal/metric"
+)
+
+// clusteredVectors builds a 2-d dataset with a few Gaussian clusters plus
+// clear outliers at the corners, so outlier-driven selectors have targets.
+func clusteredVectors(n int, rng *rand.Rand) []metric.Object {
+	objs := make([]metric.Object, 0, n+4)
+	centers := [][2]float64{{0.3, 0.3}, {0.7, 0.6}, {0.5, 0.8}}
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		objs = append(objs, metric.NewVector(uint64(i), []float64{
+			clamp(c[0] + 0.05*rng.NormFloat64()),
+			clamp(c[1] + 0.05*rng.NormFloat64()),
+		}))
+	}
+	corners := [][2]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i, c := range corners {
+		objs = append(objs, metric.NewVector(uint64(n+i), []float64{c[0], c[1]}))
+	}
+	return objs
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func allSelectors() []Selector {
+	return []Selector{HF{}, FFT{}, SSS{}, Spacing{}, PCA{}, HFI{}, Random{}}
+}
+
+func TestSelectorsReturnKDistinctPivots(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	objs := clusteredVectors(300, rng)
+	dist := metric.L2(2)
+	for _, sel := range allSelectors() {
+		for _, k := range []int{1, 3, 5, 9} {
+			got := sel.Select(objs, dist, k, rand.New(rand.NewSource(7)))
+			if len(got) != k {
+				t.Errorf("%s: Select k=%d returned %d pivots", sel.Name(), k, len(got))
+				continue
+			}
+			seen := map[metric.Object]bool{}
+			for _, p := range got {
+				if seen[p] {
+					t.Errorf("%s: duplicate pivot", sel.Name())
+				}
+				seen[p] = true
+				if p == nil {
+					t.Errorf("%s: nil pivot", sel.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestSelectorsDegenerateInputs(t *testing.T) {
+	dist := metric.L2(2)
+	small := []metric.Object{
+		metric.NewVector(0, []float64{0, 0}),
+		metric.NewVector(1, []float64{1, 1}),
+	}
+	for _, sel := range allSelectors() {
+		if got := sel.Select(nil, dist, 3, nil); len(got) != 0 {
+			t.Errorf("%s: empty dataset returned %d pivots", sel.Name(), len(got))
+		}
+		if got := sel.Select(small, dist, 0, nil); len(got) != 0 {
+			t.Errorf("%s: k=0 returned %d pivots", sel.Name(), len(got))
+		}
+		// Asking for more pivots than objects must not panic or loop.
+		got := sel.Select(small, dist, 10, nil)
+		if len(got) > 2 {
+			t.Errorf("%s: returned %d pivots from 2 objects", sel.Name(), len(got))
+		}
+	}
+}
+
+func TestPrecisionMonotoneInPivotCount(t *testing.T) {
+	// Definition 1: adding a pivot can only raise each pair's lower bound,
+	// so precision is monotone when pivot sets are nested.
+	rng := rand.New(rand.NewSource(3))
+	objs := clusteredVectors(200, rng)
+	dist := metric.L2(2)
+	pairs := SamplePairs(objs, dist, 200, rng)
+	pivots := HFI{}.Select(objs, dist, 6, rng)
+	prev := 0.0
+	for k := 1; k <= len(pivots); k++ {
+		p := Precision(pivots[:k], pairs, dist)
+		if p < prev-1e-12 {
+			t.Fatalf("precision decreased from %v to %v at k=%d", prev, p, k)
+		}
+		if p < 0 || p > 1+1e-9 {
+			t.Fatalf("precision %v out of [0,1]", p)
+		}
+		prev = p
+	}
+}
+
+func TestPrecisionUpperBound(t *testing.T) {
+	// The mapped L∞ distance lower-bounds the metric distance, so every
+	// ratio — and hence the mean — is at most 1.
+	rng := rand.New(rand.NewSource(5))
+	objs := clusteredVectors(150, rng)
+	dist := metric.L2(2)
+	pairs := SamplePairs(objs, dist, 300, rng)
+	for _, sel := range allSelectors() {
+		pv := sel.Select(objs, dist, 5, rng)
+		if p := Precision(pv, pairs, dist); p > 1+1e-9 {
+			t.Errorf("%s: precision %v exceeds 1 — lower-bound property broken", sel.Name(), p)
+		}
+	}
+}
+
+func TestHFIBeatsRandomPrecision(t *testing.T) {
+	// The point of HFI (Fig. 9): its pivots give higher precision than
+	// random selection. Use disjoint rngs for selection and evaluation.
+	rng := rand.New(rand.NewSource(11))
+	objs := clusteredVectors(400, rng)
+	dist := metric.L2(2)
+	evalPairs := SamplePairs(objs, dist, 400, rand.New(rand.NewSource(99)))
+
+	var hfiP, rndP float64
+	for trial := 0; trial < 5; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		hfiP += Precision(HFI{}.Select(objs, dist, 4, r), evalPairs, dist)
+		rndP += Precision(Random{}.Select(objs, dist, 4, r), evalPairs, dist)
+	}
+	if hfiP <= rndP {
+		t.Errorf("HFI mean precision %v should beat Random %v", hfiP/5, rndP/5)
+	}
+}
+
+func TestHFPicksOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	objs := clusteredVectors(300, rng)
+	dist := metric.L2(2)
+	pivots := HF{}.Select(objs, dist, 2, rng)
+	// The two foci should be nearly a diameter apart (corners exist).
+	d := dist.Distance(pivots[0], pivots[1])
+	if d < 1.0 {
+		t.Errorf("HF foci distance %v, want close to the diameter %v", d, math.Sqrt2)
+	}
+}
+
+func TestFFTSpreadsPivots(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	objs := clusteredVectors(300, rng)
+	dist := metric.L2(2)
+	pivots := FFT{}.Select(objs, dist, 4, rng)
+	for i := 0; i < len(pivots); i++ {
+		for j := i + 1; j < len(pivots); j++ {
+			if d := dist.Distance(pivots[i], pivots[j]); d < 0.3 {
+				t.Errorf("FFT pivots %d,%d only %v apart", i, j, d)
+			}
+		}
+	}
+}
+
+func TestSSSRespectsAlphaSpacing(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	objs := clusteredVectors(300, rng)
+	dist := metric.L2(2)
+	// With a huge k, SSS fills by relaxing; with k=2 the first two pivots
+	// must respect alpha*d+ spacing.
+	pivots := SSS{Alpha: 0.35}.Select(objs, dist, 2, rng)
+	if len(pivots) == 2 {
+		if d := dist.Distance(pivots[0], pivots[1]); d < 0.35*dist.MaxDistance()-1e-9 {
+			t.Errorf("SSS pivots %v apart, want >= %v", d, 0.35*dist.MaxDistance())
+		}
+	}
+}
+
+func TestSamplePairsSkipsZeroDistance(t *testing.T) {
+	objs := []metric.Object{
+		metric.NewVector(0, []float64{0.5, 0.5}),
+		metric.NewVector(1, []float64{0.5, 0.5}),
+		metric.NewVector(2, []float64{0.9, 0.9}),
+	}
+	pairs := SamplePairs(objs, metric.L2(2), 50, rand.New(rand.NewSource(1)))
+	for _, p := range pairs {
+		if p.D <= 0 {
+			t.Fatalf("pair with distance %v", p.D)
+		}
+	}
+}
+
+func TestPrecisionEmptyInputs(t *testing.T) {
+	if p := Precision(nil, nil, metric.L2(2)); p != 0 {
+		t.Errorf("Precision(nil,nil) = %v", p)
+	}
+}
+
+func TestSelectorsWorkOnStrings(t *testing.T) {
+	// Generic-metric check: selectors must not assume vectors.
+	rng := rand.New(rand.NewSource(23))
+	words := []string{"cat", "cart", "car", "dog", "dig", "dug", "zebra", "zero",
+		"apple", "appeal", "apply", "maple", "staple", "stable", "table", "cable"}
+	objs := make([]metric.Object, len(words))
+	for i, w := range words {
+		objs[i] = metric.NewStr(uint64(i), w)
+	}
+	dist := metric.EditDistance{MaxLen: 8}
+	for _, sel := range allSelectors() {
+		got := sel.Select(objs, dist, 3, rng)
+		if len(got) != 3 {
+			t.Errorf("%s on strings: %d pivots", sel.Name(), len(got))
+		}
+	}
+}

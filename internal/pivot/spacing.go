@@ -1,0 +1,260 @@
+package pivot
+
+import (
+	"math"
+	"math/rand"
+
+	"spbtree/internal/metric"
+)
+
+// Spacing is the minimum-correlation vantage selection of van Leuken and
+// Veltkamp: each next pivot's distance vector (its distances to a sample of
+// objects) has the smallest maximum Pearson correlation with the vectors of
+// the pivots chosen so far, spreading objects evenly in the mapped space.
+type Spacing struct {
+	// Candidates is the number of candidate pivots considered; 0 means 40.
+	Candidates int
+	// SampleObjects is the size of the reference sample whose distance
+	// vectors are correlated; 0 means 200.
+	SampleObjects int
+}
+
+// Name implements Selector.
+func (Spacing) Name() string { return "Spacing" }
+
+// Select implements Selector.
+func (s Spacing) Select(objs []metric.Object, dist metric.DistanceFunc, k int, rng *rand.Rand) []metric.Object {
+	rng = defaultRNG(rng)
+	nc := s.Candidates
+	if nc == 0 {
+		nc = 40
+	}
+	no := s.SampleObjects
+	if no == 0 {
+		no = 200
+	}
+	if k <= 0 || len(objs) == 0 {
+		return nil
+	}
+	cands := sample(objs, nc, rng)
+	ref := sample(objs, no, rng)
+	vecs := distanceVectors(cands, ref, dist)
+
+	// Start with the candidate of maximal distance-vector variance, a
+	// stand-in for the most discriminating vantage object.
+	firstIdx := 0
+	bestVar := -1.0
+	for i := range cands {
+		if v := variance(vecs[i]); v > bestVar {
+			bestVar, firstIdx = v, i
+		}
+	}
+	chosen := []int{firstIdx}
+	for len(chosen) < k && len(chosen) < len(cands) {
+		best := -1
+		bestScore := math.Inf(1)
+		for i := range cands {
+			if intContains(chosen, i) {
+				continue
+			}
+			// Maximum absolute correlation with any chosen pivot: lower is
+			// better.
+			var worst float64
+			for _, j := range chosen {
+				if c := math.Abs(correlation(vecs[i], vecs[j])); c > worst {
+					worst = c
+				}
+			}
+			if worst < bestScore {
+				bestScore, best = worst, i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+	}
+	out := make([]metric.Object, len(chosen))
+	for i, j := range chosen {
+		out[i] = cands[j]
+	}
+	return out
+}
+
+// PCA is the variance-maximizing selection in the spirit of Mao et al.'s
+// "pivot selection: dimension reduction for distance-based indexing": the
+// first pivot maximizes the variance of its distance vector over a sample;
+// each further pivot maximizes the residual variance after Gram-Schmidt
+// removal of the components already covered by chosen pivots, approximating
+// successive principal components of the distance matrix.
+type PCA struct {
+	// Candidates is the number of candidate pivots considered; 0 means 40.
+	Candidates int
+	// SampleObjects is the reference sample size; 0 means 200.
+	SampleObjects int
+}
+
+// Name implements Selector.
+func (PCA) Name() string { return "PCA" }
+
+// Select implements Selector.
+func (p PCA) Select(objs []metric.Object, dist metric.DistanceFunc, k int, rng *rand.Rand) []metric.Object {
+	rng = defaultRNG(rng)
+	nc := p.Candidates
+	if nc == 0 {
+		nc = 40
+	}
+	no := p.SampleObjects
+	if no == 0 {
+		no = 200
+	}
+	if k <= 0 || len(objs) == 0 {
+		return nil
+	}
+	cands := sample(objs, nc, rng)
+	ref := sample(objs, no, rng)
+	vecs := distanceVectors(cands, ref, dist)
+
+	// Center the vectors so variance and projections work on deviations.
+	resid := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		resid[i] = center(v)
+	}
+	var chosen []int
+	for len(chosen) < k && len(chosen) < len(cands) {
+		best := -1
+		bestVar := -1.0
+		for i := range cands {
+			if intContains(chosen, i) {
+				continue
+			}
+			if v := sumSquares(resid[i]); v > bestVar {
+				bestVar, best = v, i
+			}
+		}
+		if best < 0 || bestVar <= 0 {
+			break
+		}
+		chosen = append(chosen, best)
+		// Remove the chosen direction from every remaining residual.
+		dir := normalize(resid[best])
+		for i := range resid {
+			if intContains(chosen, i) {
+				continue
+			}
+			proj := dot(resid[i], dir)
+			for j := range resid[i] {
+				resid[i][j] -= proj * dir[j]
+			}
+		}
+	}
+	out := make([]metric.Object, len(chosen))
+	for i, j := range chosen {
+		out[i] = cands[j]
+	}
+	return out
+}
+
+// Random selects pivots uniformly at random; the baseline the M-Index uses
+// in the paper's Table 6 setup.
+type Random struct{}
+
+// Name implements Selector.
+func (Random) Name() string { return "Random" }
+
+// Select implements Selector.
+func (Random) Select(objs []metric.Object, dist metric.DistanceFunc, k int, rng *rand.Rand) []metric.Object {
+	rng = defaultRNG(rng)
+	return sample(objs, k, rng)
+}
+
+func distanceVectors(cands, ref []metric.Object, dist metric.DistanceFunc) [][]float64 {
+	vecs := make([][]float64, len(cands))
+	for i, c := range cands {
+		v := make([]float64, len(ref))
+		for j, o := range ref {
+			v[j] = dist.Distance(c, o)
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func intContains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func variance(v []float64) float64 {
+	m := mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+func center(v []float64) []float64 {
+	m := mean(v)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x - m
+	}
+	return out
+}
+
+func sumSquares(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalize(v []float64) []float64 {
+	n := math.Sqrt(sumSquares(v))
+	out := make([]float64, len(v))
+	if n == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / n
+	}
+	return out
+}
+
+func correlation(a, b []float64) float64 {
+	ma, mb := mean(a), mean(b)
+	var num, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		num += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return num / math.Sqrt(va*vb)
+}

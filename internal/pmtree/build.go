@@ -1,0 +1,433 @@
+package pmtree
+
+import (
+	"fmt"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+)
+
+// BulkLoad builds the tree with the same sampled recursive clustering as the
+// M-tree baseline, additionally computing the per-object pivot distances
+// (|O|×np computations — the PM-tree's extra construction cost) and the
+// per-subtree hyper-rings bottom-up.
+func (t *Tree) BulkLoad(objs []metric.Object) error {
+	return t.BulkLoadWithPivots(objs, 0)
+}
+
+// BulkLoadWithPivots is BulkLoad with an explicit global pivot count.
+func (t *Tree) BulkLoadWithPivots(objs []metric.Object, numPivots int) error {
+	if t.hasRoot {
+		return fmt.Errorf("pmtree: BulkLoad on non-empty tree")
+	}
+	if len(objs) == 0 {
+		return nil
+	}
+	if err := t.selectPivots(objs, numPivots); err != nil {
+		return err
+	}
+	pg, _, hr, err := t.bulkBuild(objs, nil, 0)
+	if err != nil {
+		return err
+	}
+	t.rootPage = pg
+	t.rootHR = hr
+	t.hasRoot = true
+	t.count = len(objs)
+	return nil
+}
+
+// bulkBuild builds a subtree and returns its page, covering radius w.r.t.
+// parent, and hyper-rings.
+func (t *Tree) bulkBuild(objs []metric.Object, parent metric.Object, depth int) (page.ID, float64, []ring, error) {
+	if depth > 64 {
+		return 0, 0, nil, fmt.Errorf("pmtree: bulk-load recursion too deep")
+	}
+	if t.leafFits(objs) {
+		n, err := t.allocNode(true)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		hr := emptyRings(len(t.pivots))
+		var radius float64
+		n.entries = make([]entry, len(objs))
+		for i, o := range objs {
+			var dp float64
+			if parent != nil {
+				dp = t.dist.Distance(o, parent)
+			}
+			if dp > radius {
+				radius = dp
+			}
+			pd := t.computePD(o)
+			for ti, d := range pd {
+				hr[ti].expand(d)
+			}
+			n.entries[i] = entry{obj: o, objLen: len(o.AppendBinary(nil)), dParent: dp, isLeaf: true, pd: pd}
+		}
+		if err := t.writeNode(n); err != nil {
+			return 0, 0, nil, err
+		}
+		return n.page, radius, hr, nil
+	}
+
+	f := t.fanoutEstimate(objs)
+	seeds := t.sampleDistinct(objs, f)
+	groups := make([][]metric.Object, len(seeds))
+	for _, o := range objs {
+		best, bd := 0, t.dist.Distance(o, seeds[0])
+		for s := 1; s < len(seeds); s++ {
+			if d := t.dist.Distance(o, seeds[s]); d < bd {
+				best, bd = s, d
+			}
+		}
+		groups[best] = append(groups[best], o)
+	}
+	for gi := range groups {
+		if len(groups[gi]) == len(objs) {
+			groups = chunk(objs, len(seeds))
+			seeds = make([]metric.Object, len(groups))
+			for ci, g := range groups {
+				seeds[ci] = g[0]
+			}
+			break
+		}
+	}
+
+	hr := emptyRings(len(t.pivots))
+	var radius float64
+	var rents []entry
+	for gi, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		seed := seeds[gi]
+		childPg, childRad, childHR, err := t.bulkBuild(group, seed, depth+1)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		var dp float64
+		if parent != nil {
+			dp = t.dist.Distance(seed, parent)
+		}
+		if cover := dp + childRad; cover > radius {
+			radius = cover
+		}
+		expandRings(hr, childHR)
+		rents = append(rents, entry{
+			obj: seed, objLen: len(seed.AppendBinary(nil)),
+			dParent: dp, radius: childRad, child: childPg, hr: childHR,
+		})
+	}
+	pg, err := t.packEntries(rents, parent)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return pg, radius, hr, nil
+}
+
+// packEntries writes routing entries into one internal node, or — when
+// variable-size routing objects exceed the page budget the fan-out estimate
+// assumed — spills them into several nodes under a fresh internal level,
+// recomputing distances to the interposed routing objects so the
+// parent-distance pruning invariant holds.
+func (t *Tree) packEntries(rents []entry, parent metric.Object) (page.ID, error) {
+	if t.nodeBytes(rents) <= page.Size || len(rents) < 2 {
+		n, err := t.allocNode(false)
+		if err != nil {
+			return 0, err
+		}
+		n.entries = rents
+		if err := t.writeNode(n); err != nil {
+			return 0, err
+		}
+		return n.page, nil
+	}
+	// Greedy byte packing into fitting chunks.
+	var supers []entry
+	start := 0
+	for start < len(rents) {
+		end := start + 1
+		size := nodeHeader + t.entryBytes(&rents[start])
+		for end < len(rents) {
+			next := t.entryBytes(&rents[end])
+			if size+next > page.Size {
+				break
+			}
+			size += next
+			end++
+		}
+		chunk := make([]entry, end-start)
+		copy(chunk, rents[start:end])
+		start = end
+
+		pivotObj := chunk[0].obj
+		hr := emptyRings(len(t.pivots))
+		var radius float64
+		for i := range chunk {
+			d := t.dist.Distance(chunk[i].obj, pivotObj)
+			chunk[i].dParent = d
+			if cover := d + chunk[i].radius; cover > radius {
+				radius = cover
+			}
+			expandRings(hr, chunk[i].hr)
+		}
+		n, err := t.allocNode(false)
+		if err != nil {
+			return 0, err
+		}
+		n.entries = chunk
+		if err := t.writeNode(n); err != nil {
+			return 0, err
+		}
+		var dp float64
+		if parent != nil {
+			dp = t.dist.Distance(pivotObj, parent)
+		}
+		supers = append(supers, entry{
+			obj: pivotObj, objLen: len(pivotObj.AppendBinary(nil)),
+			dParent: dp, radius: radius, child: n.page, hr: hr,
+		})
+	}
+	if len(supers) >= len(rents) {
+		return 0, fmt.Errorf("pmtree: routing entries too large to pack (objects near page size?)")
+	}
+	return t.packEntries(supers, parent)
+}
+
+func (t *Tree) leafFits(objs []metric.Object) bool {
+	n := nodeHeader
+	for _, o := range objs {
+		n += t.leafEntryBytes(len(o.AppendBinary(nil)))
+		if n > page.Size {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tree) fanoutEstimate(objs []metric.Object) int {
+	sampleN := len(objs)
+	if sampleN > 32 {
+		sampleN = 32
+	}
+	total := 0
+	for i := 0; i < sampleN; i++ {
+		total += len(objs[i].AppendBinary(nil))
+	}
+	avg := total/sampleN + 1
+	f := (page.Size - nodeHeader) / t.routingEntryBytes(avg)
+	if f < 2 {
+		f = 2
+	}
+	if f > 64 {
+		f = 64
+	}
+	if f > len(objs) {
+		f = len(objs)
+	}
+	return f
+}
+
+func (t *Tree) sampleDistinct(objs []metric.Object, k int) []metric.Object {
+	idx := t.rng.Perm(len(objs))
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]metric.Object, k)
+	for i := 0; i < k; i++ {
+		out[i] = objs[idx[i]]
+	}
+	return out
+}
+
+func chunk(objs []metric.Object, k int) [][]metric.Object {
+	if k < 2 {
+		k = 2
+	}
+	size := (len(objs) + k - 1) / k
+	var out [][]metric.Object
+	for i := 0; i < len(objs); i += size {
+		end := i + size
+		if end > len(objs) {
+			end = len(objs)
+		}
+		out = append(out, objs[i:end])
+	}
+	return out
+}
+
+// Insert adds one object: M-tree descent with hyper-ring expansion along the
+// path, plus the object's pivot distances at the leaf.
+func (t *Tree) Insert(o metric.Object) error {
+	if !t.hasRoot {
+		if len(t.pivots) == 0 {
+			if err := t.selectPivots([]metric.Object{o}, 0); err != nil {
+				return err
+			}
+		}
+		n, err := t.allocNode(true)
+		if err != nil {
+			return err
+		}
+		pd := t.computePD(o)
+		n.entries = []entry{{obj: o, objLen: len(o.AppendBinary(nil)), isLeaf: true, pd: pd}}
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		t.rootPage = n.page
+		t.rootHR = emptyRings(len(t.pivots))
+		for ti, d := range pd {
+			t.rootHR[ti].expand(d)
+		}
+		t.hasRoot = true
+		t.count = 1
+		return nil
+	}
+	pd := t.computePD(o)
+	split, err := t.insertAt(t.rootPage, o, pd, nil)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		root, err := t.allocNode(false)
+		if err != nil {
+			return err
+		}
+		root.entries = split
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		t.rootPage = root.page
+	}
+	for ti, d := range pd {
+		t.rootHR[ti].expand(d)
+	}
+	t.count++
+	return nil
+}
+
+func (t *Tree) insertAt(pg page.ID, o metric.Object, pd []float64, parent metric.Object) ([]entry, error) {
+	n, err := t.readNode(pg)
+	if err != nil {
+		return nil, err
+	}
+	if n.leaf {
+		var dp float64
+		if parent != nil {
+			dp = t.dist.Distance(o, parent)
+		}
+		n.entries = append(n.entries, entry{obj: o, objLen: len(o.AppendBinary(nil)), dParent: dp, isLeaf: true, pd: pd})
+		if t.nodeBytes(n.entries) <= page.Size {
+			return nil, t.writeNode(n)
+		}
+		return t.split(n)
+	}
+
+	bestIdx, bestD := -1, 0.0
+	enlargeIdx, enlargeBy, enlargeD := -1, 0.0, 0.0
+	for i := range n.entries {
+		e := &n.entries[i]
+		d := t.dist.Distance(o, e.obj)
+		if d <= e.radius {
+			if bestIdx < 0 || d < bestD {
+				bestIdx, bestD = i, d
+			}
+			continue
+		}
+		if enlargeIdx < 0 || d-e.radius < enlargeBy {
+			enlargeIdx, enlargeBy, enlargeD = i, d-e.radius, d
+		}
+	}
+	if bestIdx < 0 {
+		bestIdx = enlargeIdx
+		n.entries[bestIdx].radius = enlargeD
+	}
+	chosen := &n.entries[bestIdx]
+	for ti, d := range pd {
+		chosen.hr[ti].expand(d)
+	}
+	split, err := t.insertAt(chosen.child, o, pd, chosen.obj)
+	if err != nil {
+		return nil, err
+	}
+	if split != nil {
+		for i := range split {
+			if parent != nil {
+				split[i].dParent = t.dist.Distance(split[i].obj, parent)
+			}
+		}
+		n.entries[bestIdx] = split[0]
+		n.entries = append(n.entries, split[1])
+	}
+	if t.nodeBytes(n.entries) <= page.Size {
+		return nil, t.writeNode(n)
+	}
+	return t.split(n)
+}
+
+// split partitions an overflowing node by random/farthest promotion,
+// recomputing per-side hyper-rings.
+func (t *Tree) split(n *node) ([]entry, error) {
+	entries := n.entries
+	if len(entries) < 2 {
+		return nil, fmt.Errorf("pmtree: cannot split node %d with %d entries", n.page, len(entries))
+	}
+	p1 := t.rng.Intn(len(entries))
+	d1s := make([]float64, len(entries))
+	p2, far := -1, -1.0
+	for i := range entries {
+		d1s[i] = t.dist.Distance(entries[i].obj, entries[p1].obj)
+		if i != p1 && d1s[i] > far {
+			p2, far = i, d1s[i]
+		}
+	}
+	o1, o2 := entries[p1].obj, entries[p2].obj
+
+	left := &node{page: n.page, leaf: n.leaf}
+	right, err := t.allocNode(n.leaf)
+	if err != nil {
+		return nil, err
+	}
+	hr1 := emptyRings(len(t.pivots))
+	hr2 := emptyRings(len(t.pivots))
+	var r1, r2 float64
+	addTo := func(dst *node, hr []ring, e entry, dp float64, r *float64) {
+		e.dParent = dp
+		if cover := dp + e.radius; cover > *r {
+			*r = cover
+		}
+		if e.isLeaf {
+			for ti, d := range e.pd {
+				hr[ti].expand(d)
+			}
+		} else {
+			expandRings(hr, e.hr)
+		}
+		dst.entries = append(dst.entries, e)
+	}
+	for i := range entries {
+		e := entries[i]
+		d2 := t.dist.Distance(e.obj, o2)
+		if d1s[i] <= d2 || i == p1 {
+			addTo(left, hr1, e, d1s[i], &r1)
+		} else {
+			addTo(right, hr2, e, d2, &r2)
+		}
+	}
+	if len(right.entries) == 0 {
+		last := left.entries[len(left.entries)-1]
+		left.entries = left.entries[:len(left.entries)-1]
+		addTo(right, hr2, last, t.dist.Distance(last.obj, o2), &r2)
+	}
+	if err := t.writeNode(left); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	return []entry{
+		{obj: o1, objLen: len(o1.AppendBinary(nil)), radius: r1, child: left.page, hr: hr1},
+		{obj: o2, objLen: len(o2.AppendBinary(nil)), radius: r2, child: right.page, hr: hr2},
+	}, nil
+}

@@ -1,0 +1,156 @@
+package pmtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spbtree/internal/page"
+)
+
+// On-disk node layout:
+//
+//	byte 0    flags: bit 0 = leaf
+//	bytes 1-2 entry count
+//	bytes 3-7 reserved
+//	leaf entry:    id u64 | objLen u32 | obj | dParent f64 | pd np×f64
+//	routing entry: id u64 | objLen u32 | obj | dParent f64 | radius f64 |
+//	               child u32 | hr 2·np×f64
+//
+// np is the tree's global pivot count; it is fixed at build time, so entry
+// widths are implied.
+const nodeHeader = 8
+
+func (t *Tree) leafEntryBytes(objLen int) int {
+	return 8 + 4 + objLen + 8 + 8*len(t.pivots)
+}
+
+func (t *Tree) routingEntryBytes(objLen int) int {
+	return 8 + 4 + objLen + 8 + 8 + 4 + 16*len(t.pivots)
+}
+
+func (t *Tree) entryBytes(e *entry) int {
+	if e.isLeaf {
+		return t.leafEntryBytes(e.objLen)
+	}
+	return t.routingEntryBytes(e.objLen)
+}
+
+func (t *Tree) nodeBytes(entries []entry) int {
+	n := nodeHeader
+	for i := range entries {
+		n += t.entryBytes(&entries[i])
+	}
+	return n
+}
+
+func (t *Tree) writeNode(n *node) error {
+	var buf [page.Size]byte
+	if n.leaf {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	off := nodeHeader
+	for i := range n.entries {
+		e := &n.entries[i]
+		payload := e.obj.AppendBinary(nil)
+		if off+t.entryBytes(e) > page.Size {
+			return fmt.Errorf("pmtree: node %d overflows page", n.page)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], e.obj.ID())
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(payload)))
+		copy(buf[off+12:], payload)
+		p := off + 12 + len(payload)
+		binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(e.dParent))
+		p += 8
+		if n.leaf {
+			for _, d := range e.pd {
+				binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(d))
+				p += 8
+			}
+		} else {
+			binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(e.radius))
+			binary.LittleEndian.PutUint32(buf[p+8:], uint32(e.child))
+			p += 12
+			for _, rg := range e.hr {
+				binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(rg.lo))
+				binary.LittleEndian.PutUint64(buf[p+8:], math.Float64bits(rg.hi))
+				p += 16
+			}
+		}
+		off = p
+	}
+	if err := t.store.Write(n.page, buf[:]); err != nil {
+		return fmt.Errorf("pmtree: write node: %w", err)
+	}
+	return nil
+}
+
+func (t *Tree) readNode(pg page.ID) (*node, error) {
+	var buf [page.Size]byte
+	if err := t.store.Read(pg, buf[:]); err != nil {
+		return nil, fmt.Errorf("pmtree: read node: %w", err)
+	}
+	n := &node{page: pg, leaf: buf[0]&1 != 0}
+	cnt := int(binary.LittleEndian.Uint16(buf[1:3]))
+	np := len(t.pivots)
+	n.entries = make([]entry, cnt)
+	off := nodeHeader
+	for i := 0; i < cnt; i++ {
+		if off+12 > page.Size {
+			return nil, fmt.Errorf("pmtree: corrupt node %d", pg)
+		}
+		id := binary.LittleEndian.Uint64(buf[off:])
+		objLen := int(binary.LittleEndian.Uint32(buf[off+8:]))
+		if objLen < 0 || off+12+objLen > page.Size {
+			return nil, fmt.Errorf("pmtree: corrupt node %d: objLen %d", pg, objLen)
+		}
+		obj, err := t.codec.Decode(id, buf[off+12:off+12+objLen])
+		if err != nil {
+			return nil, fmt.Errorf("pmtree: node %d entry %d: %w", pg, i, err)
+		}
+		e := &n.entries[i]
+		e.obj = obj
+		e.objLen = objLen
+		e.isLeaf = n.leaf
+		p := off + 12 + objLen
+		if p+8 > page.Size {
+			return nil, fmt.Errorf("pmtree: corrupt node %d", pg)
+		}
+		e.dParent = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+		p += 8
+		if n.leaf {
+			if p+8*np > page.Size {
+				return nil, fmt.Errorf("pmtree: corrupt leaf %d", pg)
+			}
+			e.pd = make([]float64, np)
+			for j := range e.pd {
+				e.pd[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+				p += 8
+			}
+		} else {
+			if p+12+16*np > page.Size {
+				return nil, fmt.Errorf("pmtree: corrupt routing entry in node %d", pg)
+			}
+			e.radius = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+			e.child = page.ID(binary.LittleEndian.Uint32(buf[p+8:]))
+			p += 12
+			e.hr = make([]ring, np)
+			for j := range e.hr {
+				e.hr[j].lo = math.Float64frombits(binary.LittleEndian.Uint64(buf[p:]))
+				e.hr[j].hi = math.Float64frombits(binary.LittleEndian.Uint64(buf[p+8:]))
+				p += 16
+			}
+		}
+		off = p
+	}
+	return n, nil
+}
+
+func (t *Tree) allocNode(leaf bool) (*node, error) {
+	pg, err := t.store.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("pmtree: alloc: %w", err)
+	}
+	return &node{page: pg, leaf: leaf}, nil
+}

@@ -1,0 +1,46 @@
+package pmtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"spbtree/internal/metric"
+)
+
+// TestBulkLoadVariableSizeObjects reproduces the internal-node overflow that
+// variable-length words triggered (node 771 overflows page): long routing
+// objects must spill into an extra level instead of failing.
+func TestBulkLoadVariableSizeObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	objs := make([]metric.Object, 8000)
+	for i := range objs {
+		n := 1 + rng.Intn(34)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		objs[i] = metric.NewStr(uint64(i), string(b))
+	}
+	dist := metric.EditDistance{MaxLen: 34}
+	tr, err := New(Options{Distance: dist, Codec: metric.StrCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(objs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.RangeQuery(objs[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != bfRange(objs, objs[0], 2, dist) {
+		t.Fatal("range mismatch after spill packing")
+	}
+	nn, err := tr.KNN(objs[1], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 10 {
+		t.Fatalf("kNN returned %d", len(nn))
+	}
+}

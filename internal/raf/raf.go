@@ -1,0 +1,245 @@
+// Package raf implements the SPB-tree's random access file: the separate,
+// page-based store that holds the actual objects, decoupled from the index
+// (Challenge III of the paper). Each record is (id, len, obj); records are
+// appended in ascending SFC order at build time so that queries touching
+// nearby SFC keys touch nearby RAF pages, which is what makes a small buffer
+// cache effective (Section 4.3).
+package raf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+)
+
+// headerSize is the per-record header: id (8 bytes) + payload length (4).
+const headerSize = 12
+
+// maxPayload bounds a single object's serialized size; larger lengths in a
+// header indicate corruption.
+const maxPayload = 16 << 20
+
+// File is a random access file of serialized objects over a page store.
+// The File must own its store: it assumes pages are allocated densely from
+// zero, so byte offset o lives on page o / page.Size.
+type File struct {
+	store page.Store
+	codec metric.Codec
+
+	size  uint64 // total bytes appended
+	count int    // records appended
+
+	buf     [page.Size]byte // current tail page
+	curPage page.ID
+	havePg  bool
+	pos     int  // write position within buf
+	dirty   bool // buf has unflushed bytes
+}
+
+// New returns an empty RAF on store, decoding objects with codec.
+func New(store page.Store, codec metric.Codec) *File {
+	return &File{store: store, codec: codec}
+}
+
+// metaVersion versions the Meta encoding.
+const metaVersion = 1
+
+// Meta returns an opaque snapshot of the file's bookkeeping (byte size and
+// record count); persist it alongside the store and pass it to Open.
+// Call Flush first.
+func (f *File) Meta() []byte {
+	b := make([]byte, 0, 17)
+	b = append(b, metaVersion)
+	b = binary.LittleEndian.AppendUint64(b, f.size)
+	b = binary.LittleEndian.AppendUint64(b, uint64(f.count))
+	return b
+}
+
+// Open reopens a RAF previously persisted to store. If the file ends with a
+// partial page, that page is read back so appends can continue in place.
+func Open(store page.Store, codec metric.Codec, meta []byte) (*File, error) {
+	if len(meta) != 17 {
+		return nil, fmt.Errorf("raf: meta is %d bytes, want 17", len(meta))
+	}
+	if meta[0] != metaVersion {
+		return nil, fmt.Errorf("raf: meta version %d, want %d", meta[0], metaVersion)
+	}
+	f := New(store, codec)
+	f.size = binary.LittleEndian.Uint64(meta[1:9])
+	f.count = int(binary.LittleEndian.Uint64(meta[9:17]))
+	if want := f.PagesUsed(); store.NumPages() < want {
+		return nil, fmt.Errorf("raf: store has %d pages, meta needs %d", store.NumPages(), want)
+	}
+	if rem := int(f.size % page.Size); rem != 0 {
+		// Reload the partial tail so future appends extend it.
+		f.curPage = page.ID(f.size / page.Size)
+		if err := store.Read(f.curPage, f.buf[:]); err != nil {
+			return nil, fmt.Errorf("raf: reload tail page: %w", err)
+		}
+		f.havePg = true
+		f.pos = rem
+	}
+	return f, nil
+}
+
+// Append serializes obj at the end of the file and returns its byte offset —
+// the ptr stored in B+-tree leaf entries. Writes are buffered per page; call
+// Flush after the last Append of a batch.
+func (f *File) Append(obj metric.Object) (uint64, error) {
+	payload := obj.AppendBinary(nil)
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("raf: object %d payload %d exceeds %d bytes", obj.ID(), len(payload), maxPayload)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], obj.ID())
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+
+	offset := f.size
+	if err := f.write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if err := f.write(payload); err != nil {
+		return 0, err
+	}
+	f.count++
+	return offset, nil
+}
+
+// write copies b into the tail buffer, flushing full pages.
+func (f *File) write(b []byte) error {
+	for len(b) > 0 {
+		if !f.havePg {
+			id, err := f.store.Alloc()
+			if err != nil {
+				return fmt.Errorf("raf: alloc: %w", err)
+			}
+			want := page.ID(f.size / page.Size)
+			if id != want {
+				return fmt.Errorf("raf: store not exclusively owned: alloc returned page %d, want %d", id, want)
+			}
+			f.curPage = id
+			f.havePg = true
+			f.pos = 0
+		}
+		n := copy(f.buf[f.pos:], b)
+		f.pos += n
+		f.size += uint64(n)
+		f.dirty = true
+		b = b[n:]
+		if f.pos == page.Size {
+			if err := f.store.Write(f.curPage, f.buf[:]); err != nil {
+				return fmt.Errorf("raf: flush page: %w", err)
+			}
+			f.havePg = false
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Flush writes any partially filled tail page.
+func (f *File) Flush() error {
+	if !f.dirty {
+		return nil
+	}
+	// Zero the unused remainder so reads of the tail page are deterministic.
+	clear(f.buf[f.pos:])
+	if err := f.store.Write(f.curPage, f.buf[:]); err != nil {
+		return fmt.Errorf("raf: flush: %w", err)
+	}
+	f.dirty = false
+	return nil
+}
+
+// Read decodes the record at offset. Every page touched is a page access on
+// the underlying store (or a cache hit if the store is a page.Cache).
+func (f *File) Read(offset uint64) (metric.Object, error) {
+	if offset+headerSize > f.size {
+		return nil, fmt.Errorf("raf: offset %d out of range (size %d)", offset, f.size)
+	}
+	if f.dirty && offset+headerSize > uint64(f.curPage)*page.Size {
+		if err := f.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	var hdr [headerSize]byte
+	if err := f.readAt(offset, hdr[:]); err != nil {
+		return nil, err
+	}
+	id := binary.LittleEndian.Uint64(hdr[0:8])
+	plen := binary.LittleEndian.Uint32(hdr[8:12])
+	if uint64(plen) > maxPayload || offset+headerSize+uint64(plen) > f.size {
+		return nil, fmt.Errorf("raf: corrupt record at %d: payload length %d", offset, plen)
+	}
+	if f.dirty && offset+headerSize+uint64(plen) > uint64(f.curPage)*page.Size {
+		if err := f.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	payload := make([]byte, plen)
+	if err := f.readAt(offset+headerSize, payload); err != nil {
+		return nil, err
+	}
+	obj, err := f.codec.Decode(id, payload)
+	if err != nil {
+		return nil, fmt.Errorf("raf: decode record at %d: %w", offset, err)
+	}
+	return obj, nil
+}
+
+// readAt fills b from the file starting at offset, reading whole pages.
+func (f *File) readAt(offset uint64, b []byte) error {
+	var pg [page.Size]byte
+	for len(b) > 0 {
+		id := page.ID(offset / page.Size)
+		within := int(offset % page.Size)
+		if err := f.store.Read(id, pg[:]); err != nil {
+			return fmt.Errorf("raf: read page %d: %w", id, err)
+		}
+		n := copy(b, pg[within:])
+		b = b[n:]
+		offset += uint64(n)
+	}
+	return nil
+}
+
+// Scan iterates all records in file order, invoking fn with each record's
+// offset and object. It stops early if fn returns an error.
+func (f *File) Scan(fn func(offset uint64, obj metric.Object) error) error {
+	var off uint64
+	for i := 0; i < f.count; i++ {
+		obj, err := f.Read(off)
+		if err != nil {
+			return err
+		}
+		if err := fn(off, obj); err != nil {
+			return err
+		}
+		payload := obj.AppendBinary(nil)
+		off += headerSize + uint64(len(payload))
+	}
+	return nil
+}
+
+// Count returns the number of records.
+func (f *File) Count() int { return f.count }
+
+// Size returns the total bytes appended.
+func (f *File) Size() uint64 { return f.size }
+
+// PagesUsed returns the number of pages the file occupies.
+func (f *File) PagesUsed() int {
+	return int((f.size + page.Size - 1) / page.Size)
+}
+
+// ObjectsPerPage returns the paper's f term — the average number of objects
+// per RAF page — used by the EPA cost models (eq. 6 and 8).
+func (f *File) ObjectsPerPage() float64 {
+	p := f.PagesUsed()
+	if p == 0 {
+		return 0
+	}
+	return float64(f.count) / float64(p)
+}

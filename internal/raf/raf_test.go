@@ -1,0 +1,297 @@
+package raf
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	store := page.NewMemStore()
+	f := New(store, metric.StrCodec{})
+	words := []string{"word", "dictionary", "defoliate", "", "a"}
+	offsets := make([]uint64, len(words))
+	for i, w := range words {
+		off, err := f.Append(metric.NewStr(uint64(i), w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets[i] = off
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		obj, err := f.Read(offsets[i])
+		if err != nil {
+			t.Fatalf("Read(%d): %v", offsets[i], err)
+		}
+		s := obj.(*metric.Str)
+		if s.Id != uint64(i) || s.S != w {
+			t.Errorf("record %d = (%d, %q), want (%d, %q)", i, s.Id, s.S, i, w)
+		}
+	}
+	if f.Count() != len(words) {
+		t.Errorf("Count = %d", f.Count())
+	}
+}
+
+func TestReadBeforeFlushAutoFlushes(t *testing.T) {
+	store := page.NewMemStore()
+	f := New(store, metric.StrCodec{})
+	off, err := f.Append(metric.NewStr(1, "pending"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := f.Read(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.(*metric.Str).S != "pending" {
+		t.Error("read did not observe unflushed record")
+	}
+}
+
+func TestMultiPageRecords(t *testing.T) {
+	store := page.NewMemStore()
+	f := New(store, metric.StrCodec{})
+	big := strings.Repeat("x", 3*page.Size+100) // spans 4 pages
+	off1, err := f.Append(metric.NewStr(1, big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := f.Append(metric.NewStr(2, "small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	o1, err := f.Read(off1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.(*metric.Str).S != big {
+		t.Error("multi-page record corrupted")
+	}
+	o2, err := f.Read(off2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.(*metric.Str).S != "small" {
+		t.Error("record after big one corrupted")
+	}
+	if f.PagesUsed() < 4 {
+		t.Errorf("PagesUsed = %d", f.PagesUsed())
+	}
+}
+
+func TestManyRecordsAcrossPages(t *testing.T) {
+	store := page.NewMemStore()
+	f := New(store, metric.VectorCodec{Dim: 16})
+	rng := rand.New(rand.NewSource(4))
+	type rec struct {
+		off uint64
+		v   []float64
+	}
+	var recs []rec
+	for i := 0; i < 2000; i++ {
+		coords := make([]float64, 16)
+		for j := range coords {
+			coords[j] = rng.Float64()
+		}
+		off, err := f.Append(metric.NewVector(uint64(i), coords))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec{off, coords})
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		r := recs[rng.Intn(len(recs))]
+		obj, err := f.Read(r.off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := obj.(*metric.Vector)
+		for j := range r.v {
+			if v.Coords[j] != r.v[j] {
+				t.Fatalf("record at %d coord %d mismatch", r.off, j)
+			}
+		}
+	}
+	// f ≈ count / pages: 16-dim float64 vectors are 140 bytes per record, so
+	// roughly 29 objects per 4 KB page.
+	if opp := f.ObjectsPerPage(); opp < 20 || opp > 35 {
+		t.Errorf("ObjectsPerPage = %v", opp)
+	}
+}
+
+func TestScan(t *testing.T) {
+	store := page.NewMemStore()
+	f := New(store, metric.StrCodec{})
+	for i := 0; i < 50; i++ {
+		if _, err := f.Append(metric.NewStr(uint64(i), fmt.Sprintf("w%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	err := f.Scan(func(off uint64, obj metric.Object) error {
+		if obj.ID() != uint64(i) {
+			return fmt.Errorf("scan order broken at %d", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 50 {
+		t.Errorf("scan visited %d records", i)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	store := page.NewMemStore()
+	f := New(store, metric.StrCodec{})
+	off, err := f.Append(metric.NewStr(1, "hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(f.Size() + 100); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+	// Corrupt the record header's length field.
+	buf := make([]byte, page.Size)
+	if err := store.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[8], buf[9], buf[10], buf[11] = 0xFF, 0xFF, 0xFF, 0x7F
+	if err := store.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(off); err == nil {
+		t.Error("corrupt record accepted")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	mem := page.NewMemStore()
+	f := New(page.NewFaultStore(mem, 0), metric.StrCodec{})
+	if _, err := f.Append(metric.NewStr(1, "x")); !errors.Is(err, page.ErrInjected) {
+		t.Errorf("Append under fault = %v", err)
+	}
+}
+
+func TestCachedReadsCountOnce(t *testing.T) {
+	mem := page.NewMemStore()
+	cache := page.NewCache(mem, 8)
+	f := New(cache, metric.StrCodec{})
+	off, err := f.Append(metric.NewStr(1, "cached"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cache.Flush() // cold cache, as before each measured query in the paper
+	mem.Stats().Reset()
+	for i := 0; i < 5; i++ {
+		if _, err := f.Read(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mem.Stats().Reads(); got != 1 {
+		t.Errorf("5 cached reads performed %d physical reads, want 1", got)
+	}
+}
+
+func TestMetaRoundTripWithPartialTail(t *testing.T) {
+	store := page.NewMemStore()
+	f := New(store, metric.StrCodec{})
+	var offsets []uint64
+	for i := 0; i < 30; i++ {
+		off, err := f.Append(metric.NewStr(uint64(i), strings.Repeat("x", 100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, off)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	meta := f.Meta()
+
+	re, err := Open(store, metric.StrCodec{}, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Count() != 30 || re.Size() != f.Size() {
+		t.Fatalf("reopened count=%d size=%d", re.Count(), re.Size())
+	}
+	// Reads work.
+	obj, err := re.Read(offsets[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.ID() != 7 {
+		t.Fatalf("read id %d", obj.ID())
+	}
+	// Appends continue into the reloaded partial tail page without
+	// clobbering earlier records.
+	off, err := re.Append(metric.NewStr(99, "appended-after-reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Read(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*metric.Str).S != "appended-after-reopen" {
+		t.Error("post-reopen append corrupted")
+	}
+	prev, err := re.Read(offsets[29])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.(*metric.Str).S != strings.Repeat("x", 129) {
+		t.Error("pre-reopen record corrupted by tail reload")
+	}
+}
+
+func TestOpenRejectsBadMeta(t *testing.T) {
+	store := page.NewMemStore()
+	if _, err := Open(store, metric.StrCodec{}, nil); err == nil {
+		t.Error("nil meta accepted")
+	}
+	if _, err := Open(store, metric.StrCodec{}, make([]byte, 17)); err == nil {
+		t.Error("zero-version meta accepted")
+	}
+	// Meta describing more data than the store holds.
+	f := New(page.NewMemStore(), metric.StrCodec{})
+	if _, err := f.Append(metric.NewStr(1, "abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(page.NewMemStore(), metric.StrCodec{}, f.Meta()); err == nil {
+		t.Error("meta larger than store accepted")
+	}
+}

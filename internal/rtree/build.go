@@ -1,0 +1,274 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spbtree/internal/page"
+)
+
+// BulkLoad builds the tree from points with STR (sort-tile-recursive)
+// packing: points are recursively sorted and sliced dimension by dimension
+// into leaf-sized tiles, then upper levels pack consecutive rectangles.
+func (t *Tree) BulkLoad(points [][]float64, vals []uint64) error {
+	if t.hasRoot {
+		return fmt.Errorf("rtree: BulkLoad on non-empty tree")
+	}
+	if len(points) != len(vals) {
+		return fmt.Errorf("rtree: %d points but %d vals", len(points), len(vals))
+	}
+	if len(points) == 0 {
+		return nil
+	}
+	for _, p := range points {
+		if len(p) != t.dims {
+			return fmt.Errorf("rtree: point dim %d, tree dim %d", len(p), t.dims)
+		}
+	}
+	entries := make([]leafEntry, len(points))
+	for i := range points {
+		entries[i] = leafEntry{point: points[i], val: vals[i]}
+	}
+	tiles := strTile(entries, t.dims, 0, t.maxLeaf)
+
+	level := make([]branch, 0, len(tiles))
+	for _, tile := range tiles {
+		n, err := t.allocNode(true)
+		if err != nil {
+			return err
+		}
+		n.points = tile
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		level = append(level, branch{r: t.nodeRect(n), child: n.page})
+	}
+	t.height = 1
+	for len(level) > 1 {
+		var next []branch
+		for i := 0; i < len(level); i += t.maxInternal {
+			end := i + t.maxInternal
+			if end > len(level) {
+				end = len(level)
+			}
+			n, err := t.allocNode(false)
+			if err != nil {
+				return err
+			}
+			n.branches = append(n.branches, level[i:end]...)
+			if err := t.writeNode(n); err != nil {
+				return err
+			}
+			next = append(next, branch{r: t.nodeRect(n), child: n.page})
+		}
+		level = next
+		t.height++
+	}
+	t.rootPage = level[0].child
+	t.rootRect = level[0].r
+	t.hasRoot = true
+	t.count = len(points)
+	return nil
+}
+
+// strTile recursively slices entries into tiles of at most cap points.
+func strTile(entries []leafEntry, dims, dim, cap int) [][]leafEntry {
+	if len(entries) <= cap {
+		return [][]leafEntry{entries}
+	}
+	if dim == dims-1 {
+		sortByDim(entries, dim)
+		var out [][]leafEntry
+		for i := 0; i < len(entries); i += cap {
+			end := i + cap
+			if end > len(entries) {
+				end = len(entries)
+			}
+			out = append(out, entries[i:end])
+		}
+		return out
+	}
+	sortByDim(entries, dim)
+	tilesNeeded := float64(len(entries)) / float64(cap)
+	slabs := int(math.Ceil(math.Pow(tilesNeeded, 1/float64(dims-dim))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := (len(entries) + slabs - 1) / slabs
+	var out [][]leafEntry
+	for i := 0; i < len(entries); i += slabSize {
+		end := i + slabSize
+		if end > len(entries) {
+			end = len(entries)
+		}
+		out = append(out, strTile(entries[i:end], dims, dim+1, cap)...)
+	}
+	return out
+}
+
+func sortByDim(entries []leafEntry, dim int) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].point[dim] < entries[j].point[dim] })
+}
+
+// Insert adds one point: least-enlargement descent with linear split.
+func (t *Tree) Insert(point []float64, val uint64) error {
+	if len(point) != t.dims {
+		return fmt.Errorf("rtree: point dim %d, tree dim %d", len(point), t.dims)
+	}
+	if !t.hasRoot {
+		n, err := t.allocNode(true)
+		if err != nil {
+			return err
+		}
+		n.points = []leafEntry{{point: point, val: val}}
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		t.rootPage = n.page
+		t.rootRect = t.nodeRect(n)
+		t.hasRoot = true
+		t.height = 1
+		t.count = 1
+		return nil
+	}
+	split, err := t.insertAt(t.rootPage, point, val)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		root, err := t.allocNode(false)
+		if err != nil {
+			return err
+		}
+		root.branches = split
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		t.rootPage = root.page
+		t.rootRect = t.nodeRect(root)
+		t.height++
+	} else {
+		expandPoint(&t.rootRect, point)
+	}
+	t.count++
+	return nil
+}
+
+// insertAt returns two replacement branches when the node split.
+func (t *Tree) insertAt(pg page.ID, point []float64, val uint64) ([]branch, error) {
+	n, err := t.readNode(pg)
+	if err != nil {
+		return nil, err
+	}
+	if n.leaf {
+		n.points = append(n.points, leafEntry{point: point, val: val})
+		if len(n.points) <= t.maxLeaf {
+			return nil, t.writeNode(n)
+		}
+		return t.splitLeaf(n)
+	}
+	best, bestE := 0, math.Inf(1)
+	for i, b := range n.branches {
+		if e := enlargement(b.r, point); e < bestE {
+			best, bestE = i, e
+		}
+	}
+	split, err := t.insertAt(n.branches[best].child, point, val)
+	if err != nil {
+		return nil, err
+	}
+	if split != nil {
+		n.branches[best] = split[0]
+		n.branches = append(n.branches, split[1])
+	} else {
+		expandPoint(&n.branches[best].r, point)
+	}
+	if len(n.branches) <= t.maxInternal {
+		return nil, t.writeNode(n)
+	}
+	return t.splitInternal(n)
+}
+
+// splitLeaf partitions an overflowing leaf along its widest dimension.
+func (t *Tree) splitLeaf(n *node) ([]branch, error) {
+	dim := t.widestDimPoints(n.points)
+	sortByDim(n.points, dim)
+	mid := len(n.points) / 2
+	right, err := t.allocNode(true)
+	if err != nil {
+		return nil, err
+	}
+	right.points = append(right.points, n.points[mid:]...)
+	n.points = n.points[:mid]
+	if err := t.writeNode(n); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	return []branch{
+		{r: t.nodeRect(n), child: n.page},
+		{r: t.nodeRect(right), child: right.page},
+	}, nil
+}
+
+func (t *Tree) splitInternal(n *node) ([]branch, error) {
+	dim := t.widestDimBranches(n.branches)
+	sort.Slice(n.branches, func(i, j int) bool { return n.branches[i].r.lo[dim] < n.branches[j].r.lo[dim] })
+	mid := len(n.branches) / 2
+	right, err := t.allocNode(false)
+	if err != nil {
+		return nil, err
+	}
+	right.branches = append(right.branches, n.branches[mid:]...)
+	n.branches = n.branches[:mid]
+	if err := t.writeNode(n); err != nil {
+		return nil, err
+	}
+	if err := t.writeNode(right); err != nil {
+		return nil, err
+	}
+	return []branch{
+		{r: t.nodeRect(n), child: n.page},
+		{r: t.nodeRect(right), child: right.page},
+	}, nil
+}
+
+func (t *Tree) widestDimPoints(points []leafEntry) int {
+	best, span := 0, -1.0
+	for d := 0; d < t.dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, e := range points {
+			if e.point[d] < lo {
+				lo = e.point[d]
+			}
+			if e.point[d] > hi {
+				hi = e.point[d]
+			}
+		}
+		if hi-lo > span {
+			best, span = d, hi-lo
+		}
+	}
+	return best
+}
+
+func (t *Tree) widestDimBranches(branches []branch) int {
+	best, span := 0, -1.0
+	for d := 0; d < t.dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, b := range branches {
+			if b.r.lo[d] < lo {
+				lo = b.r.lo[d]
+			}
+			if b.r.hi[d] > hi {
+				hi = b.r.hi[d]
+			}
+		}
+		if hi-lo > span {
+			best, span = d, hi-lo
+		}
+	}
+	return best
+}

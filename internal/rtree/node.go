@@ -1,0 +1,167 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spbtree/internal/page"
+)
+
+// On-disk node layout:
+//
+//	byte 0    flags: bit 0 = leaf
+//	bytes 1-2 entry count
+//	bytes 3-7 reserved
+//	leaf entry:   val u64 | point dims×f64
+//	branch entry: child u32 | lo dims×f64 | hi dims×f64
+const nodeHeader = 8
+
+func leafEntryBytes(dims int) int { return 8 + 8*dims }
+func branchBytes(dims int) int    { return 4 + 16*dims }
+
+func (t *Tree) writeNode(n *node) error {
+	var buf [page.Size]byte
+	if n.leaf {
+		buf[0] = 1
+		binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.points)))
+		off := nodeHeader
+		for _, e := range n.points {
+			binary.LittleEndian.PutUint64(buf[off:], e.val)
+			off += 8
+			for _, c := range e.point {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(c))
+				off += 8
+			}
+		}
+	} else {
+		binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.branches)))
+		off := nodeHeader
+		for _, b := range n.branches {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(b.child))
+			off += 4
+			for _, c := range b.r.lo {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(c))
+				off += 8
+			}
+			for _, c := range b.r.hi {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(c))
+				off += 8
+			}
+		}
+	}
+	if err := t.store.Write(n.page, buf[:]); err != nil {
+		return fmt.Errorf("rtree: write node: %w", err)
+	}
+	return nil
+}
+
+func (t *Tree) readNode(pg page.ID) (*node, error) {
+	var buf [page.Size]byte
+	if err := t.store.Read(pg, buf[:]); err != nil {
+		return nil, fmt.Errorf("rtree: read node: %w", err)
+	}
+	n := &node{page: pg, leaf: buf[0]&1 != 0}
+	cnt := int(binary.LittleEndian.Uint16(buf[1:3]))
+	off := nodeHeader
+	if n.leaf {
+		if cnt > (page.Size-nodeHeader)/leafEntryBytes(t.dims) {
+			return nil, fmt.Errorf("rtree: corrupt leaf %d: count %d", pg, cnt)
+		}
+		n.points = make([]leafEntry, cnt)
+		for i := range n.points {
+			n.points[i].val = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			pt := make([]float64, t.dims)
+			for j := range pt {
+				pt[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			n.points[i].point = pt
+		}
+	} else {
+		if cnt > (page.Size-nodeHeader)/branchBytes(t.dims) {
+			return nil, fmt.Errorf("rtree: corrupt node %d: count %d", pg, cnt)
+		}
+		n.branches = make([]branch, cnt)
+		for i := range n.branches {
+			n.branches[i].child = page.ID(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			lo := make([]float64, t.dims)
+			hi := make([]float64, t.dims)
+			for j := range lo {
+				lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			for j := range hi {
+				hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			n.branches[i].r = rect{lo: lo, hi: hi}
+		}
+	}
+	return n, nil
+}
+
+func (t *Tree) allocNode(leaf bool) (*node, error) {
+	pg, err := t.store.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("rtree: alloc: %w", err)
+	}
+	return &node{page: pg, leaf: leaf}, nil
+}
+
+// nodeRect computes a node's bounding rectangle.
+func (t *Tree) nodeRect(n *node) rect {
+	r := rect{lo: make([]float64, t.dims), hi: make([]float64, t.dims)}
+	for i := range r.lo {
+		r.lo[i] = math.Inf(1)
+		r.hi[i] = math.Inf(-1)
+	}
+	if n.leaf {
+		for _, e := range n.points {
+			expandPoint(&r, e.point)
+		}
+	} else {
+		for _, b := range n.branches {
+			expandRect(&r, b.r)
+		}
+	}
+	return r
+}
+
+func expandPoint(r *rect, p []float64) {
+	for i := range p {
+		if p[i] < r.lo[i] {
+			r.lo[i] = p[i]
+		}
+		if p[i] > r.hi[i] {
+			r.hi[i] = p[i]
+		}
+	}
+}
+
+func expandRect(r *rect, o rect) {
+	for i := range o.lo {
+		if o.lo[i] < r.lo[i] {
+			r.lo[i] = o.lo[i]
+		}
+		if o.hi[i] > r.hi[i] {
+			r.hi[i] = o.hi[i]
+		}
+	}
+}
+
+// enlargement returns how much r's perimeter must grow to cover p.
+func enlargement(r rect, p []float64) float64 {
+	var e float64
+	for i := range p {
+		if p[i] < r.lo[i] {
+			e += r.lo[i] - p[i]
+		}
+		if p[i] > r.hi[i] {
+			e += p[i] - r.hi[i]
+		}
+	}
+	return e
+}

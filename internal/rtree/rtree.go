@@ -1,0 +1,303 @@
+// Package rtree implements a disk-based R-tree over fixed-dimension float64
+// points with uint64 payloads. It is the substrate of the OmniR-tree
+// baseline (internal/omni), which indexes the pivot-mapped "Omni
+// coordinates" of every object. Construction uses STR (sort-tile-recursive)
+// bulk-loading; single inserts use least-enlargement descent with a linear
+// split, enough for the paper's update experiment (Table 7).
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"spbtree/internal/page"
+)
+
+// Options configures a Tree.
+type Options struct {
+	// Dims is the point dimensionality; required.
+	Dims int
+	// Store backs the tree; nil selects a fresh in-memory store.
+	Store page.Store
+	// CacheSize is the buffer-cache capacity in pages (default 32; negative
+	// disables).
+	CacheSize int
+	// MaxLeaf / MaxInternal override fan-outs for tests; 0 = page capacity.
+	MaxLeaf, MaxInternal int
+}
+
+// Tree is a disk-based R-tree.
+type Tree struct {
+	store *page.Cache
+	dims  int
+
+	maxLeaf, maxInternal int
+	minLeaf, minInternal int
+
+	rootPage page.ID
+	rootRect rect
+	hasRoot  bool
+	height   int
+	count    int
+}
+
+const noPage = ^page.ID(0)
+
+// rect is an axis-aligned box; lo and hi have Dims entries.
+type rect struct {
+	lo, hi []float64
+}
+
+// leafEntry is a stored point with payload.
+type leafEntry struct {
+	point []float64
+	val   uint64
+}
+
+// branch references a child node.
+type branch struct {
+	r     rect
+	child page.ID
+}
+
+type node struct {
+	page     page.ID
+	leaf     bool
+	points   []leafEntry
+	branches []branch
+}
+
+// New creates an empty tree.
+func New(opts Options) (*Tree, error) {
+	if opts.Dims <= 0 {
+		return nil, fmt.Errorf("rtree: Dims must be positive")
+	}
+	store := opts.Store
+	if store == nil {
+		store = page.NewMemStore()
+	}
+	cs := opts.CacheSize
+	if cs == 0 {
+		cs = 32
+	}
+	if cs < 0 {
+		cs = 0
+	}
+	t := &Tree{
+		store:    page.NewCache(store, cs),
+		dims:     opts.Dims,
+		rootPage: noPage,
+	}
+	t.maxLeaf = opts.MaxLeaf
+	if t.maxLeaf == 0 {
+		t.maxLeaf = (page.Size - nodeHeader) / leafEntryBytes(opts.Dims)
+	}
+	t.maxInternal = opts.MaxInternal
+	if t.maxInternal == 0 {
+		t.maxInternal = (page.Size - nodeHeader) / branchBytes(opts.Dims)
+	}
+	if t.maxLeaf < 2 || t.maxInternal < 2 {
+		return nil, fmt.Errorf("rtree: fan-out too small (leaf %d, internal %d)", t.maxLeaf, t.maxInternal)
+	}
+	if t.maxLeaf > (page.Size-nodeHeader)/leafEntryBytes(opts.Dims) ||
+		t.maxInternal > (page.Size-nodeHeader)/branchBytes(opts.Dims) {
+		return nil, fmt.Errorf("rtree: fan-out exceeds page capacity")
+	}
+	t.minLeaf = t.maxLeaf * 2 / 5 // the customary 40% minimum fill
+	if t.minLeaf < 1 {
+		t.minLeaf = 1
+	}
+	t.minInternal = t.maxInternal * 2 / 5
+	if t.minInternal < 1 {
+		t.minInternal = 1
+	}
+	return t, nil
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// Store exposes the underlying cache for stats accounting.
+func (t *Tree) Store() *page.Cache { return t.store }
+
+// NumPages returns the allocated page count.
+func (t *Tree) NumPages() int { return t.store.NumPages() }
+
+// Search invokes fn for every stored point inside the inclusive box
+// [lo, hi].
+func (t *Tree) Search(lo, hi []float64, fn func(point []float64, val uint64) error) error {
+	if !t.hasRoot {
+		return nil
+	}
+	return t.search(t.rootPage, lo, hi, fn)
+}
+
+func (t *Tree) search(pg page.ID, lo, hi []float64, fn func([]float64, uint64) error) error {
+	n, err := t.readNode(pg)
+	if err != nil {
+		return err
+	}
+	if n.leaf {
+		for _, e := range n.points {
+			if pointInBox(e.point, lo, hi) {
+				if err := fn(e.point, e.val); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, b := range n.branches {
+		if boxesIntersect(b.r.lo, b.r.hi, lo, hi) {
+			if err := t.search(b.child, lo, hi, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func pointInBox(p, lo, hi []float64) bool {
+	for i := range p {
+		if p[i] < lo[i] || p[i] > hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func boxesIntersect(alo, ahi, blo, bhi []float64) bool {
+	for i := range alo {
+		if ahi[i] < blo[i] || bhi[i] < alo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Norm selects the MINDIST metric of the nearest-neighbor iterator.
+type Norm int
+
+const (
+	// LInf is the Chebyshev norm — the metric of the pivot-mapped space.
+	LInf Norm = iota
+	// L2 is the Euclidean norm.
+	L2
+)
+
+func mindistPoint(norm Norm, q, p []float64) float64 {
+	var acc float64
+	for i := range q {
+		d := math.Abs(q[i] - p[i])
+		switch norm {
+		case LInf:
+			if d > acc {
+				acc = d
+			}
+		case L2:
+			acc += d * d
+		}
+	}
+	if norm == L2 {
+		return math.Sqrt(acc)
+	}
+	return acc
+}
+
+func mindistRect(norm Norm, q []float64, r rect) float64 {
+	var acc float64
+	for i := range q {
+		var d float64
+		switch {
+		case q[i] < r.lo[i]:
+			d = r.lo[i] - q[i]
+		case q[i] > r.hi[i]:
+			d = q[i] - r.hi[i]
+		}
+		switch norm {
+		case LInf:
+			if d > acc {
+				acc = d
+			}
+		case L2:
+			acc += d * d
+		}
+	}
+	if norm == L2 {
+		return math.Sqrt(acc)
+	}
+	return acc
+}
+
+// Iter yields stored points in ascending MINDIST order from a query point —
+// the incremental nearest-neighbor traversal of Hjaltason and Samet.
+type Iter struct {
+	t    *Tree
+	q    []float64
+	norm Norm
+	pq   iterHeap
+	err  error
+}
+
+// NearestIter starts an incremental nearest-neighbor scan.
+func (t *Tree) NearestIter(q []float64, norm Norm) *Iter {
+	it := &Iter{t: t, q: q, norm: norm}
+	if t.hasRoot {
+		heap.Push(&it.pq, iterItem{dist: mindistRect(norm, q, t.rootRect), page: t.rootPage, isNode: true})
+	}
+	return it
+}
+
+// Next returns the next point and its MINDIST; ok is false when exhausted or
+// on error (check Err).
+func (it *Iter) Next() (point []float64, val uint64, dist float64, ok bool) {
+	for it.pq.Len() > 0 {
+		item := heap.Pop(&it.pq).(iterItem)
+		if !item.isNode {
+			return item.point, item.val, item.dist, true
+		}
+		n, err := it.t.readNode(item.page)
+		if err != nil {
+			it.err = err
+			return nil, 0, 0, false
+		}
+		if n.leaf {
+			for _, e := range n.points {
+				heap.Push(&it.pq, iterItem{dist: mindistPoint(it.norm, it.q, e.point), point: e.point, val: e.val})
+			}
+			continue
+		}
+		for _, b := range n.branches {
+			heap.Push(&it.pq, iterItem{dist: mindistRect(it.norm, it.q, b.r), page: b.child, isNode: true})
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// Err returns the first I/O error the iterator hit.
+func (it *Iter) Err() error { return it.err }
+
+type iterItem struct {
+	dist   float64
+	isNode bool
+	page   page.ID
+	point  []float64
+	val    uint64
+}
+
+type iterHeap []iterItem
+
+func (h iterHeap) Len() int            { return len(h) }
+func (h iterHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h iterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *iterHeap) Push(x interface{}) { *h = append(*h, x.(iterItem)) }
+func (h *iterHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}

@@ -1,0 +1,207 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randPoints(n, dims int, seed int64) ([][]float64, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	vals := make([]uint64, n)
+	for i := range pts {
+		p := make([]float64, dims)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+		vals[i] = uint64(i)
+	}
+	return pts, vals
+}
+
+func bfSearch(pts [][]float64, lo, hi []float64) map[uint64]bool {
+	out := map[uint64]bool{}
+	for i, p := range pts {
+		if pointInBox(p, lo, hi) {
+			out[uint64(i)] = true
+		}
+	}
+	return out
+}
+
+func TestBulkLoadSearch(t *testing.T) {
+	for _, dims := range []int{1, 2, 3, 5} {
+		pts, vals := randPoints(2000, dims, int64(dims))
+		tr, err := New(Options{Dims: dims})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.BulkLoad(pts, vals); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 2000 {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		rng := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 20; trial++ {
+			lo := make([]float64, dims)
+			hi := make([]float64, dims)
+			for j := range lo {
+				a, b := rng.Float64(), rng.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+			}
+			got := map[uint64]bool{}
+			err := tr.Search(lo, hi, func(p []float64, v uint64) error {
+				got[v] = true
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bfSearch(pts, lo, hi)
+			if len(got) != len(want) {
+				t.Fatalf("dims=%d trial %d: got %d, want %d", dims, trial, len(got), len(want))
+			}
+			for v := range want {
+				if !got[v] {
+					t.Fatalf("missing %d", v)
+				}
+			}
+		}
+	}
+}
+
+func TestInsertSearch(t *testing.T) {
+	pts, vals := randPoints(1500, 3, 7)
+	tr, err := New(Options{Dims: 3, MaxLeaf: 8, MaxInternal: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if err := tr.Insert(pts[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo := []float64{0.2, 0.2, 0.2}
+	hi := []float64{0.6, 0.7, 0.5}
+	got := map[uint64]bool{}
+	if err := tr.Search(lo, hi, func(p []float64, v uint64) error { got[v] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := bfSearch(pts, lo, hi)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestBulkThenInsert(t *testing.T) {
+	pts, vals := randPoints(1000, 2, 8)
+	tr, err := New(Options{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(pts[:600], vals[:600]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 600; i < 1000; i++ {
+		if err := tr.Insert(pts[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo := []float64{0.1, 0.3}
+	hi := []float64{0.8, 0.9}
+	got := map[uint64]bool{}
+	if err := tr.Search(lo, hi, func(p []float64, v uint64) error { got[v] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := bfSearch(pts, lo, hi)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestNearestIterOrder(t *testing.T) {
+	pts, vals := randPoints(800, 3, 9)
+	tr, err := New(Options{Dims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(pts, vals); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, 0.5, 0.6}
+	for _, norm := range []Norm{LInf, L2} {
+		it := tr.NearestIter(q, norm)
+		var dists []float64
+		seen := map[uint64]bool{}
+		for {
+			_, v, d, ok := it.Next()
+			if !ok {
+				break
+			}
+			if seen[v] {
+				t.Fatalf("norm %d: duplicate val %d", norm, v)
+			}
+			seen[v] = true
+			dists = append(dists, d)
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+		if len(dists) != len(pts) {
+			t.Fatalf("norm %d: iterator yielded %d of %d", norm, len(dists), len(pts))
+		}
+		if !sort.Float64sAreSorted(dists) {
+			t.Fatalf("norm %d: distances not ascending", norm)
+		}
+		// First yielded distance must equal the true nearest.
+		best := math.Inf(1)
+		for _, p := range pts {
+			if d := mindistPoint(norm, q, p); d < best {
+				best = d
+			}
+		}
+		if math.Abs(dists[0]-best) > 1e-12 {
+			t.Fatalf("norm %d: first dist %v, true nearest %v", norm, dists[0], best)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Options{Dims: 0}); err == nil {
+		t.Error("Dims 0 accepted")
+	}
+	tr, _ := New(Options{Dims: 2})
+	if err := tr.BulkLoad([][]float64{{1, 2, 3}}, []uint64{0}); err == nil {
+		t.Error("wrong-dim point accepted")
+	}
+	if err := tr.BulkLoad([][]float64{{1, 2}}, []uint64{}); err == nil {
+		t.Error("mismatched vals accepted")
+	}
+	if err := tr.Insert([]float64{1}, 0); err == nil {
+		t.Error("wrong-dim insert accepted")
+	}
+	if _, err := New(Options{Dims: 2, MaxLeaf: 100000}); err == nil {
+		t.Error("oversized fan-out accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, _ := New(Options{Dims: 2})
+	if err := tr.Search([]float64{0, 0}, []float64{1, 1}, func([]float64, uint64) error {
+		t.Fatal("unexpected hit")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	it := tr.NearestIter([]float64{0, 0}, LInf)
+	if _, _, _, ok := it.Next(); ok {
+		t.Error("empty iter yielded a point")
+	}
+}

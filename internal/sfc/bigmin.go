@@ -1,0 +1,96 @@
+package sfc
+
+import "fmt"
+
+// NextInBox returns the smallest Z-order key k >= z whose grid point lies in
+// the inclusive box [lo, hi], and whether such a key exists. It is the
+// BIGMIN operation of Tropf and Herzog that UB-tree/ZB-tree style scans use
+// to skip runs of keys outside a query box without decoding them — the
+// Z-curve counterpart of the Hilbert-side computeSFC enumeration in
+// Algorithm 1. Only Z-order curves support it (the Hilbert curve has no
+// per-bit decomposition of box membership).
+func NextInBox(c Curve, lo, hi Point, z uint64) (uint64, bool) {
+	zc, ok := c.(*zorderCurve)
+	if !ok {
+		panic(fmt.Sprintf("sfc: NextInBox requires a Z-order curve, got %s", c.Name()))
+	}
+	checkPoint(c, lo)
+	checkPoint(c, hi)
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return 0, false
+		}
+	}
+	minz := c.Encode(lo)
+	maxz := c.Encode(hi)
+	if z <= minz {
+		return minz, true
+	}
+	if z > maxz {
+		return 0, false
+	}
+	// Walk bits from the most significant; maintain shrinking box
+	// [minz, maxz] and the best "bigmin" fallback found so far.
+	n := zc.dims
+	totalBits := n * zc.bits
+	bigmin := uint64(0)
+	haveBigmin := false
+	for pos := totalBits - 1; pos >= 0; pos-- {
+		zb := (z >> pos) & 1
+		minb := (minz >> pos) & 1
+		maxb := (maxz >> pos) & 1
+		switch {
+		case zb == 0 && minb == 0 && maxb == 0:
+			// stay
+		case zb == 0 && minb == 0 && maxb == 1:
+			bigmin = load1(minz, pos, n)
+			haveBigmin = true
+			maxz = load0(maxz, pos, n)
+		case zb == 0 && minb == 1 && maxb == 1:
+			// z is below the whole remaining box: its minimum is the answer.
+			return minz, true
+		case zb == 1 && minb == 0 && maxb == 0:
+			// z is above the whole remaining box: fall back to bigmin.
+			if haveBigmin {
+				return bigmin, true
+			}
+			return 0, false
+		case zb == 1 && minb == 0 && maxb == 1:
+			minz = load1(minz, pos, n)
+		case zb == 1 && minb == 1 && maxb == 1:
+			// stay
+		default:
+			// minb == 1 && maxb == 0 cannot happen for minz <= maxz with a
+			// consistent prefix.
+			panic("sfc: NextInBox invariant violated")
+		}
+	}
+	// Every bit of z was compatible with the box: z itself is a member.
+	return z, true
+}
+
+// sameDimLowerMask returns the mask of bit positions below pos that belong
+// to the same dimension (stride n).
+func sameDimLowerMask(pos, n int) uint64 {
+	var m uint64
+	for p := pos - n; p >= 0; p -= n {
+		m |= uint64(1) << p
+	}
+	return m
+}
+
+// load1 sets bit pos of v to 1 and zeroes the lower bits of that dimension:
+// the smallest value of the dimension's suffix with the bit forced high.
+func load1(v uint64, pos, n int) uint64 {
+	v |= uint64(1) << pos
+	v &^= sameDimLowerMask(pos, n)
+	return v
+}
+
+// load0 clears bit pos of v and raises the lower bits of that dimension:
+// the largest value of the dimension's suffix with the bit forced low.
+func load0(v uint64, pos, n int) uint64 {
+	v &^= uint64(1) << pos
+	v |= sameDimLowerMask(pos, n)
+	return v
+}

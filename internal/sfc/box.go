@@ -1,0 +1,121 @@
+package sfc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BoxVolume returns the number of grid cells in the axis-aligned box
+// [lo, hi] (inclusive corners), or 0 if the box is empty. The result
+// saturates at 1<<62 to avoid overflow on pathological boxes.
+func BoxVolume(lo, hi Point) uint64 {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("sfc: BoxVolume corners have dims %d and %d", len(lo), len(hi)))
+	}
+	const cap = uint64(1) << 62
+	vol := uint64(1)
+	for i := range lo {
+		if hi[i] < lo[i] {
+			return 0
+		}
+		side := uint64(hi[i]-lo[i]) + 1
+		if vol > cap/side {
+			return cap
+		}
+		vol *= side
+	}
+	return vol
+}
+
+// KeysInBox returns the curve keys of every grid cell in the inclusive box
+// [lo, hi], sorted ascending. It is the computeSFC step of the paper's range
+// query algorithm (Algorithm 1, line 15), invoked only when the box holds
+// fewer cells than a leaf node holds entries, so enumeration stays cheap.
+// The limit argument bounds the enumeration; if the box volume exceeds it,
+// KeysInBox returns nil to signal the caller to fall back to per-entry
+// verification.
+func KeysInBox(c Curve, lo, hi Point, limit int) []uint64 {
+	vol := BoxVolume(lo, hi)
+	if vol == 0 || (limit >= 0 && vol > uint64(limit)) {
+		return nil
+	}
+	keys := make([]uint64, 0, vol)
+	cur := make(Point, len(lo))
+	copy(cur, lo)
+	for {
+		keys = append(keys, c.Encode(cur))
+		// Odometer increment across dimensions.
+		i := len(cur) - 1
+		for ; i >= 0; i-- {
+			if cur[i] < hi[i] {
+				cur[i]++
+				break
+			}
+			cur[i] = lo[i]
+		}
+		if i < 0 {
+			break
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+// Contains reports whether point p lies in the inclusive box [lo, hi].
+func Contains(lo, hi, p Point) bool {
+	for i := range p {
+		if p[i] < lo[i] || p[i] > hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the inclusive boxes [alo, ahi] and [blo, bhi]
+// overlap.
+func Intersects(alo, ahi, blo, bhi Point) bool {
+	for i := range alo {
+		if ahi[i] < blo[i] || bhi[i] < alo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectBox writes the intersection of [alo, ahi] and [blo, bhi] into
+// (olo, ohi) and reports whether it is non-empty.
+func IntersectBox(alo, ahi, blo, bhi, olo, ohi Point) bool {
+	for i := range alo {
+		lo, hi := alo[i], ahi[i]
+		if blo[i] > lo {
+			lo = blo[i]
+		}
+		if bhi[i] < hi {
+			hi = bhi[i]
+		}
+		if hi < lo {
+			return false
+		}
+		olo[i], ohi[i] = lo, hi
+	}
+	return true
+}
+
+// MinDistLInf returns the minimum L∞ distance, in whole cells, between point
+// p and the inclusive box [lo, hi]; 0 if p is inside.
+func MinDistLInf(lo, hi, p Point) uint32 {
+	var m uint32
+	for i := range p {
+		var d uint32
+		switch {
+		case p[i] < lo[i]:
+			d = lo[i] - p[i]
+		case p[i] > hi[i]:
+			d = p[i] - hi[i]
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,73 @@
+package sfc
+
+import "testing"
+
+// FuzzRoundTrip checks key→point→key identity for both curves at arbitrary
+// dimensionalities within the 64-bit budget.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(2), uint8(4), false)
+	f.Add(uint64(12345), uint8(5), uint8(8), true)
+	f.Add(^uint64(0), uint8(9), uint8(7), false)
+	f.Fuzz(func(t *testing.T, key uint64, dims, bits uint8, zorder bool) {
+		d := int(dims%9) + 1
+		b := int(bits%12) + 1
+		if d*b > 64 {
+			b = 64 / d
+		}
+		kind := Hilbert
+		if zorder {
+			kind = ZOrder
+		}
+		c := New(kind, d, b)
+		key &= uint64(1)<<(d*b) - 1
+		p := make(Point, d)
+		c.Decode(key, p)
+		for i, v := range p {
+			if v >= uint32(1)<<b {
+				t.Fatalf("coordinate %d = %d out of range", i, v)
+			}
+		}
+		if got := c.Encode(p); got != key {
+			t.Fatalf("%s(%d,%d): Encode(Decode(%d)) = %d", c.Name(), d, b, key, got)
+		}
+	})
+}
+
+// FuzzNextInBox checks BIGMIN's postconditions on arbitrary boxes and keys.
+func FuzzNextInBox(f *testing.F) {
+	f.Add(uint32(1), uint32(5), uint32(2), uint32(6), uint64(17))
+	f.Add(uint32(0), uint32(15), uint32(0), uint32(15), uint64(0))
+	f.Fuzz(func(t *testing.T, lo0, hi0, lo1, hi1 uint32, z uint64) {
+		c := New(ZOrder, 2, 8)
+		lo := Point{lo0 % 256, lo1 % 256}
+		hi := Point{hi0 % 256, hi1 % 256}
+		if lo[0] > hi[0] {
+			lo[0], hi[0] = hi[0], lo[0]
+		}
+		if lo[1] > hi[1] {
+			lo[1], hi[1] = hi[1], lo[1]
+		}
+		z &= 1<<16 - 1
+		got, ok := NextInBox(c, lo, hi, z)
+		p := make(Point, 2)
+		if !ok {
+			// Nothing >= z: the box maximum must be below z.
+			if c.Encode(hi) >= z {
+				t.Fatalf("none reported, but Encode(hi)=%d >= z=%d", c.Encode(hi), z)
+			}
+			return
+		}
+		if got < z {
+			t.Fatalf("NextInBox %d < z %d", got, z)
+		}
+		c.Decode(got, p)
+		if !Contains(lo, hi, p) {
+			t.Fatalf("result %d outside box", got)
+		}
+		// Minimality against the brute-force reference (cheap: small grid).
+		want, _ := bruteNextInBox(c, lo, hi, z)
+		if got != want {
+			t.Fatalf("NextInBox = %d, brute force = %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+// Package sfc implements the space-filling curves used by the SPB-tree's
+// second mapping stage: the Hilbert curve (better clustering, used for
+// similarity search) and the Z-order curve (coordinatewise monotone, required
+// by the similarity-join algorithm's Lemma 6).
+//
+// A curve maps points of a dims-dimensional integer grid with bits bits per
+// dimension to one-dimensional uint64 keys bijectively. dims*bits must be at
+// most 64.
+package sfc
+
+import "fmt"
+
+// Point is a cell coordinate in the mapped vector space: Point[i] is the
+// quantized distance of an object to pivot i.
+type Point []uint32
+
+// Curve is a bijection between grid points and one-dimensional keys.
+type Curve interface {
+	// Dims returns the grid dimensionality.
+	Dims() int
+	// Bits returns the number of bits per dimension.
+	Bits() int
+	// Encode maps a point to its curve key. Coordinates must be < 1<<Bits.
+	Encode(p Point) uint64
+	// Decode fills p (which must have length Dims) with the coordinates of
+	// the given key.
+	Decode(key uint64, p Point)
+	// Name returns "hilbert" or "zorder".
+	Name() string
+}
+
+// Kind selects a curve family.
+type Kind int
+
+const (
+	// Hilbert selects the Hilbert curve.
+	Hilbert Kind = iota
+	// ZOrder selects the Z-order (Morton) curve.
+	ZOrder
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Hilbert:
+		return "hilbert"
+	case ZOrder:
+		return "zorder"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New returns a curve of the given kind over a dims-dimensional grid with
+// bits bits per dimension. It panics if the parameters do not fit in 64 bits
+// or are non-positive.
+func New(kind Kind, dims, bits int) Curve {
+	validate(dims, bits)
+	switch kind {
+	case Hilbert:
+		return &hilbertCurve{dims: dims, bits: bits}
+	case ZOrder:
+		return &zorderCurve{dims: dims, bits: bits}
+	default:
+		panic(fmt.Sprintf("sfc: unknown curve kind %d", kind))
+	}
+}
+
+func validate(dims, bits int) {
+	if dims <= 0 || bits <= 0 {
+		panic(fmt.Sprintf("sfc: non-positive dims=%d bits=%d", dims, bits))
+	}
+	if dims*bits > 64 {
+		panic(fmt.Sprintf("sfc: dims*bits = %d*%d exceeds 64", dims, bits))
+	}
+	if bits > 32 {
+		panic(fmt.Sprintf("sfc: bits=%d exceeds 32 (Point is uint32)", bits))
+	}
+}
+
+func checkPoint(c Curve, p Point) {
+	if len(p) != c.Dims() {
+		panic(fmt.Sprintf("sfc: point has %d dims, curve has %d", len(p), c.Dims()))
+	}
+	limit := uint32(1) << c.Bits()
+	for i, v := range p {
+		if v >= limit {
+			panic(fmt.Sprintf("sfc: coordinate %d = %d out of range [0, %d)", i, v, limit))
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package spbtree is the public API of this library: a disk-based metric
+// index — the Space-filling curve and Pivot-based B+-tree (SPB-tree) of
+// Chen, Gao, Li, Jensen and Chen ("Efficient Metric Indexing for Similarity
+// Search", ICDE 2015, extended with similarity joins) — for similarity
+// search and similarity joins over any data type with any distance function
+// satisfying the triangle inequality.
+//
+// Quick start:
+//
+//	objs := []spbtree.Object{
+//		spbtree.NewStr(0, "defoliate"),
+//		spbtree.NewStr(1, "defoliated"),
+//		spbtree.NewStr(2, "citrate"),
+//	}
+//	tree, err := spbtree.Build(objs, spbtree.Options{
+//		Distance:  spbtree.EditDistance{MaxLen: 16},
+//		Codec:     spbtree.StrCodec{},
+//		NumPivots: 2,
+//	})
+//	res, err := tree.RangeQuery(spbtree.NewStr(99, "defoliates"), 1)
+//	nn, err := tree.KNN(spbtree.NewStr(99, "defoliates"), 3)
+//
+// For similarity joins, build two trees over the same mapped space with the
+// Z-order curve and call Join:
+//
+//	tq, _ := spbtree.Build(Q, spbtree.Options{Distance: d, Codec: c, Curve: spbtree.ZOrder})
+//	to, _ := spbtree.Build(O, spbtree.Options{Distance: d, Codec: c, Curve: spbtree.ZOrder, ShareMapping: tq})
+//	pairs, _ := spbtree.Join(tq, to, eps)
+//
+// The implementation lives in internal packages; this package re-exports
+// the user-facing surface via type aliases, so godoc for the concrete
+// behaviour is on spbtree/internal/core and spbtree/internal/metric.
+package spbtree
+
+import (
+	"io"
+
+	"spbtree/internal/core"
+	"spbtree/internal/forest"
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+	"spbtree/internal/pivot"
+	"spbtree/internal/sfc"
+)
+
+// Core index types.
+type (
+	// Tree is a built SPB-tree.
+	Tree = core.Tree
+	// Options configures Build.
+	Options = core.Options
+	// Result is one similarity-search answer.
+	Result = core.Result
+	// JoinPair is one similarity-join answer.
+	JoinPair = core.JoinPair
+	// Stats carries the paper's per-operation metrics (page accesses,
+	// distance computations, wall time).
+	Stats = core.Stats
+	// CostEstimate carries the cost models' EDC/EPA predictions.
+	CostEstimate = core.CostEstimate
+	// TraversalStrategy selects incremental or greedy kNN traversal.
+	TraversalStrategy = core.TraversalStrategy
+	// NearestIter yields neighbors in ascending distance order, lazily.
+	NearestIter = core.NearestIter
+)
+
+// Build constructs an SPB-tree over objs. See core.Build.
+func Build(objs []Object, opts Options) (*Tree, error) { return core.Build(objs, opts) }
+
+// Join computes the similarity join SJ(Q, O, ε) over two Z-order SPB-trees
+// sharing one mapped space. See core.Join.
+func Join(tq, to *Tree, eps float64) ([]JoinPair, error) { return core.Join(tq, to, eps) }
+
+// EstimateJoin predicts a join's cost from the trees' cost models.
+func EstimateJoin(tq, to *Tree, eps float64) (CostEstimate, error) {
+	return core.EstimateJoin(tq, to, eps)
+}
+
+// kNN traversal strategies (paper Table 5).
+const (
+	Incremental = core.Incremental
+	Greedy      = core.Greedy
+)
+
+// ErrNotFound is returned by Tree.Delete and Tree.Get for missing objects.
+var ErrNotFound = core.ErrNotFound
+
+// OpenOptions configures Open.
+type OpenOptions = core.OpenOptions
+
+// Open reopens a tree persisted with Tree.WriteMeta against its two page
+// stores. See core.Open.
+func Open(meta io.Reader, opts OpenOptions) (*Tree, error) { return core.Open(meta, opts) }
+
+// Page storage for persistent trees.
+type (
+	// PageStore is the page-granular storage interface trees run on.
+	PageStore = page.Store
+	// FileStore is a file-backed PageStore.
+	FileStore = page.FileStore
+	// MemStore is an in-memory PageStore.
+	MemStore = page.MemStore
+)
+
+var (
+	// NewMemStore returns an empty in-memory page store.
+	NewMemStore = page.NewMemStore
+	// NewFileStore creates (or truncates) a file-backed page store.
+	NewFileStore = page.NewFileStore
+	// OpenFileStore opens an existing file-backed page store.
+	OpenFileStore = page.OpenFileStore
+)
+
+// Metric-space surface: objects, distances, codecs.
+type (
+	// Object is an element of a metric space.
+	Object = metric.Object
+	// DistanceFunc is a metric (symmetric, non-negative, identity,
+	// triangle inequality).
+	DistanceFunc = metric.DistanceFunc
+	// Codec decodes objects from their serialized payloads.
+	Codec = metric.Codec
+
+	// Vector is a real-valued vector object.
+	Vector = metric.Vector
+	// Str is a string object.
+	Str = metric.Str
+	// BitString is a fixed-width binary signature object.
+	BitString = metric.BitString
+	// Seq is a DNA sequence object with a cached tri-gram profile.
+	Seq = metric.Seq
+
+	// LpNorm is the Minkowski distance of configurable order.
+	LpNorm = metric.LpNorm
+	// LInf is the Chebyshev distance.
+	LInf = metric.LInf
+	// EditDistance is the Levenshtein distance.
+	EditDistance = metric.EditDistance
+	// Hamming is the Hamming distance over bit signatures.
+	Hamming = metric.Hamming
+	// TrigramAngular is the angular distance over tri-gram profiles.
+	TrigramAngular = metric.TrigramAngular
+	// Set is a set-valued object.
+	Set = metric.Set
+	// Jaccard is the Jaccard distance over sets.
+	Jaccard = metric.Jaccard
+
+	// VectorCodec decodes Vector payloads.
+	VectorCodec = metric.VectorCodec
+	// StrCodec decodes Str payloads.
+	StrCodec = metric.StrCodec
+	// BitStringCodec decodes BitString payloads.
+	BitStringCodec = metric.BitStringCodec
+	// SeqCodec decodes Seq payloads.
+	SeqCodec = metric.SeqCodec
+	// SetCodec decodes Set payloads.
+	SetCodec = metric.SetCodec
+)
+
+// Object constructors.
+var (
+	// NewVector returns a vector object.
+	NewVector = metric.NewVector
+	// NewStr returns a string object.
+	NewStr = metric.NewStr
+	// NewBitString returns a bit-signature object.
+	NewBitString = metric.NewBitString
+	// NewSeq returns a DNA-sequence object.
+	NewSeq = metric.NewSeq
+	// NewSet returns a set object (elements copied, sorted, deduplicated).
+	NewSet = metric.NewSet
+	// L2 returns the Euclidean distance over dim-dimensional unit vectors.
+	L2 = metric.L2
+	// L5 returns the Minkowski-5 distance over dim-dimensional unit vectors.
+	L5 = metric.L5
+)
+
+// Space-filling curve kinds for Options.Curve.
+const (
+	// Hilbert offers the best clustering and is the default for search.
+	Hilbert = sfc.Hilbert
+	// ZOrder is coordinatewise monotone and required for similarity joins.
+	ZOrder = sfc.ZOrder
+)
+
+// Distributed extension: partitioned SPB-trees with parallel scatter-gather
+// queries (the paper's future-work direction).
+type (
+	// Forest is a hash-partitioned SPB-tree whose shards share one pivot
+	// mapping and answer queries in parallel.
+	Forest = forest.Forest
+	// ForestOptions configures BuildForest.
+	ForestOptions = forest.Options
+)
+
+// BuildForest partitions objs across shards and builds one SPB-tree per
+// shard. See forest.Build.
+func BuildForest(objs []Object, opts ForestOptions) (*Forest, error) {
+	return forest.Build(objs, opts)
+}
+
+// JoinForests computes SJ(Q, O, ε) between two forests sharing one mapped
+// space, all shard pairs in parallel. See forest.Join.
+func JoinForests(fq, fo *Forest, eps float64) ([]JoinPair, error) {
+	return forest.Join(fq, fo, eps)
+}
+
+// Pivot selection algorithms for Options.Selector.
+type (
+	// PivotSelector chooses pivots from a dataset.
+	PivotSelector = pivot.Selector
+	// HFI is the paper's HF-based incremental selector (the default).
+	HFI = pivot.HFI
+	// HF is the hull-of-foci outlier selector of the Omni-family.
+	HF = pivot.HF
+	// FFT is farthest-first traversal.
+	FFT = pivot.FFT
+	// SSS is sparse spatial selection.
+	SSS = pivot.SSS
+	// Spacing is minimum-correlation vantage selection.
+	Spacing = pivot.Spacing
+	// PCASelector is variance-maximizing selection.
+	PCASelector = pivot.PCA
+	// RandomSelector picks pivots uniformly at random.
+	RandomSelector = pivot.Random
+)
