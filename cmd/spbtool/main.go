@@ -8,6 +8,8 @@
 //	spbtool query -dir idx -type words  -q "defoliate" -r 2
 //	spbtool query -dir idx -type words  -q "defoliate" -k 10
 //	spbtool stats -dir idx -type words
+//	spbtool verify -dir idx
+//	spbtool repair -dir idx
 package main
 
 import (
@@ -29,6 +31,10 @@ func main() {
 		err = cmdQuery(os.Args[2:], os.Stdout)
 	case "stats":
 		err = cmdStats(os.Args[2:], os.Stdout)
+	case "verify":
+		err = cmdVerify(os.Args[2:], os.Stdout)
+	case "repair":
+		err = cmdRepair(os.Args[2:], os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
@@ -43,10 +49,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: spbtool <build|query|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: spbtool <build|query|stats|verify|repair> [flags]
 
-  build -dir DIR -type {words|vectors|dna|signatures} [-dim D] -in FILE
-        [-pivots N] [-curve {hilbert|zorder}]
-  query -dir DIR -type T [-dim D] (-r RADIUS | -k K) -q QUERY
-  stats -dir DIR -type T [-dim D]`)
+  build  -dir DIR -type {words|vectors|dna|signatures} [-dim D] -in FILE
+         [-pivots N] [-curve {hilbert|zorder}]
+  query  -dir DIR (-r RADIUS | -k K) -q QUERY
+  stats  -dir DIR
+  verify -dir DIR    audit every page, record and invariant; list corruptions
+  repair -dir DIR    rebuild the index from the objects that survive`)
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,9 +30,9 @@ type toolConfig struct {
 }
 
 const (
-	indexFile  = "index.pages"
-	dataFile   = "data.pages"
-	metaFile   = "tree.meta"
+	indexFile  = core.IndexPagesFile
+	dataFile   = core.DataPagesFile
+	metaFile   = core.MetaFile
 	configFile = "config.json"
 )
 
@@ -181,12 +182,11 @@ func cmdBuild(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer idx.Close()
 	data, err := page.NewFileStore(filepath.Join(*dir, dataFile))
 	if err != nil {
+		idx.Close()
 		return err
 	}
-	defer data.Close()
 
 	kindCurve := sfc.Hilbert
 	if *curve == "zorder" {
@@ -202,17 +202,15 @@ func cmdBuild(args []string, out io.Writer) error {
 		DataStore:  data,
 	})
 	if err != nil {
+		idx.Close()
+		data.Close()
 		return err
 	}
-	mf, err := os.Create(filepath.Join(*dir, metaFile))
-	if err != nil {
+	if err := tree.SaveAtomic(*dir); err != nil {
+		tree.Close()
 		return err
 	}
-	if err := tree.WriteMeta(mf); err != nil {
-		mf.Close()
-		return err
-	}
-	if err := mf.Close(); err != nil {
+	if err := tree.Close(); err != nil {
 		return err
 	}
 	cj, err := json.MarshalIndent(cfg, "", "  ")
@@ -228,50 +226,107 @@ func cmdBuild(args []string, out io.Writer) error {
 	return nil
 }
 
-// openTree reopens a persisted index directory.
-func openTree(dir string) (*core.Tree, kind, func(), error) {
+// dirKind reads the directory's config.json and resolves its metric.
+func dirKind(dir string) (kind, error) {
 	cj, err := os.ReadFile(filepath.Join(dir, configFile))
 	if err != nil {
-		return nil, kind{}, nil, err
+		return kind{}, err
 	}
 	var cfg toolConfig
 	if err := json.Unmarshal(cj, &cfg); err != nil {
-		return nil, kind{}, nil, fmt.Errorf("parse %s: %w", configFile, err)
+		return kind{}, fmt.Errorf("parse %s: %w", configFile, err)
 	}
-	k, err := kindFor(cfg)
+	return kindFor(cfg)
+}
+
+// openTree reopens a persisted index directory, validating the meta footer
+// and arming page checksums (core.Load).
+func openTree(dir string) (*core.Tree, kind, func(), error) {
+	k, err := dirKind(dir)
 	if err != nil {
 		return nil, kind{}, nil, err
 	}
-	idx, err := page.OpenFileStore(filepath.Join(dir, indexFile))
+	tree, err := core.Load(dir, core.LoadOptions{Distance: k.dist, Codec: k.codec})
 	if err != nil {
 		return nil, kind{}, nil, err
 	}
-	data, err := page.OpenFileStore(filepath.Join(dir, dataFile))
+	return tree, k, func() { tree.Close() }, nil
+}
+
+func cmdVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	dir := fs.String("dir", "", "index directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("verify needs -dir")
+	}
+	tree, _, closeAll, err := openTree(*dir)
 	if err != nil {
-		idx.Close()
-		return nil, kind{}, nil, err
+		if errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+		return fmt.Errorf("%w\nthe index cannot be opened; run \"spbtool repair -dir %s\" to rebuild it", err, *dir)
 	}
-	closeAll := func() {
-		idx.Close()
-		data.Close()
+	defer closeAll()
+	start := time.Now()
+	err = tree.VerifyIntegrity()
+	if err == nil {
+		fmt.Fprintf(out, "ok: %d objects, %.1f KB verified in %v\n",
+			tree.Len(), float64(tree.StorageBytes())/1024, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
-	mf, err := os.Open(filepath.Join(dir, metaFile))
+	var ie *core.IntegrityError
+	if errors.As(err, &ie) {
+		// One corrupt page makes every record on it unreadable; collapse
+		// the per-record repeats into one line with a count so the page
+		// list stays scannable.
+		repeats := 0
+		var last core.Corruption
+		flush := func() {
+			if repeats > 1 {
+				fmt.Fprintf(out, "corrupt: … %d more records on the same corrupt page\n", repeats-1)
+			}
+			repeats = 0
+		}
+		for _, c := range ie.Corruptions {
+			if repeats > 0 && c.Component == last.Component && c.HasPage && last.HasPage && c.Page == last.Page {
+				repeats++
+				last = c
+				continue
+			}
+			flush()
+			fmt.Fprintf(out, "corrupt: %s\n", c)
+			repeats, last = 1, c
+		}
+		flush()
+		return fmt.Errorf("%d corruption finding(s); run \"spbtool repair -dir %s\" to rebuild from surviving objects", len(ie.Corruptions), *dir)
+	}
+	return err
+}
+
+func cmdRepair(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	dir := fs.String("dir", "", "index directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("repair needs -dir")
+	}
+	k, err := dirKind(*dir)
 	if err != nil {
-		closeAll()
-		return nil, kind{}, nil, err
+		return err
 	}
-	defer mf.Close()
-	tree, err := core.Open(mf, core.OpenOptions{
-		Distance:   k.dist,
-		Codec:      k.codec,
-		IndexStore: idx,
-		DataStore:  data,
-	})
+	start := time.Now()
+	rep, err := core.Repair(*dir, core.LoadOptions{Distance: k.dist, Codec: k.codec})
 	if err != nil {
-		closeAll()
-		return nil, kind{}, nil, err
+		return err
 	}
-	return tree, k, closeAll, nil
+	fmt.Fprintf(out, "repaired in %v: %d objects salvaged, %d index entries dropped\n",
+		time.Since(start).Round(time.Millisecond), rep.Salvaged, rep.Dropped)
+	return nil
 }
 
 func cmdQuery(args []string, out io.Writer) error {

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVecIndex builds a small on-disk vector index and returns its
+// directory and input lines.
+func buildVecIndex(t *testing.T, n int) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(9))
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf("%.4f,%.4f,%.4f", rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+	in := writeInput(t, dir, "vecs.csv", lines)
+	idxDir := filepath.Join(dir, "idx")
+	var sb strings.Builder
+	if err := cmdBuild([]string{"-dir", idxDir, "-type", "vectors", "-dim", "3", "-in", in}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	return idxDir, lines
+}
+
+func TestVerifyHealthyIndex(t *testing.T) {
+	idxDir, _ := buildVecIndex(t, 300)
+	var sb strings.Builder
+	if err := cmdVerify([]string{"-dir", idxDir}, &sb); err != nil {
+		t.Fatalf("verify on a fresh index: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok: 300 objects") {
+		t.Errorf("verify output:\n%s", sb.String())
+	}
+}
+
+func TestVerifyDetectsAndRepairRecoversPageDamage(t *testing.T) {
+	idxDir, lines := buildVecIndex(t, 400)
+
+	// Flip bytes in the middle of the data file: verify must list the
+	// damage and fail.
+	dataPath := filepath.Join(idxDir, dataFile)
+	raw, err := os.ReadFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(dataPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	err = cmdVerify([]string{"-dir", idxDir}, &sb)
+	if err == nil {
+		t.Fatalf("verify passed on a corrupt index:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "corrupt:") {
+		t.Errorf("verify did not list findings:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "repair") {
+		t.Errorf("verify error does not point at repair: %v", err)
+	}
+
+	// Repair salvages the surviving objects and verify passes again.
+	sb.Reset()
+	if err := cmdRepair([]string{"-dir", idxDir}, &sb); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if !strings.Contains(sb.String(), "salvaged") {
+		t.Errorf("repair output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := cmdVerify([]string{"-dir", idxDir}, &sb); err != nil {
+		t.Fatalf("verify after repair: %v\n%s", err, sb.String())
+	}
+
+	// The repaired index still answers queries.
+	sb.Reset()
+	if err := cmdQuery([]string{"-dir", idxDir, "-q", lines[0], "-k", "3"}, &sb); err != nil {
+		t.Fatalf("query after repair: %v", err)
+	}
+	if !strings.Contains(sb.String(), "3 results") {
+		t.Errorf("query output after repair:\n%s", sb.String())
+	}
+}
+
+func TestRepairAfterMetaDestruction(t *testing.T) {
+	idxDir, lines := buildVecIndex(t, 250)
+	if err := os.WriteFile(filepath.Join(idxDir, metaFile), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// verify refuses the unopenable index and points at repair.
+	var sb strings.Builder
+	if err := cmdVerify([]string{"-dir", idxDir}, &sb); err == nil {
+		t.Fatal("verify opened an index with a destroyed meta")
+	}
+
+	sb.Reset()
+	if err := cmdRepair([]string{"-dir", idxDir}, &sb); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if !strings.Contains(sb.String(), "250 objects salvaged") {
+		t.Errorf("repair output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := cmdQuery([]string{"-dir", idxDir, "-q", lines[3], "-k", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "d=0 ") {
+		t.Errorf("recovered index lost the query object:\n%s", sb.String())
+	}
+}
+
+func TestVerifyRepairFlagErrors(t *testing.T) {
+	if err := cmdVerify([]string{}, os.Stderr); err == nil {
+		t.Error("verify without -dir accepted")
+	}
+	if err := cmdRepair([]string{}, os.Stderr); err == nil {
+		t.Error("repair without -dir accepted")
+	}
+	if err := cmdRepair([]string{"-dir", t.TempDir()}, os.Stderr); err == nil {
+		t.Error("repair on an empty directory accepted")
+	}
+}

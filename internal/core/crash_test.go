@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+)
+
+// TestCrashDuringSaveAtomic simulates a crash at every interesting point of
+// the persistence sequence by snapshotting the directory's visible states —
+// old meta, arbitrary byte-truncations of the new meta, and the completed
+// rename — and requires that each state either opens as a correct index (old
+// or new) or fails with a detected error. A state that opens and serves
+// wrong answers is the one outcome that must never occur.
+func TestCrashDuringSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	objs := vectorSet(300, 5, 101)
+	dist := metric.L2(5)
+	codec := metric.VectorCodec{Dim: 5}
+	tree := buildDir(t, dir, objs, dist)
+	q := objs[4]
+	const radius = 0.45
+	oldAnswer := bfRange(objs, q, radius, dist)
+
+	// Mutate to version 2 and persist it, keeping the new meta bytes so the
+	// harness can replay partial writes of them.
+	extras := vectorSet(40, 5, 102)
+	allObjs := append([]metric.Object(nil), objs...)
+	for i, o := range extras {
+		v := o.(*metric.Vector)
+		v.Id = uint64(100000 + i)
+		if err := tree.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+		allObjs = append(allObjs, v)
+	}
+	if err := tree.SaveAtomic(dir); err != nil {
+		t.Fatal(err)
+	}
+	newAnswer := bfRange(allObjs, q, radius, dist)
+	newMeta, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := LoadOptions{Distance: dist, Codec: codec}
+	metaPath := filepath.Join(dir, MetaFile)
+
+	// checkState loads the directory in its current shape and classifies the
+	// outcome: a clean detected failure, the old index, or the new index.
+	checkState := func(t *testing.T, label string) {
+		re, err := Load(dir, opts)
+		if err != nil {
+			return // crash state detected at open: acceptable
+		}
+		defer re.Close()
+		res, qerr := re.RangeQuery(q, radius)
+		if qerr != nil {
+			// Detected mid-query (partial results): acceptable, but the
+			// partial answers must still be genuine.
+			for _, r := range res {
+				if !oldAnswer[r.Object.ID()] && !newAnswer[r.Object.ID()] {
+					t.Fatalf("%s: fabricated result %d", label, r.Object.ID())
+				}
+			}
+			return
+		}
+		got := resultIDs(res)
+		if !sameIDSet(got, oldAnswer) && !sameIDSet(got, newAnswer) {
+			t.Fatalf("%s: opened into a third state: %d results (old %d, new %d)",
+				label, len(got), len(oldAnswer), len(newAnswer))
+		}
+	}
+
+	// State A: the completed save.
+	checkState(t, "new-meta")
+
+	// States B: randomized truncations of the meta file, as if the writer
+	// had not been atomic or the disk tore the file.
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 30; trial++ {
+		k := rng.Intn(len(newMeta))
+		if err := os.WriteFile(metaPath, newMeta[:k], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// A truncated meta must never pass the footer check.
+		if _, err := Load(dir, opts); !errors.Is(err, ErrCorruptMeta) {
+			t.Fatalf("truncation at %d/%d bytes: Load err = %v, want ErrCorruptMeta", k, len(newMeta), err)
+		}
+	}
+
+	// States C: truncation plus trailing garbage of the right length, so the
+	// footer framing is present but the checksum cannot match.
+	for trial := 0; trial < 10; trial++ {
+		bad := append([]byte(nil), newMeta...)
+		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		if err := os.WriteFile(metaPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		checkState(t, "flipped-meta")
+	}
+
+	// State D: the stale tmp file a crash leaves behind must not confuse a
+	// subsequent load of the restored meta.
+	if err := os.WriteFile(filepath.Join(dir, metaTmpFile), newMeta[:len(newMeta)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(metaPath, newMeta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(dir, opts)
+	if err != nil {
+		t.Fatalf("restored meta with stale tmp: %v", err)
+	}
+	res, err := re.RangeQuery(q, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDSet(resultIDs(res), newAnswer) {
+		t.Fatal("restored index returned wrong answers")
+	}
+	re.Close()
+}
+
+// TestCrashOldMetaNewPages covers the crash window after page writes reach
+// disk but before the new meta is published: the old meta's checksums no
+// longer match the mutated pages, so the mismatch must surface as an error —
+// stale-but-consistent answers or detected corruption, never fabrications.
+func TestCrashOldMetaNewPages(t *testing.T) {
+	dir := t.TempDir()
+	objs := vectorSet(250, 5, 111)
+	dist := metric.L2(5)
+	tree := buildDir(t, dir, objs, dist)
+	oldMeta, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := objs[1]
+	oldAnswer := bfRange(objs, q, 0.45, dist)
+
+	// Mutate and sync the pages, then "crash" by restoring the old meta
+	// instead of publishing the new one.
+	extras := vectorSet(30, 5, 112)
+	allObjs := append([]metric.Object(nil), objs...)
+	for i, o := range extras {
+		v := o.(*metric.Vector)
+		v.Id = uint64(200000 + i)
+		if err := tree.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+		allObjs = append(allObjs, v)
+	}
+	if err := tree.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, MetaFile), oldMeta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	newAnswer := bfRange(allObjs, q, 0.45, dist)
+	re, err := Load(dir, LoadOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 5}})
+	if err != nil {
+		return // detected at open: acceptable
+	}
+	defer re.Close()
+	res, qerr := re.RangeQuery(q, 0.45)
+	for _, r := range res {
+		if !oldAnswer[r.Object.ID()] && !newAnswer[r.Object.ID()] {
+			t.Fatalf("fabricated result %d", r.Object.ID())
+		}
+	}
+	if qerr == nil && !sameIDSet(resultIDs(res), oldAnswer) && !sameIDSet(resultIDs(res), newAnswer) {
+		t.Fatal("old-meta/new-pages state served a third answer set without error")
+	}
+	// The inconsistency must at least be visible to an explicit audit.
+	if qerr == nil {
+		if verr := re.VerifyIntegrity(); verr == nil {
+			// Only acceptable if the index genuinely equals one version.
+			if !sameIDSet(resultIDs(res), oldAnswer) && !sameIDSet(resultIDs(res), newAnswer) {
+				t.Fatal("verify passed on an inconsistent index")
+			}
+		} else if !errors.Is(verr, page.ErrCorrupt) {
+			t.Fatalf("verify err = %v, want ErrCorrupt", verr)
+		}
+	}
+}
+
+func sameIDSet(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTruncatedPageFiles exercises torn page files: cutting bytes off the
+// end of either store must never produce silent wrong answers.
+func TestTruncatedPageFiles(t *testing.T) {
+	for _, victim := range []string{IndexPagesFile, DataPagesFile} {
+		t.Run(victim, func(t *testing.T) {
+			dir := t.TempDir()
+			objs := vectorSet(300, 5, 121)
+			dist := metric.L2(5)
+			tree := buildDir(t, dir, objs, dist)
+			q := objs[3]
+			want := bfRange(objs, q, 0.45, dist)
+			if err := tree.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			path := filepath.Join(dir, victim)
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := Load(dir, LoadOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 5}})
+			if err != nil {
+				return // detected at open
+			}
+			defer re.Close()
+			res, qerr := re.RangeQuery(q, 0.45)
+			if qerr == nil && !sameIDSet(resultIDs(res), want) {
+				t.Fatal("truncated page file served wrong answers without error")
+			}
+			for _, r := range res {
+				if !want[r.Object.ID()] {
+					t.Fatalf("fabricated result %d", r.Object.ID())
+				}
+			}
+		})
+	}
+}

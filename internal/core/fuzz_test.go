@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+)
+
+// FuzzOpenMeta feeds arbitrary bytes to Open: whatever the meta file
+// contains — truncated, bit-rotted, adversarial — Open must either succeed
+// on a genuinely valid blob or return an error. It must never panic and
+// never allocate unboundedly from attacker-controlled length fields.
+func FuzzOpenMeta(f *testing.F) {
+	// Seed with a valid meta and systematic corruptions of it.
+	objs := vectorSet(80, 4, 131)
+	tree, err := Build(objs, Options{
+		Distance: metric.L2(4), Codec: metric.VectorCodec{Dim: 4}, Seed: 3,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.WriteMeta(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{treeMetaVersion})
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	huge := append([]byte(nil), valid...)
+	for i := 1; i < 9 && i < len(huge); i++ {
+		huge[i] = 0xff // blow up a length field behind the version byte
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Open(bytes.NewReader(data), OpenOptions{
+			Distance: metric.L2(4), Codec: metric.VectorCodec{Dim: 4},
+			IndexStore: page.NewMemStore(), DataStore: page.NewMemStore(),
+		})
+		if err == nil && tr == nil {
+			t.Fatal("Open returned nil tree and nil error")
+		}
+	})
+}

@@ -24,6 +24,10 @@ type JoinPair struct {
 // Both trees must have been built over the same mapped space: tq built
 // normally with Curve: sfc.ZOrder, and to built with ShareMapping: tq (or
 // vice versa). Self-joins (tq == to) are allowed.
+//
+// On a storage or corruption error the pairs verified so far are returned
+// alongside the non-nil error, so callers get a partial answer rather than
+// silently losing pairs.
 func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
 	if err := joinCompatible(tq, to); err != nil {
 		return nil, err
@@ -40,10 +44,10 @@ func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
 	co := to.bpt.SeekFirst()
 	for cq.Valid() || co.Valid() {
 		if err := cq.Err(); err != nil {
-			return nil, err
+			return pairs, err
 		}
 		if err := co.Err(); err != nil {
-			return nil, err
+			return pairs, err
 		}
 		takeQ := false
 		switch {
@@ -57,7 +61,7 @@ func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
 		if takeQ {
 			elem, err := tq.loadJoinElem(cq.Key(), cq.Val(), eps, n)
 			if err != nil {
-				return nil, err
+				return pairs, err
 			}
 			verifyJoin(tq, elem, &listO, eps, func(other joinElem, d float64) {
 				pairs = append(pairs, JoinPair{Q: elem.obj, O: other.obj, Dist: d})
@@ -67,7 +71,7 @@ func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
 		} else {
 			elem, err := to.loadJoinElem(co.Key(), co.Val(), eps, n)
 			if err != nil {
-				return nil, err
+				return pairs, err
 			}
 			verifyJoin(tq, elem, &listQ, eps, func(other joinElem, d float64) {
 				pairs = append(pairs, JoinPair{Q: other.obj, O: elem.obj, Dist: d})
@@ -77,10 +81,10 @@ func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
 		}
 	}
 	if err := cq.Err(); err != nil {
-		return nil, err
+		return pairs, err
 	}
 	if err := co.Err(); err != nil {
-		return nil, err
+		return pairs, err
 	}
 	return pairs, nil
 }

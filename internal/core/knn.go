@@ -16,6 +16,10 @@ import (
 // terminating as soon as the heap's minimum crosses that bound. With the
 // Greedy strategy (Table 5), reaching a leaf verifies all of its qualifying
 // objects at once, so no RAF page is read twice.
+//
+// On a storage or corruption error the candidates verified so far are
+// returned (sorted by distance) alongside the non-nil error, so callers get
+// a best-effort partial answer rather than silently losing objects.
 func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
 	if k <= 0 || t.count == 0 {
 		return nil, nil
@@ -47,13 +51,13 @@ func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
 		if !item.isNode {
 			// A leaf entry: fetch the object and verify.
 			if err := t.verifyKNN(q, res, item.val); err != nil {
-				return nil, err
+				return res.sorted(), err
 			}
 			continue
 		}
 		node, err := t.bpt.ReadNode(item.page)
 		if err != nil {
-			return nil, err
+			return res.sorted(), err
 		}
 		if !node.Leaf {
 			for _, c := range node.Children {
@@ -73,7 +77,7 @@ func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
 			}
 			if t.traversal == Greedy {
 				if err := t.verifyKNN(q, res, node.Vals[i]); err != nil {
-					return nil, err
+					return res.sorted(), err
 				}
 			} else {
 				heap.Push(pq, mindItem{mind: mind, val: node.Vals[i]})
@@ -81,14 +85,20 @@ func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
 		}
 	}
 
-	out := append([]Result(nil), res.items...)
+	return res.sorted(), nil
+}
+
+// sorted copies the current top-k out of the max-heap in ascending
+// (distance, id) order.
+func (r *knnResults) sorted() []Result {
+	out := append([]Result(nil), r.items...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
 		}
 		return out[i].Object.ID() < out[j].Object.ID()
 	})
-	return out, nil
+	return out
 }
 
 // verifyKNN reads the object at a RAF offset, computes its distance and

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -14,13 +15,54 @@ import (
 	"spbtree/internal/sfc"
 )
 
-// treeMetaVersion versions the WriteMeta encoding.
-const treeMetaVersion = 1
+// treeMetaVersion versions the WriteMeta encoding. Version 2 added the page
+// checksum tables and the checksummed footer.
+const treeMetaVersion = 2
+
+// ErrCorruptMeta is the sentinel all meta validation failures wrap: a
+// missing or mismatched footer, a bad checksum, an unsupported version, or
+// a truncated or internally inconsistent payload. Open never decodes
+// garbage — it fails with an error matching this sentinel instead.
+var ErrCorruptMeta = errors.New("core: corrupt meta")
+
+// metaMagic marks the checksummed footer: payload || magic || u32 payload
+// length || u32 CRC32-C(payload). The footer sits at the end so WriteMeta
+// can stream the payload and so truncations are always detectable.
+var metaMagic = [4]byte{'S', 'P', 'B', 'M'}
+
+// appendMetaFooter stamps the footer over payload.
+func appendMetaFooter(payload []byte) []byte {
+	b := append(payload, metaMagic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(b, page.Checksum(payload))
+}
+
+// checkMetaFooter validates the footer and returns the payload it covers.
+func checkMetaFooter(raw []byte) ([]byte, error) {
+	const footerSize = 12
+	if len(raw) < footerSize {
+		return nil, fmt.Errorf("%w: %d bytes, no room for footer", ErrCorruptMeta, len(raw))
+	}
+	foot := raw[len(raw)-footerSize:]
+	if [4]byte(foot[0:4]) != metaMagic {
+		return nil, fmt.Errorf("%w: footer magic %q", ErrCorruptMeta, foot[0:4])
+	}
+	payload := raw[:len(raw)-footerSize]
+	if n := binary.LittleEndian.Uint32(foot[4:8]); int(n) != len(payload) {
+		return nil, fmt.Errorf("%w: footer says %d payload bytes, have %d", ErrCorruptMeta, n, len(payload))
+	}
+	if want, got := binary.LittleEndian.Uint32(foot[8:12]), page.Checksum(payload); got != want {
+		return nil, fmt.Errorf("%w: payload checksum %08x, footer records %08x", ErrCorruptMeta, got, want)
+	}
+	return payload, nil
+}
 
 // WriteMeta serializes everything needed to reopen the tree against its two
-// page stores: the pivot table, the quantization parameters, the B+-tree and
-// RAF bookkeeping, and the cost-model distributions. Pair it with persistent
-// stores (page.FileStore) and Open.
+// page stores: the pivot table, both stores' page checksum tables, the
+// B+-tree and RAF bookkeeping, and the cost-model distributions — followed
+// by a checksummed footer so that any truncation or bit flip of the blob is
+// detected by Open. Pair it with persistent stores (page.FileStore) and
+// Open, or use SaveAtomic for a crash-safe on-disk layout.
 func (t *Tree) WriteMeta(w io.Writer) error {
 	if err := t.raf.Flush(); err != nil {
 		return err
@@ -57,6 +99,15 @@ func (t *Tree) WriteMeta(w io.Writer) error {
 		b = append(b, payload...)
 	}
 
+	// Page checksum tables, ahead of the substrate bookkeeping so Open can
+	// arm validation before the RAF's tail-page reload reads anything.
+	im := t.idxSums.Meta()
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(im)))
+	b = append(b, im...)
+	dm := t.dataSums.Meta()
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(dm)))
+	b = append(b, dm...)
+
 	// Substrate bookkeeping.
 	bm := t.bpt.Meta()
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(bm)))
@@ -83,7 +134,7 @@ func (t *Tree) WriteMeta(w io.Writer) error {
 	}
 	b = binary.LittleEndian.AppendUint64(b, uint64(t.cm.seen))
 
-	_, err := w.Write(b)
+	_, err := w.Write(appendMetaFooter(b))
 	return err
 }
 
@@ -114,9 +165,13 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: read meta: %w", err)
 	}
-	r := &metaReader{b: raw}
+	payload, err := checkMetaFooter(raw)
+	if err != nil {
+		return nil, err
+	}
+	r := &metaReader{b: payload}
 	if v := r.u8(); v != treeMetaVersion {
-		return nil, fmt.Errorf("core: meta version %d, want %d", v, treeMetaVersion)
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorruptMeta, v, treeMetaVersion)
 	}
 	t := &Tree{
 		dist:      metric.NewCounter(opts.Distance),
@@ -134,21 +189,21 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 
 	nPivots := int(r.u32())
 	if r.err == nil && (nPivots <= 0 || nPivots > 64) {
-		return nil, fmt.Errorf("core: meta has %d pivots", nPivots)
+		return nil, fmt.Errorf("%w: %d pivots", ErrCorruptMeta, nPivots)
 	}
 	if r.err != nil {
-		return nil, fmt.Errorf("core: truncated meta")
+		return nil, fmt.Errorf("%w: truncated", ErrCorruptMeta)
 	}
 	t.pivots = make([]metric.Object, nPivots)
 	for i := range t.pivots {
 		id := r.u64()
-		payload := r.bytes(int(r.u32()))
+		pl := r.bytes(int(r.u32()))
 		if r.err != nil {
-			return nil, fmt.Errorf("core: truncated pivot table")
+			return nil, fmt.Errorf("%w: truncated pivot table", ErrCorruptMeta)
 		}
-		obj, err := opts.Codec.Decode(id, payload)
+		obj, err := opts.Codec.Decode(id, pl)
 		if err != nil {
-			return nil, fmt.Errorf("core: decode pivot %d: %w", i, err)
+			return nil, fmt.Errorf("%w: decode pivot %d: %v", ErrCorruptMeta, i, err)
 		}
 		t.pivots[i] = obj
 	}
@@ -161,20 +216,37 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 	if cacheSize < 0 {
 		cacheSize = 0
 	}
-	t.idxCache = page.NewCache(opts.IndexStore, cacheSize)
-	t.dataCache = page.NewCache(opts.DataStore, cacheSize)
+	t.idxSums = page.NewChecksumStore(opts.IndexStore)
+	t.dataSums = page.NewChecksumStore(opts.DataStore)
+	t.idxCache = page.NewCache(t.idxSums, cacheSize)
+	t.dataCache = page.NewCache(t.dataSums, cacheSize)
+
+	im := r.bytes(int(r.u32()))
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated index checksum table", ErrCorruptMeta)
+	}
+	if err := t.idxSums.LoadMeta(im); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptMeta, err)
+	}
+	dm := r.bytes(int(r.u32()))
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated data checksum table", ErrCorruptMeta)
+	}
+	if err := t.dataSums.LoadMeta(dm); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptMeta, err)
+	}
 
 	bm := r.bytes(int(r.u32()))
 	if r.err != nil {
-		return nil, fmt.Errorf("core: truncated B+-tree meta")
+		return nil, fmt.Errorf("%w: truncated B+-tree meta", ErrCorruptMeta)
 	}
 	t.bpt, err = bptree.Open(t.idxCache, bptree.Options{Geometry: curveGeometry{t.curve}}, bm)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorruptMeta, err)
 	}
 	rm := r.bytes(int(r.u32()))
 	if r.err != nil {
-		return nil, fmt.Errorf("core: truncated RAF meta")
+		return nil, fmt.Errorf("%w: truncated RAF meta", ErrCorruptMeta)
 	}
 	t.raf, err = raf.Open(t.dataCache, t.codec, rm)
 	if err != nil {
@@ -186,8 +258,8 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 	t.cm.precision = r.f64()
 	t.cm.pairDists = r.f64s()
 	nVecs := int(r.u32())
-	if r.err != nil || nVecs < 0 || nVecs > 1<<24 {
-		return nil, fmt.Errorf("core: truncated cost-model sample")
+	if r.err != nil || nVecs < 0 || nVecs > 1<<20 {
+		return nil, fmt.Errorf("%w: truncated cost-model sample", ErrCorruptMeta)
 	}
 	t.cm.vecs = make([][]float64, nVecs)
 	for i := range t.cm.vecs {
@@ -195,21 +267,25 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 	}
 	nHists := int(r.u32())
 	if r.err != nil || nHists != nPivots {
-		return nil, fmt.Errorf("core: meta has %d histograms for %d pivots", nHists, nPivots)
+		return nil, fmt.Errorf("%w: %d histograms for %d pivots", ErrCorruptMeta, nHists, nPivots)
 	}
 	t.cm.hists = make([]histogram, nHists)
 	for i := range t.cm.hists {
 		h := &t.cm.hists[i]
 		h.width = r.f64()
 		h.total = int(r.u64())
-		h.bins = make([]int, int(r.u32()))
+		nBins := int(r.u32())
+		if r.err != nil || nBins < 0 || nBins > 1<<20 {
+			return nil, fmt.Errorf("%w: histogram %d has %d bins", ErrCorruptMeta, i, nBins)
+		}
+		h.bins = make([]int, nBins)
 		for j := range h.bins {
 			h.bins[j] = int(r.u64())
 		}
 	}
 	t.cm.seen = int(r.u64())
 	if r.err != nil {
-		return nil, fmt.Errorf("core: truncated meta")
+		return nil, fmt.Errorf("%w: truncated", ErrCorruptMeta)
 	}
 	if err := t.cm.snapshotBoxes(t); err != nil {
 		return nil, err
@@ -286,7 +362,7 @@ func (r *metaReader) bytes(n int) []byte {
 
 func (r *metaReader) f64s() []float64 {
 	n := int(r.u32())
-	if r.err != nil || n < 0 || n > 1<<24 {
+	if r.err != nil || n < 0 || n > 1<<20 {
 		r.err = io.ErrUnexpectedEOF
 		return nil
 	}

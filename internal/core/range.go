@@ -14,6 +14,10 @@ import (
 // test; sparse intersections are resolved by enumerating the region's SFC
 // values instead of decoding every entry; and Lemma 2 proves some answers
 // without computing their distances.
+//
+// On a storage or corruption error the verified answers found so far are
+// returned (sorted) alongside the non-nil error — objects are never
+// silently dropped, and the error tells the caller the set is incomplete.
 func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 	if r < 0 {
 		return nil, nil
@@ -30,6 +34,13 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 	}
 
 	var results []Result
+	// fail returns the answers verified so far together with the error, so
+	// a corrupt page degrades the query to a partial result instead of
+	// silently dropping objects.
+	fail := func(err error) ([]Result, error) {
+		sortByID(results)
+		return results, err
+	}
 	root, ok := t.bpt.Root()
 	if !ok {
 		return nil, nil
@@ -52,7 +63,7 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 		}
 		node, err := t.bpt.ReadNode(ref.Page)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if !node.Leaf {
 			for _, c := range node.Children {
@@ -75,7 +86,7 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 			for i := range node.Keys {
 				res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, false, cell, rrLo, rrHi)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				if res != nil {
 					results = append(results, *res)
@@ -102,7 +113,7 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 						}
 						res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi)
 						if err != nil {
-							return nil, err
+							return fail(err)
 						}
 						if res != nil {
 							results = append(results, *res)
@@ -123,7 +134,7 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 							case node.Keys[ei] == keys[ki]:
 								res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi)
 								if err != nil {
-									return nil, err
+									return fail(err)
 								}
 								if res != nil {
 									results = append(results, *res)
@@ -142,7 +153,7 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 				for i := range node.Keys {
 					res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, true, cell, rrLo, rrHi)
 					if err != nil {
-						return nil, err
+						return fail(err)
 					}
 					if res != nil {
 						results = append(results, *res)
@@ -152,8 +163,13 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 		}
 	}
 
-	sort.Slice(results, func(i, j int) bool { return results[i].Object.ID() < results[j].Object.ID() })
+	sortByID(results)
 	return results, nil
+}
+
+// sortByID orders results by object id for deterministic output.
+func sortByID(results []Result) {
+	sort.Slice(results, func(i, j int) bool { return results[i].Object.ID() < results[j].Object.ID() })
 }
 
 // verifyRQ is the VerifyRQ function of Algorithm 1: optionally re-check the

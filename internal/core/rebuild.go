@@ -44,8 +44,10 @@ func (t *Tree) Rebuild(indexStore, dataStore page.Store) error {
 	}
 
 	cacheSize := t.idxCache.Capacity()
-	newIdx := page.NewCache(indexStore, cacheSize)
-	newData := page.NewCache(dataStore, t.dataCache.Capacity())
+	newIdxSums := page.NewChecksumStore(indexStore)
+	newDataSums := page.NewChecksumStore(dataStore)
+	newIdx := page.NewCache(newIdxSums, cacheSize)
+	newData := page.NewCache(newDataSums, t.dataCache.Capacity())
 	newBpt, err := bptree.New(newIdx, bptree.Options{Geometry: curveGeometry{t.curve}})
 	if err != nil {
 		return err
@@ -70,6 +72,8 @@ func (t *Tree) Rebuild(indexStore, dataStore page.Store) error {
 
 	t.bpt = newBpt
 	t.raf = newRAF
+	t.idxSums = newIdxSums
+	t.dataSums = newDataSums
 	t.idxCache = newIdx
 	t.dataCache = newData
 	t.count = len(live)

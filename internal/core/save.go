@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+)
+
+// Canonical file names of an index directory, shared by SaveAtomic, Load,
+// Repair and spbtool.
+const (
+	// IndexPagesFile holds the B+-tree page store.
+	IndexPagesFile = "index.pages"
+	// DataPagesFile holds the RAF page store.
+	DataPagesFile = "data.pages"
+	// MetaFile holds the WriteMeta blob (checksummed footer included).
+	MetaFile = "tree.meta"
+	// metaTmpFile is the staging name SaveAtomic writes before renaming.
+	metaTmpFile = "tree.meta.tmp"
+)
+
+// SaveAtomic persists the tree's meta to dir/tree.meta crash-safely. The
+// sequence is: flush the RAF tail, fsync both page stores, write the meta
+// blob (with its checksummed footer) to a temp file, fsync it, rename it
+// over tree.meta, and fsync the directory. A crash at any point leaves
+// either the previous meta or the new one — and because the meta embeds the
+// checksum of every page it references, a meta that does not match the page
+// files is detected as corruption rather than silently serving wrong
+// results.
+//
+// The tree's page stores must live in dir (built there, or reopened via
+// Load) for the resulting directory to be self-contained.
+func (t *Tree) SaveAtomic(dir string) error {
+	if err := t.Sync(); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := t.WriteMeta(&buf); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	tmp := filepath.Join(dir, metaTmpFile)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: save: sync meta: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, MetaFile)); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("core: save: sync dir: %w", err)
+	}
+	return nil
+}
+
+// LoadOptions configures Load and Repair: the build-time metric and codec,
+// plus the cache and traversal knobs of OpenOptions (the stores themselves
+// come from the directory).
+type LoadOptions struct {
+	// Distance and Codec must match the tree's build-time configuration;
+	// required.
+	Distance metric.DistanceFunc
+	Codec    metric.Codec
+	// CacheSize is the buffer-cache capacity (default 32; negative
+	// disables).
+	CacheSize int
+	// Traversal selects the kNN strategy.
+	Traversal TraversalStrategy
+}
+
+// Load reopens an index directory written by SaveAtomic (or spbtool build):
+// it opens the two page stores, validates the meta footer, and arms page
+// checksum validation. The returned tree owns the stores; Close it when
+// done.
+func Load(dir string, opts LoadOptions) (*Tree, error) {
+	idx, err := page.OpenFileStore(filepath.Join(dir, IndexPagesFile))
+	if err != nil {
+		return nil, err
+	}
+	data, err := page.OpenFileStore(filepath.Join(dir, DataPagesFile))
+	if err != nil {
+		idx.Close()
+		return nil, err
+	}
+	mf, err := os.Open(filepath.Join(dir, MetaFile))
+	if err != nil {
+		idx.Close()
+		data.Close()
+		return nil, err
+	}
+	defer mf.Close()
+	t, err := Open(mf, OpenOptions{
+		Distance: opts.Distance, Codec: opts.Codec,
+		IndexStore: idx, DataStore: data,
+		CacheSize: opts.CacheSize, Traversal: opts.Traversal,
+	})
+	if err != nil {
+		idx.Close()
+		data.Close()
+		return nil, err
+	}
+	return t, nil
+}

@@ -105,6 +105,8 @@ type Tree struct {
 
 	bpt       *bptree.Tree
 	raf       *raf.File
+	idxSums   *page.ChecksumStore
+	dataSums  *page.ChecksumStore
 	idxCache  *page.Cache
 	dataCache *page.Cache
 	traversal TraversalStrategy
@@ -202,8 +204,12 @@ func Build(objs []metric.Object, opts Options) (*Tree, error) {
 	if cacheSize < 0 {
 		cacheSize = 0
 	}
-	t.idxCache = page.NewCache(idxStore, cacheSize)
-	t.dataCache = page.NewCache(dataStore, cacheSize)
+	// Every page write is checksummed below the buffer cache, so cache
+	// misses validate the bytes the moment they come off the store.
+	t.idxSums = page.NewChecksumStore(idxStore)
+	t.dataSums = page.NewChecksumStore(dataStore)
+	t.idxCache = page.NewCache(t.idxSums, cacheSize)
+	t.dataCache = page.NewCache(t.dataSums, cacheSize)
 
 	var err error
 	t.bpt, err = bptree.New(t.idxCache, bptree.Options{Geometry: curveGeometry{t.curve}})
@@ -415,6 +421,34 @@ func (t *Tree) StorageBytes() int64 {
 		pivotBytes += len(p.AppendBinary(nil)) + 12
 	}
 	return int64(t.idxCache.NumPages())*page.Size + int64(t.raf.PagesUsed())*page.Size + int64(pivotBytes)
+}
+
+// Sync flushes the RAF's buffered tail page and forces both page stores to
+// stable storage. Until Sync (or SaveAtomic) succeeds, completed writes may
+// still sit in OS buffers.
+func (t *Tree) Sync() error {
+	if err := t.raf.Flush(); err != nil {
+		return err
+	}
+	if err := t.idxCache.Sync(); err != nil {
+		return err
+	}
+	return t.dataCache.Sync()
+}
+
+// Close syncs and closes both page stores, so a clean shutdown is durable.
+// The tree must not be used afterwards.
+func (t *Tree) Close() error {
+	syncErr := t.Sync()
+	idxErr := t.idxCache.Close()
+	dataErr := t.dataCache.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	if idxErr != nil {
+		return idxErr
+	}
+	return dataErr
 }
 
 // Measure runs fn against cold caches and returns the observed Stats.

@@ -60,7 +60,9 @@ func (c *Cache) Read(id ID, buf []byte) error {
 	return nil
 }
 
-// Write implements Store: write-through, updating any cached copy.
+// Write implements Store: write-through, updating any cached copy. A failed
+// underlying write evicts the page — the on-disk state is unknown, so a
+// cached copy would mask the failure from later reads.
 func (c *Cache) Write(id ID, buf []byte) error {
 	if len(buf) != Size {
 		return errBufSize
@@ -68,6 +70,7 @@ func (c *Cache) Write(id ID, buf []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.store.Write(id, buf); err != nil {
+		c.invalidateLocked(id)
 		return err
 	}
 	if el, ok := c.index[id]; ok {
@@ -93,6 +96,22 @@ func (c *Cache) insertLocked(id ID, buf []byte) {
 	}
 }
 
+// Invalidate evicts page id from the cache (a no-op if absent), forcing the
+// next read to hit the underlying store. Verification and repair use it so
+// cached copies cannot mask on-disk corruption.
+func (c *Cache) Invalidate(id ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidateLocked(id)
+}
+
+func (c *Cache) invalidateLocked(id ID) {
+	if el, ok := c.index[id]; ok {
+		delete(c.index, id)
+		c.lru.Remove(el)
+	}
+}
+
 // Alloc implements Store.
 func (c *Cache) Alloc() (ID, error) { return c.store.Alloc() }
 
@@ -102,6 +121,10 @@ func (c *Cache) NumPages() int { return c.store.NumPages() }
 // Stats implements Store, returning the underlying store's physical I/O
 // counters (cache hits are invisible to them).
 func (c *Cache) Stats() *Stats { return c.store.Stats() }
+
+// Sync implements Store. The cache is write-through, so syncing the
+// underlying store makes every completed Write durable.
+func (c *Cache) Sync() error { return c.store.Sync() }
 
 // Close implements Store.
 func (c *Cache) Close() error { return c.store.Close() }

@@ -1,0 +1,388 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func fillPage(b byte) []byte {
+	buf := make([]byte, Size)
+	for i := range buf {
+		buf[i] = b ^ byte(i)
+	}
+	return buf
+}
+
+func TestChecksumStoreRoundTrip(t *testing.T) {
+	cs := NewChecksumStore(NewMemStore())
+	id, err := cs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillPage(0xa5)
+	if err := cs.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Checksummed() != 1 {
+		t.Fatalf("Checksummed() = %d, want 1", cs.Checksummed())
+	}
+	got := make([]byte, Size)
+	if err := cs.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read back different bytes")
+	}
+}
+
+func TestChecksumStoreDetectsTamperedPage(t *testing.T) {
+	mem := NewMemStore()
+	cs := NewChecksumStore(mem)
+	id, _ := cs.Alloc()
+	if err := cs.Write(id, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the page behind the wrapper's back.
+	evil := fillPage(1)
+	evil[100] ^= 0x40
+	if err := mem.Write(id, evil); err != nil {
+		t.Fatal(err)
+	}
+	err := cs.Read(id, make([]byte, Size))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered read err = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.ID != id {
+		t.Fatalf("err = %v, want *CorruptError pinpointing page %d", err, id)
+	}
+	// Rewriting through the wrapper heals it.
+	if err := cs.Write(id, fillPage(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Read(id, make([]byte, Size)); err != nil {
+		t.Fatalf("read after rewrite: %v", err)
+	}
+}
+
+func TestChecksumStoreUnverifiedPassThrough(t *testing.T) {
+	mem := NewMemStore()
+	id, _ := mem.Alloc()
+	if err := mem.Write(id, fillPage(7)); err != nil {
+		t.Fatal(err)
+	}
+	cs := NewChecksumStore(mem)
+	// Never written through the wrapper: read is allowed, unverified.
+	if err := cs.Read(id, make([]byte, Size)); err != nil {
+		t.Fatalf("unverified read: %v", err)
+	}
+}
+
+func TestChecksumStoreSuspectAfterFailedWrite(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem, -1)
+	cs := NewChecksumStore(fs)
+	id, _ := cs.Alloc()
+	if err := cs.Write(id, fillPage(3)); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailPage(id, OpWrite)
+	if err := cs.Write(id, fillPage(4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	// The on-disk state is now unknown; reads must refuse it even though the
+	// underlying read succeeds.
+	err := cs.Read(id, make([]byte, Size))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("read after failed write err = %v, want ErrCorrupt", err)
+	}
+	// A successful rewrite clears the suspicion.
+	fs.ClearPageFaults()
+	if err := cs.Write(id, fillPage(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Read(id, make([]byte, Size)); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestChecksumStoreInvalidate(t *testing.T) {
+	mem := NewMemStore()
+	cs := NewChecksumStore(mem)
+	id, _ := cs.Alloc()
+	if err := cs.Write(id, fillPage(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Write(id, fillPage(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Read(id, make([]byte, Size)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	cs.Invalidate(id)
+	if err := cs.Read(id, make([]byte, Size)); err != nil {
+		t.Fatalf("read after Invalidate: %v", err)
+	}
+	if cs.Checksummed() != 0 {
+		t.Fatalf("Checksummed() = %d, want 0", cs.Checksummed())
+	}
+}
+
+func TestChecksumMetaRoundTrip(t *testing.T) {
+	mem := NewMemStore()
+	cs := NewChecksumStore(mem)
+	for i := 0; i < 5; i++ {
+		id, _ := cs.Alloc()
+		if err := cs.Write(id, fillPage(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := cs.Meta()
+
+	// A fresh wrapper restored from meta validates the same pages.
+	cs2 := NewChecksumStore(mem)
+	if err := cs2.LoadMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	if cs2.Checksummed() != 5 {
+		t.Fatalf("Checksummed() = %d, want 5", cs2.Checksummed())
+	}
+	for i := 0; i < 5; i++ {
+		if err := cs2.Read(ID(i), make([]byte, Size)); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+	}
+	// ...and still catches tampering.
+	bad := fillPage(3)
+	bad[0] ^= 1
+	if err := mem.Write(3, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs2.Read(3, make([]byte, Size)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestChecksumLoadMetaRejectsGarbage(t *testing.T) {
+	cs := NewChecksumStore(NewMemStore())
+	good := cs.Meta()
+	cases := [][]byte{
+		nil,
+		{},
+		{0xff},
+		{99, 0, 0, 0, 0},         // bad version
+		{1, 2, 0, 0, 0},          // claims 2 entries, has none
+		append(good, 0xde, 0xad), // trailing junk
+		good[:len(good)-1],       // truncated
+	}
+	for i, c := range cases {
+		if i >= 6 && len(good) < 6 {
+			continue
+		}
+		if err := cs.LoadMeta(c); err == nil {
+			t.Fatalf("case %d: LoadMeta accepted %v", i, c)
+		}
+	}
+}
+
+func TestCacheDoesNotCacheCorruptReads(t *testing.T) {
+	mem := NewMemStore()
+	cs := NewChecksumStore(mem)
+	cache := NewCache(cs, 8)
+	id, _ := cache.Alloc()
+	good := fillPage(0x11)
+	if err := cache.Write(id, good); err != nil {
+		t.Fatal(err)
+	}
+	cache.Flush()
+
+	bad := fillPage(0x11)
+	bad[17] ^= 4
+	if err := mem.Write(id, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Read(id, make([]byte, Size)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("corrupt read not surfaced through cache")
+	}
+	// Repair the medium; the cache must not serve a stale corrupt copy.
+	if err := mem.Write(id, good); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, Size)
+	if err := cache.Read(id, buf); err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if !bytes.Equal(buf, good) {
+		t.Fatal("cache served stale bytes")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	mem := NewMemStore()
+	cache := NewCache(mem, 8)
+	id, _ := cache.Alloc()
+	if err := cache.Write(id, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate below the cache: a plain read still sees the resident copy.
+	fresh := fillPage(2)
+	if err := mem.Write(id, fresh); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, Size)
+	if err := cache.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, fresh) {
+		t.Fatal("expected the cached copy before Invalidate")
+	}
+	cache.Invalidate(id)
+	if err := cache.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, fresh) {
+		t.Fatal("Invalidate did not evict the resident copy")
+	}
+}
+
+func TestCacheWriteFailureLeavesNoStaleCopy(t *testing.T) {
+	mem := NewMemStore()
+	fs := NewFaultStore(mem, -1)
+	cache := NewCache(fs, 8)
+	id, _ := cache.Alloc()
+	old := fillPage(1)
+	if err := cache.Write(id, old); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailPage(id, OpWrite)
+	if err := cache.Write(id, fillPage(2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	// The failed write must not leave either the old or the new image
+	// resident: the next read consults the store.
+	fs.ClearPageFaults()
+	buf := make([]byte, Size)
+	if err := cache.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, old) {
+		t.Fatal("cache returned bytes the store never acknowledged")
+	}
+}
+
+func TestFaultStoreProbabilistic(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), -1)
+	id, _ := fs.Alloc()
+	if err := fs.Write(id, fillPage(0)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetProbability(OpRead, 0.5, 42)
+	failures := 0
+	buf := make([]byte, Size)
+	for i := 0; i < 200; i++ {
+		if err := fs.Read(id, buf); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures < 50 || failures > 150 {
+		t.Fatalf("p=0.5 over 200 reads gave %d failures", failures)
+	}
+	// Writes are not targeted by OpRead faults.
+	if err := fs.Write(id, fillPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetProbability(0, 0, 0)
+	if err := fs.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultStoreTargetedPage(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), -1)
+	a, _ := fs.Alloc()
+	b, _ := fs.Alloc()
+	for _, id := range []ID{a, b} {
+		if err := fs.Write(id, fillPage(byte(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailPage(b, OpRead)
+	buf := make([]byte, Size)
+	if err := fs.Read(a, buf); err != nil {
+		t.Fatalf("untargeted page failed: %v", err)
+	}
+	if err := fs.Read(b, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("targeted read err = %v, want ErrInjected", err)
+	}
+	// The fault targets reads only; the page can still be written.
+	if err := fs.Write(b, fillPage(9)); err != nil {
+		t.Fatalf("write to read-faulted page: %v", err)
+	}
+	fs.ClearPageFaults()
+	if err := fs.Read(b, buf); err != nil {
+		t.Fatalf("read after ClearPageFaults: %v", err)
+	}
+}
+
+func TestFaultStoreFlipBitCaughtByChecksum(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), -1)
+	cs := NewChecksumStore(fs)
+	id, _ := cs.Alloc()
+	if err := cs.Write(id, fillPage(0x3c)); err != nil {
+		t.Fatal(err)
+	}
+	fs.FlipBit(id, 12345)
+	// The raw read succeeds — the corruption is silent at the store layer...
+	raw := make([]byte, Size)
+	if err := fs.Read(id, raw); err != nil {
+		t.Fatalf("flipped read should not error at the fault layer: %v", err)
+	}
+	want := fillPage(0x3c)
+	want[12345/8] ^= 1 << (12345 % 8)
+	if !bytes.Equal(raw, want) {
+		t.Fatal("FlipBit did not flip exactly the requested bit")
+	}
+	// ...and only the checksum layer catches it.
+	if err := cs.Read(id, make([]byte, Size)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("checksum layer missed a flipped bit")
+	}
+	fs.ClearFlips()
+	if err := cs.Read(id, make([]byte, Size)); err != nil {
+		t.Fatalf("read after ClearFlips: %v", err)
+	}
+}
+
+func TestFaultStoreFailNextSyncs(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), -1)
+	fs.FailNextSyncs(2)
+	for i := 0; i < 2; i++ {
+		if err := fs.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("third sync: %v", err)
+	}
+	// Sync faults do not bleed into other operations.
+	fs.FailNextSyncs(1)
+	if _, err := fs.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpRead: "read", OpWrite: "write", OpAlloc: "alloc", OpSync: "sync",
+	} {
+		if op.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if OpAll.String() == "" {
+		t.Fatal("OpAll.String() empty")
+	}
+}

@@ -2,53 +2,192 @@ package page
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 )
 
-// ErrInjected is the sentinel returned by a FaultStore once its budget is
-// exhausted. Tests use errors.Is against it.
+// ErrInjected is the sentinel wrapped by every fault a FaultStore injects.
+// Tests use errors.Is against it.
 var ErrInjected = errors.New("page: injected I/O fault")
 
-// FaultStore wraps a Store and fails every operation after a configurable
-// number of successful physical accesses. It exists for failure-injection
-// tests: every index must surface, not swallow, storage errors.
+// Op is a bit set of store operations, used to target injected faults.
+type Op uint8
+
+// Operation bits for FaultStore targeting.
+const (
+	OpRead Op = 1 << iota
+	OpWrite
+	OpAlloc
+	OpSync
+	// OpAll matches every operation.
+	OpAll = OpRead | OpWrite | OpAlloc | OpSync
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAlloc:
+		return "alloc"
+	case OpSync:
+		return "sync"
+	}
+	return fmt.Sprintf("ops(%#x)", uint8(o))
+}
+
+// FaultStore wraps a Store and injects storage failures for
+// failure-injection tests: every index must surface, not swallow, storage
+// errors, and every checksum layer must catch silent corruption. Four fault
+// families compose (any of them may trigger a given operation):
+//
+//   - budget faults: every operation fails once a countdown of successful
+//     operations is exhausted (the original behaviour);
+//   - probabilistic faults: matching operations fail with probability p,
+//     from a seeded deterministic stream;
+//   - targeted faults: operations touching one specific page fail, and Sync
+//     can be made to fail a set number of times;
+//   - silent corruption: reads of a chosen page succeed but return the page
+//     with one bit flipped, modelling media rot below the checksum layer.
+//
+// All injected errors wrap ErrInjected except bit flips, which by design
+// return no error at all. Safe for concurrent use.
 type FaultStore struct {
 	inner Store
 	// budget is the number of operations allowed before failures begin.
 	budget atomic.Int64
+
+	mu        sync.Mutex
+	prob      float64
+	probOps   Op
+	rng       *rand.Rand
+	failPages map[ID]Op
+	flips     map[ID]int
+	syncFails int
 }
 
-// NewFaultStore wraps inner, allowing opsBeforeFailure successful operations.
+// unlimitedBudget effectively disables budget-based faults.
+const unlimitedBudget = int64(1) << 62
+
+// NewFaultStore wraps inner, allowing opsBeforeFailure successful operations
+// before every operation fails. A negative opsBeforeFailure disables budget
+// faults entirely (use the targeted and probabilistic knobs instead).
 func NewFaultStore(inner Store, opsBeforeFailure int64) *FaultStore {
-	fs := &FaultStore{inner: inner}
-	fs.budget.Store(opsBeforeFailure)
+	fs := &FaultStore{
+		inner:     inner,
+		failPages: make(map[ID]Op),
+		flips:     make(map[ID]int),
+	}
+	fs.SetBudget(opsBeforeFailure)
 	return fs
 }
 
 // SetBudget resets the number of operations allowed before failures begin;
 // tests use it to let a structure build healthily and then fail mid-query.
+// Negative disables budget faults.
 func (f *FaultStore) SetBudget(opsBeforeFailure int64) {
+	if opsBeforeFailure < 0 {
+		opsBeforeFailure = unlimitedBudget
+	}
 	f.budget.Store(opsBeforeFailure)
 }
 
-func (f *FaultStore) take() error {
+// SetProbability makes each operation matching ops fail with probability p,
+// drawn from a deterministic stream seeded by seed. p = 0 turns the family
+// off.
+func (f *FaultStore) SetProbability(ops Op, p float64, seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prob = p
+	f.probOps = ops
+	f.rng = rand.New(rand.NewSource(seed))
+}
+
+// FailPage makes every operation in ops that touches page id fail.
+func (f *FaultStore) FailPage(id ID, ops Op) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failPages[id] = ops
+}
+
+// ClearPageFaults removes all targeted page faults.
+func (f *FaultStore) ClearPageFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	clear(f.failPages)
+}
+
+// FlipBit silently corrupts page id: every subsequent read succeeds but
+// returns the page with the given bit (0 ≤ bit < 8·Size) inverted. The
+// underlying store is untouched — this models media rot that only a
+// checksum can catch.
+func (f *FaultStore) FlipBit(id ID, bit int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flips[id] = bit
+}
+
+// ClearFlips removes all silent-corruption faults.
+func (f *FaultStore) ClearFlips() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	clear(f.flips)
+}
+
+// FailNextSyncs makes the next n Sync calls fail.
+func (f *FaultStore) FailNextSyncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncFails = n
+}
+
+// take decides whether the operation fails; id is meaningful only when
+// hasID is set.
+func (f *FaultStore) take(op Op, id ID, hasID bool) error {
 	if f.budget.Add(-1) < 0 {
-		return ErrInjected
+		return fmt.Errorf("%s: budget exhausted: %w", op, ErrInjected)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if op == OpSync && f.syncFails > 0 {
+		f.syncFails--
+		return fmt.Errorf("sync: %w", ErrInjected)
+	}
+	if hasID {
+		if ops, ok := f.failPages[id]; ok && ops&op != 0 {
+			return fmt.Errorf("%s page %d: %w", op, id, ErrInjected)
+		}
+	}
+	if f.prob > 0 && f.probOps&op != 0 && f.rng.Float64() < f.prob {
+		return fmt.Errorf("%s: probabilistic: %w", op, ErrInjected)
 	}
 	return nil
 }
 
 // Read implements Store.
 func (f *FaultStore) Read(id ID, buf []byte) error {
-	if err := f.take(); err != nil {
+	if err := f.take(OpRead, id, true); err != nil {
 		return err
 	}
-	return f.inner.Read(id, buf)
+	if err := f.inner.Read(id, buf); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	bit, flip := f.flips[id]
+	f.mu.Unlock()
+	if flip && len(buf) == Size && bit >= 0 && bit < 8*Size {
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
+	return nil
 }
 
 // Write implements Store.
 func (f *FaultStore) Write(id ID, buf []byte) error {
-	if err := f.take(); err != nil {
+	if err := f.take(OpWrite, id, true); err != nil {
 		return err
 	}
 	return f.inner.Write(id, buf)
@@ -56,7 +195,7 @@ func (f *FaultStore) Write(id ID, buf []byte) error {
 
 // Alloc implements Store.
 func (f *FaultStore) Alloc() (ID, error) {
-	if err := f.take(); err != nil {
+	if err := f.take(OpAlloc, 0, false); err != nil {
 		return 0, err
 	}
 	return f.inner.Alloc()
@@ -67,6 +206,14 @@ func (f *FaultStore) NumPages() int { return f.inner.NumPages() }
 
 // Stats implements Store.
 func (f *FaultStore) Stats() *Stats { return f.inner.Stats() }
+
+// Sync implements Store.
+func (f *FaultStore) Sync() error {
+	if err := f.take(OpSync, 0, false); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
 
 // Close implements Store.
 func (f *FaultStore) Close() error { return f.inner.Close() }

@@ -54,7 +54,11 @@ type Store interface {
 	NumPages() int
 	// Stats returns the physical I/O counters of the store.
 	Stats() *Stats
-	// Close releases underlying resources.
+	// Sync forces all previously written pages to stable storage. A Write
+	// alone is not durable until the next successful Sync.
+	Sync() error
+	// Close releases underlying resources. Implementations that buffer in
+	// the OS sync before closing, so a clean shutdown is durable.
 	Close() error
 }
 
@@ -130,6 +134,9 @@ func (m *MemStore) NumPages() int {
 
 // Stats implements Store.
 func (m *MemStore) Stats() *Stats { return &m.stats }
+
+// Sync implements Store; memory needs no syncing.
+func (m *MemStore) Sync() error { return nil }
 
 // Close implements Store.
 func (m *MemStore) Close() error { return nil }
@@ -241,8 +248,29 @@ func (s *FileStore) NumPages() int {
 // Stats implements Store.
 func (s *FileStore) Stats() *Stats { return &s.stats }
 
-// Close implements Store.
-func (s *FileStore) Close() error { return s.f.Close() }
+// Sync implements Store, fsyncing the backing file.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("page: sync store: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store, syncing first so a clean shutdown is durable.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	syncErr := s.f.Sync()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if syncErr != nil {
+		return fmt.Errorf("page: sync on close: %w", syncErr)
+	}
+	return nil
+}
 
 var (
 	_ Store = (*MemStore)(nil)

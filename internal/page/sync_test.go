@@ -1,0 +1,48 @@
+package page
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreSync(t *testing.T) {
+	mem := NewMemStore()
+	if err := mem.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := fs.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(id, fillPage(0x55)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Close performs a final sync and must still succeed.
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the descriptor is gone: Sync must report it, not hide it.
+	if err := fs.Sync(); err == nil {
+		t.Fatal("Sync after Close succeeded")
+	}
+}
+
+func TestCacheSyncForwards(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), -1)
+	cache := NewCache(fs, 4)
+	if err := cache.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailNextSyncs(1)
+	if err := cache.Sync(); err == nil {
+		t.Fatal("cache hid a sync failure")
+	}
+}

@@ -153,6 +153,29 @@ func (f *File) Flush() error {
 	return nil
 }
 
+// Sync flushes any buffered tail page and forces all written pages to
+// stable storage. A Flush alone leaves the data in OS buffers; only a
+// successful Sync makes the file durable.
+func (f *File) Sync() error {
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	if err := f.store.Sync(); err != nil {
+		return fmt.Errorf("raf: sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes, syncs and closes the underlying store, so a clean shutdown
+// is durable.
+func (f *File) Close() error {
+	syncErr := f.Sync()
+	if err := f.store.Close(); err != nil {
+		return fmt.Errorf("raf: close: %w", err)
+	}
+	return syncErr
+}
+
 // Read decodes the record at offset. Every page touched is a page access on
 // the underlying store (or a cache hit if the store is a page.Cache).
 func (f *File) Read(offset uint64) (metric.Object, error) {
@@ -221,6 +244,38 @@ func (f *File) Scan(fn func(offset uint64, obj metric.Object) error) error {
 		off += headerSize + uint64(len(payload))
 	}
 	return nil
+}
+
+// Salvage sequentially decodes records from store — without requiring valid
+// RAF meta — calling fn with every object that still decodes, and stops at
+// the first record it cannot trust: a corrupt page, an implausible header,
+// or a payload that fails to decode. size bounds the scan (pass the file's
+// byte size when the meta is lost). It returns how many bytes were scanned
+// successfully and the error that stopped the scan (nil when size was
+// reached). Repair uses it to rebuild an index from a surviving RAF when
+// the B+-tree or meta is corrupt.
+func Salvage(store page.Store, codec metric.Codec, size uint64, fn func(obj metric.Object)) (scanned uint64, err error) {
+	f := &File{store: store, codec: codec, size: size}
+	var off uint64
+	for off+headerSize <= size {
+		var hdr [headerSize]byte
+		if err := f.readAt(off, hdr[:]); err != nil {
+			return off, err
+		}
+		id := binary.LittleEndian.Uint64(hdr[0:8])
+		plen := binary.LittleEndian.Uint32(hdr[8:12])
+		if id == 0 && plen == 0 && off > 0 {
+			// Zeroed tail-page padding after the last record.
+			return off, nil
+		}
+		obj, err := f.Read(off)
+		if err != nil {
+			return off, err
+		}
+		fn(obj)
+		off += headerSize + uint64(plen)
+	}
+	return off, nil
 }
 
 // Count returns the number of records.

@@ -92,6 +92,42 @@ type OpenOptions = core.OpenOptions
 // stores. See core.Open.
 func Open(meta io.Reader, opts OpenOptions) (*Tree, error) { return core.Open(meta, opts) }
 
+// Durability and corruption resilience. Trees persisted with
+// Tree.SaveAtomic live in a directory of three files (index.pages,
+// data.pages, tree.meta); the meta carries a checksummed footer plus a
+// CRC32-C for every page it references, so crashes and silent media
+// corruption are detected — queries degrade to partial results with a typed
+// error rather than returning wrong answers. Load reopens such a directory,
+// Tree.VerifyIntegrity audits it exhaustively, and Repair rebuilds it from
+// whatever objects survive.
+type (
+	// LoadOptions configures Load and Repair.
+	LoadOptions = core.LoadOptions
+	// RepairReport summarizes a Repair run.
+	RepairReport = core.RepairReport
+	// Corruption is one finding of Tree.VerifyIntegrity.
+	Corruption = core.Corruption
+	// IntegrityError aggregates every corruption VerifyIntegrity found.
+	IntegrityError = core.IntegrityError
+	// CorruptError reports a page whose content failed checksum validation.
+	CorruptError = page.CorruptError
+)
+
+var (
+	// ErrCorrupt matches (errors.Is) every checksum-validation failure.
+	ErrCorrupt = page.ErrCorrupt
+	// ErrCorruptMeta matches (errors.Is) every meta-validation failure
+	// reported by Open and Load.
+	ErrCorruptMeta = core.ErrCorruptMeta
+)
+
+// Load reopens an index directory written by Tree.SaveAtomic. See core.Load.
+func Load(dir string, opts LoadOptions) (*Tree, error) { return core.Load(dir, opts) }
+
+// Repair rebuilds an index directory from the objects that survive in its
+// RAF, replacing the old files. See core.Repair.
+func Repair(dir string, opts LoadOptions) (RepairReport, error) { return core.Repair(dir, opts) }
+
 // Page storage for persistent trees.
 type (
 	// PageStore is the page-granular storage interface trees run on.

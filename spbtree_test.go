@@ -3,6 +3,7 @@ package spbtree_test
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"sort"
 	"testing"
@@ -209,6 +210,114 @@ func TestPublicPersistence(t *testing.T) {
 	}
 	if len(got) != 4 || got[0].Dist != 0 {
 		t.Fatalf("reopened Jaccard tree kNN: %+v", got)
+	}
+}
+
+// TestPublicDurability drives the documented durability flow through the
+// façade: SaveAtomic → Load → VerifyIntegrity → corrupt → Repair.
+func TestPublicDurability(t *testing.T) {
+	dir := t.TempDir()
+	objs := make([]spbtree.Object, 200)
+	for i := range objs {
+		objs[i] = spbtree.NewVector(uint64(i), []float64{float64(i%19) / 19, float64(i%29) / 29})
+	}
+	dist := spbtree.L2(2)
+	codec := spbtree.VectorCodec{Dim: 2}
+
+	idx, err := spbtree.NewFileStore(filepath.Join(dir, "index.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := spbtree.NewFileStore(filepath.Join(dir, "data.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := spbtree.Build(objs, spbtree.Options{
+		Distance: dist, Codec: codec, IndexStore: idx, DataStore: data, NumPivots: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.SaveAtomic(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := spbtree.Load(dir, spbtree.LoadOptions{Distance: dist, Codec: codec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.VerifyIntegrity(); err != nil {
+		t.Fatalf("fresh index failed verification: %v", err)
+	}
+	if nn, err := re.KNN(objs[7], 3); err != nil || len(nn) != 3 || nn[0].Dist != 0 {
+		t.Fatalf("loaded tree kNN: %+v, %v", nn, err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the first data page (the RAF tail page is reloaded eagerly by
+	// Load, earlier pages only on access): Load succeeds, VerifyIntegrity
+	// must report the damage with the typed errors, and Repair must bring
+	// the index back.
+	dataPath := filepath.Join(dir, "data.pages")
+	raw, err := os.ReadFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[64] ^= 0xff
+	if err := os.WriteFile(dataPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := spbtree.Load(dir, spbtree.LoadOptions{Distance: dist, Codec: codec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := bad.VerifyIntegrity()
+	var ierr *spbtree.IntegrityError
+	if !errors.As(verr, &ierr) || len(ierr.Corruptions) == 0 {
+		t.Fatalf("VerifyIntegrity on corrupt index: %v", verr)
+	}
+	if !errors.Is(verr, spbtree.ErrCorrupt) {
+		t.Errorf("integrity error does not match ErrCorrupt: %v", verr)
+	}
+	// Queries against the damaged index return partial results plus the
+	// typed page error rather than silently wrong answers.
+	partial, qerr := bad.RangeQuery(objs[0], 10)
+	var cerr *spbtree.CorruptError
+	if !errors.As(qerr, &cerr) {
+		t.Errorf("query on corrupt index: err = %v, want a CorruptError", qerr)
+	}
+	if len(partial) >= len(objs) {
+		t.Errorf("query on corrupt index returned all %d objects", len(partial))
+	}
+	bad.Close()
+
+	rep, err := spbtree.Repair(dir, spbtree.LoadOptions{Distance: dist, Codec: codec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Salvaged == 0 {
+		t.Fatalf("repair salvaged nothing: %+v", rep)
+	}
+	fixed, err := spbtree.Load(dir, spbtree.LoadOptions{Distance: dist, Codec: codec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fixed.Close()
+	if err := fixed.VerifyIntegrity(); err != nil {
+		t.Fatalf("repaired index failed verification: %v", err)
+	}
+
+	// A destroyed meta is rejected with the typed sentinel.
+	if err := os.WriteFile(filepath.Join(dir, "tree.meta"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spbtree.Load(dir, spbtree.LoadOptions{Distance: dist, Codec: codec}); !errors.Is(err, spbtree.ErrCorruptMeta) {
+		t.Fatalf("Load with destroyed meta: %v", err)
 	}
 }
 
