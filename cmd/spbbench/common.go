@@ -43,6 +43,15 @@ type searchIndex interface {
 	StorageBytes() int64
 }
 
+// queryStatsIndex is the per-query observability surface: indexes that
+// implement it (the SPB-tree) are measured from each query's own QueryStats
+// instead of the reset+delta counter protocol, so the reported PA/compdists
+// are attributable per query and the wall time excludes harness overhead.
+type queryStatsIndex interface {
+	RangeStats(q metric.Object, r float64) (int, core.QueryStats, error)
+	KNNStats(q metric.Object, k int) (int, core.QueryStats, error)
+}
+
 // --- adapters ----------------------------------------------------------------
 
 type spbAdapter struct{ t *core.Tree }
@@ -54,6 +63,14 @@ func (a spbAdapter) RangeCount(q metric.Object, r float64) (int, error) {
 func (a spbAdapter) KNNCount(q metric.Object, k int) (int, error) {
 	res, err := a.t.KNN(q, k)
 	return len(res), err
+}
+func (a spbAdapter) RangeStats(q metric.Object, r float64) (int, core.QueryStats, error) {
+	res, qs, err := a.t.RangeSearchWithStats(q, r)
+	return len(res), qs, err
+}
+func (a spbAdapter) KNNStats(q metric.Object, k int) (int, core.QueryStats, error) {
+	res, qs, err := a.t.KNNWithStats(q, k)
+	return len(res), qs, err
 }
 func (a spbAdapter) Insert(o metric.Object) error { return a.t.Insert(o) }
 func (a spbAdapter) ResetStats()                  { a.t.ResetStats() }
@@ -203,11 +220,24 @@ func buildSPB(ds dataset.Dataset, seed int64, opts core.Options) (*core.Tree, er
 }
 
 // runRange measures averaged range queries (the paper's cold-cache
-// protocol: counters reset and caches flushed before each query).
+// protocol: counters reset and caches flushed before each query). Indexes
+// exposing per-query stats are read from those; others fall back to the
+// reset+delta counter protocol.
 func runRange(idx searchIndex, queries []metric.Object, r float64) (measured, error) {
 	var m measured
+	qsi, hasQS := idx.(queryStatsIndex)
 	for _, q := range queries {
 		idx.ResetStats()
+		if hasQS {
+			_, qs, err := qsi.RangeStats(q, r)
+			if err != nil {
+				return m, err
+			}
+			m.t += qs.Elapsed
+			m.pa += float64(qs.PageAccesses())
+			m.cd += float64(qs.Compdists)
+			continue
+		}
 		start := time.Now()
 		if _, err := idx.RangeCount(q, r); err != nil {
 			return m, err
@@ -224,11 +254,23 @@ func runRange(idx searchIndex, queries []metric.Object, r float64) (measured, er
 	return m, nil
 }
 
-// runKNN measures averaged kNN queries.
+// runKNN measures averaged kNN queries, preferring per-query stats like
+// runRange.
 func runKNN(idx searchIndex, queries []metric.Object, k int) (measured, error) {
 	var m measured
+	qsi, hasQS := idx.(queryStatsIndex)
 	for _, q := range queries {
 		idx.ResetStats()
+		if hasQS {
+			_, qs, err := qsi.KNNStats(q, k)
+			if err != nil {
+				return m, err
+			}
+			m.t += qs.Elapsed
+			m.pa += float64(qs.PageAccesses())
+			m.cd += float64(qs.Compdists)
+			continue
+		}
 		start := time.Now()
 		if _, err := idx.KNNCount(q, k); err != nil {
 			return m, err

@@ -14,19 +14,34 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 )
 
 func main() {
 	var cfg config
+	var debugAddr string
 	flag.IntVar(&cfg.n, "n", 10000, "dataset cardinality (the paper uses 112K-1M)")
 	flag.IntVar(&cfg.queries, "q", 50, "measured queries per point (the paper uses 500)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "dataset and pivot-selection seed")
+	flag.StringVar(&debugAddr, "debugaddr", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	flag.Parse()
 	cfg.out = os.Stdout
+	if debugAddr != "" {
+		ln, err := startDebugServer(debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s\n", ln.Addr())
+	}
 
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -77,4 +92,24 @@ func main() {
 		}
 		fmt.Fprintf(cfg.out, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// startDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/) on
+// addr for the duration of the run, so long experiments can be profiled and
+// their aggregate metrics scraped live.
+func startDebugServer(addr string) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln, nil
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"time"
+
+	"spbtree/internal/core"
+)
+
+// startDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/) on
+// addr and returns the bound listener, so callers can report the effective
+// address (addr may use port 0) and close it on shutdown.
+func startDebugServer(addr string) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln, nil
+}
+
+// holdDebugServer blocks until interrupted so a human can scrape the debug
+// endpoints after the command's work is done.
+func holdDebugServer(out io.Writer, ln net.Listener) {
+	fmt.Fprintf(out, "serving /debug/vars and /debug/pprof on http://%s — Ctrl-C to exit\n", ln.Addr())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	ln.Close()
+}
+
+// printQueryStats renders one query's per-stage breakdown (DESIGN.md §7).
+func printQueryStats(out io.Writer, qs core.QueryStats) {
+	fmt.Fprintf(out, "stats[%s]:\n", qs.Op)
+	fmt.Fprintf(out, "  filter:  nodes read %d, pruned %d; entries scanned %d, pruned %d, skipped %d",
+		qs.NodesRead, qs.NodesPruned, qs.EntriesScanned, qs.EntriesPruned, qs.EntriesSkipped)
+	if qs.HeapPushes > 0 {
+		fmt.Fprintf(out, "; heap pushes %d", qs.HeapPushes)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "  verify:  %d verified, %d discarded, %d by Lemma 2; %d results\n",
+		qs.Verified, qs.Discarded, qs.Lemma2Included, qs.Results)
+	fmt.Fprintf(out, "  cost:    compdists %d; PA %d (index %d + data %d); cache hits %d index, %d data\n",
+		qs.Compdists, qs.PageAccesses(), qs.IndexPA, qs.DataPA, qs.IndexCacheHits, qs.DataCacheHits)
+	fmt.Fprintf(out, "  time:    total %v (plan %v, filter %v, verify %v)\n",
+		qs.Elapsed.Round(time.Microsecond), qs.PlanTime.Round(time.Microsecond),
+		qs.FilterTime.Round(time.Microsecond), qs.VerifyTime.Round(time.Microsecond))
+}

@@ -53,8 +53,12 @@ func usage() {
 
   build  -dir DIR -type {words|vectors|dna|signatures} [-dim D] -in FILE
          [-pivots N] [-curve {hilbert|zorder}]
-  query  -dir DIR (-r RADIUS | -k K) -q QUERY
-  stats  -dir DIR
+  query  -dir DIR (-r RADIUS | -k K) -q QUERY [-stats] [-debugaddr ADDR]
+  stats  -dir DIR [-probe] [-debugaddr ADDR]
   verify -dir DIR    audit every page, record and invariant; list corruptions
-  repair -dir DIR    rebuild the index from the objects that survive`)
+  repair -dir DIR    rebuild the index from the objects that survive
+
+-stats prints the query's per-stage breakdown (pruning counts, compdists,
+index/data page accesses, stage wall clocks — see DESIGN.md §7); -debugaddr
+serves expvar aggregate metrics and pprof profiles over HTTP.`)
 }

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -335,6 +336,8 @@ func cmdQuery(args []string, out io.Writer) error {
 	q := fs.String("q", "", "query object (same format as input lines)")
 	r := fs.Float64("r", -1, "range query radius")
 	k := fs.Int("k", 0, "kNN query k")
+	showStats := fs.Bool("stats", false, "print the query's per-stage QueryStats breakdown")
+	debugAddr := fs.String("debugaddr", "", "serve /debug/vars and /debug/pprof on this address and wait after the query")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -349,6 +352,13 @@ func cmdQuery(args []string, out io.Writer) error {
 		return err
 	}
 	defer closeAll()
+	var ln net.Listener
+	if *debugAddr != "" {
+		tree.PublishExpvar("spbtree")
+		if ln, err = startDebugServer(*debugAddr); err != nil {
+			return err
+		}
+	}
 	qobj, err := kd.parse(1<<63, *q)
 	if err != nil {
 		return fmt.Errorf("parse query: %w", err)
@@ -357,10 +367,11 @@ func cmdQuery(args []string, out io.Writer) error {
 	tree.ResetStats()
 	start := time.Now()
 	var results []core.Result
+	var qs core.QueryStats
 	if *r >= 0 {
-		results, err = tree.RangeQuery(qobj, *r)
+		results, qs, err = tree.RangeSearchWithStats(qobj, *r)
 	} else {
-		results, err = tree.KNN(qobj, *k)
+		results, qs, err = tree.KNNWithStats(qobj, *k)
 	}
 	if err != nil {
 		return err
@@ -372,12 +383,20 @@ func cmdQuery(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "-- %d results in %v (PA=%d, compdists=%d)\n",
 		len(results), elapsed.Round(time.Microsecond), st.PageAccesses, st.DistanceComputations)
+	if *showStats {
+		printQueryStats(out, qs)
+	}
+	if ln != nil {
+		holdDebugServer(out, ln)
+	}
 	return nil
 }
 
 func cmdStats(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	dir := fs.String("dir", "", "index directory")
+	probe := fs.Bool("probe", false, "run a cold 10-NN probe query (first pivot as query object) and print its per-stage stats")
+	debugAddr := fs.String("debugaddr", "", "serve /debug/vars and /debug/pprof on this address and wait")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -394,6 +413,22 @@ func cmdStats(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "pivots:     %d\n", len(tree.Pivots()))
 	fmt.Fprintf(out, "curve:      %s, %d bits/dim, delta %g\n", tree.CurveKind(), tree.Bits(), tree.Delta())
 	fmt.Fprintf(out, "storage:    %.1f KB\n", float64(tree.StorageBytes())/1024)
+	if *probe && tree.Len() > 0 {
+		tree.ResetStats()
+		_, qs, err := tree.KNNWithStats(tree.Pivots()[0], 10)
+		if err != nil {
+			return err
+		}
+		printQueryStats(out, qs)
+	}
+	if *debugAddr != "" {
+		tree.PublishExpvar("spbtree")
+		ln, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		holdDebugServer(out, ln)
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"spbtree/internal/obs"
 	"spbtree/internal/page"
 )
 
@@ -81,7 +82,16 @@ type Tree struct {
 	// free holds pages released by node merges and root collapses, reused
 	// by later allocations so churn does not grow the store.
 	free []page.ID
+
+	// tracer, when non-nil, receives one EvNodeRead per node decoded.
+	tracer obs.Tracer
 }
+
+// SetTracer installs (or, with nil, removes) a tracer receiving one
+// structured EvNodeRead event per node decoded by ReadNode and the internal
+// traversals. Not synchronized with in-flight reads: install tracers before
+// issuing queries.
+func (t *Tree) SetTracer(tr obs.Tracer) { t.tracer = tr }
 
 // FreePages returns how many released pages await reuse.
 func (t *Tree) FreePages() int { return len(t.free) }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"spbtree/internal/obs"
 	"spbtree/internal/page"
 )
 
@@ -35,6 +36,9 @@ func (t *Tree) readNode(id page.ID) (*node, error) {
 	var buf [page.Size]byte
 	if err := t.store.Read(id, buf[:]); err != nil {
 		return nil, fmt.Errorf("bptree: read node: %w", err)
+	}
+	if t.tracer != nil {
+		t.tracer.Event(obs.Event{Kind: obs.EvNodeRead, Src: obs.SrcIndex, Page: uint32(id)})
 	}
 	n := &node{page: id}
 	n.leaf = buf[0]&1 != 0

@@ -20,16 +20,32 @@ import (
 // This is the approximate-search mode metric indexes such as the M-Index
 // expose, and a natural extension of the paper's framework: the same
 // structure serves exact and budgeted queries.
+//
+// Use KNNApproxWithStats to additionally observe the query's per-stage
+// QueryStats.
 func (t *Tree) KNNApprox(q metric.Object, k, maxVerify int) ([]Result, error) {
 	if maxVerify <= 0 {
 		return t.KNN(q, k)
 	}
+	qs := QueryStats{Op: OpKNNApprox}
+	qt := t.beginQuery(&qs)
+	res, err := t.knnApprox(q, k, maxVerify, &qs)
+	qt.finish(len(res), err)
+	return res, err
+}
+
+// knnApprox is the budgeted best-first traversal, accumulating per-stage
+// counts into qs.
+func (t *Tree) knnApprox(q metric.Object, k, maxVerify int, qs *QueryStats) ([]Result, error) {
 	if k <= 0 || t.count == 0 {
 		return nil, nil
 	}
 	n := len(t.pivots)
+	st := qs.stageStart()
 	qvec := make([]float64, n)
 	t.phi(q, qvec)
+	qs.Compdists += int64(n)
+	qs.stageAdd(&qs.PlanTime, st)
 
 	res := &knnResults{k: k}
 	pq := &mindHeap{}
@@ -44,6 +60,7 @@ func (t *Tree) KNNApprox(q metric.Object, k, maxVerify int) ([]Result, error) {
 	t.curve.Decode(root.BoxLo, boxLo)
 	t.curve.Decode(root.BoxHi, boxHi)
 	heap.Push(pq, mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+	qs.HeapPushes++
 
 	verified := 0
 	for pq.Len() > 0 && verified < maxVerify {
@@ -52,7 +69,7 @@ func (t *Tree) KNNApprox(q metric.Object, k, maxVerify int) ([]Result, error) {
 			break
 		}
 		if !item.isNode {
-			if err := t.verifyKNN(q, res, item.val); err != nil {
+			if err := t.verifyKNN(q, res, item.val, qs); err != nil {
 				return nil, err
 			}
 			verified++
@@ -62,20 +79,28 @@ func (t *Tree) KNNApprox(q metric.Object, k, maxVerify int) ([]Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		qs.NodesRead++
 		if !node.Leaf {
 			for _, c := range node.Children {
 				t.curve.Decode(c.BoxLo, boxLo)
 				t.curve.Decode(c.BoxHi, boxHi)
 				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < res.bound() {
 					heap.Push(pq, mindItem{mind: mind, page: page.ID(c.Page), isNode: true})
+					qs.HeapPushes++
+				} else {
+					qs.NodesPruned++
 				}
 			}
 			continue
 		}
 		for i := range node.Keys {
+			qs.EntriesScanned++
 			t.curve.Decode(node.Keys[i], cell)
 			if mind := t.mindToCell(qvec, cell); mind < res.bound() {
 				heap.Push(pq, mindItem{mind: mind, val: node.Vals[i]})
+				qs.HeapPushes++
+			} else {
+				qs.EntriesPruned++
 			}
 		}
 	}
@@ -86,5 +111,6 @@ func (t *Tree) KNNApprox(q metric.Object, k, maxVerify int) ([]Result, error) {
 		}
 		return out[i].Object.ID() < out[j].Object.ID()
 	})
+	qs.Discarded = qs.Verified - int64(len(out))
 	return out, nil
 }

@@ -28,7 +28,24 @@ type JoinPair struct {
 // On a storage or corruption error the pairs verified so far are returned
 // alongside the non-nil error, so callers get a partial answer rather than
 // silently losing pairs.
+//
+// Use JoinWithStats to additionally observe the join's QueryStats.
 func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
+	qs := QueryStats{Op: OpJoin}
+	var beforeTo ioSnapshot
+	if to != tq {
+		beforeTo = to.takeIOSnapshot()
+	}
+	qt := tq.beginQuery(&qs)
+	pairs, err := joinImpl(tq, to, eps, &qs)
+	qt.finishJoin(to, beforeTo, len(pairs), err)
+	return pairs, err
+}
+
+// joinImpl is Algorithm 3, accumulating per-stage counts into qs. Leaf-chain
+// cursor reads are not reflected in NodesRead (the cursors decode nodes
+// internally); the physical side of that traversal still shows up in IndexPA.
+func joinImpl(tq, to *Tree, eps float64, qs *QueryStats) ([]JoinPair, error) {
 	if err := joinCompatible(tq, to); err != nil {
 		return nil, err
 	}
@@ -59,21 +76,21 @@ func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
 			takeQ = cq.Key() <= co.Key()
 		}
 		if takeQ {
-			elem, err := tq.loadJoinElem(cq.Key(), cq.Val(), eps, n)
+			elem, err := tq.loadJoinElem(cq.Key(), cq.Val(), eps, n, qs)
 			if err != nil {
 				return pairs, err
 			}
-			verifyJoin(tq, elem, &listO, eps, func(other joinElem, d float64) {
+			verifyJoin(tq, elem, &listO, eps, qs, func(other joinElem, d float64) {
 				pairs = append(pairs, JoinPair{Q: elem.obj, O: other.obj, Dist: d})
 			})
 			listQ = append(listQ, elem)
 			cq.Next()
 		} else {
-			elem, err := to.loadJoinElem(co.Key(), co.Val(), eps, n)
+			elem, err := to.loadJoinElem(co.Key(), co.Val(), eps, n, qs)
 			if err != nil {
 				return pairs, err
 			}
-			verifyJoin(tq, elem, &listQ, eps, func(other joinElem, d float64) {
+			verifyJoin(tq, elem, &listQ, eps, qs, func(other joinElem, d float64) {
 				pairs = append(pairs, JoinPair{Q: other.obj, O: elem.obj, Dist: d})
 			})
 			listO = append(listO, elem)
@@ -120,8 +137,11 @@ type joinElem struct {
 // geometry. The pivot distances come from the quantized cells already stored
 // in the index — no distance computations — so the range region is widened
 // by one cell of slack, keeping Lemma 5 conservative and therefore exact.
-func (t *Tree) loadJoinElem(key, val uint64, eps float64, n int) (joinElem, error) {
+func (t *Tree) loadJoinElem(key, val uint64, eps float64, n int, qs *QueryStats) (joinElem, error) {
+	qs.EntriesScanned++
+	st := qs.stageStart()
 	obj, err := t.raf.Read(val)
+	qs.stageAdd(&qs.VerifyTime, st)
 	if err != nil {
 		return joinElem{}, err
 	}
@@ -160,22 +180,34 @@ func (t *Tree) loadJoinElem(key, val uint64, eps float64, n int) (joinElem, erro
 // current key (Lemma 6 — they can never match any later element either),
 // skipping entries outside the key window, testing cell containment
 // (Lemma 5), and only then computing the metric distance.
-func verifyJoin(t *Tree, cur joinElem, list *[]joinElem, eps float64, emit func(other joinElem, d float64)) {
+func verifyJoin(t *Tree, cur joinElem, list *[]joinElem, eps float64, qs *QueryStats, emit func(other joinElem, d float64)) {
 	l := *list
 	for i := len(l) - 1; i >= 0; i-- {
 		o := l[i]
 		if o.maxRR < cur.key {
 			// No current or future element can match o: evict.
+			qs.ListEvictions++
 			copy(l[i:], l[i+1:])
 			l = l[:len(l)-1]
 			continue
 		}
-		if o.key >= cur.minRR {
-			if sfc.Contains(cur.rrLo, cur.rrHi, o.cells) { // Lemma 5
-				if d := t.dist.Distance(cur.obj, o.obj); d <= eps {
-					emit(o, d)
-				}
-			}
+		if o.key < cur.minRR {
+			qs.EntriesSkipped++ // Lemma 6 key window
+			continue
+		}
+		if !sfc.Contains(cur.rrLo, cur.rrHi, o.cells) {
+			qs.EntriesPruned++ // Lemma 5
+			continue
+		}
+		st := qs.stageStart()
+		d := t.dist.Distance(cur.obj, o.obj)
+		qs.stageAdd(&qs.VerifyTime, st)
+		qs.Verified++
+		qs.Compdists++
+		if d <= eps {
+			emit(o, d)
+		} else {
+			qs.Discarded++
 		}
 	}
 	*list = l

@@ -20,13 +20,27 @@ import (
 // On a storage or corruption error the candidates verified so far are
 // returned (sorted by distance) alongside the non-nil error, so callers get
 // a best-effort partial answer rather than silently losing objects.
+//
+// Use KNNWithStats to additionally observe the query's per-stage QueryStats.
 func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
+	qs := QueryStats{Op: OpKNN}
+	qt := t.beginQuery(&qs)
+	res, err := t.knn(q, k, &qs)
+	qt.finish(len(res), err)
+	return res, err
+}
+
+// knn is Algorithm 2, accumulating per-stage counts into qs.
+func (t *Tree) knn(q metric.Object, k int, qs *QueryStats) ([]Result, error) {
 	if k <= 0 || t.count == 0 {
 		return nil, nil
 	}
 	n := len(t.pivots)
+	st := qs.stageStart()
 	qvec := make([]float64, n)
 	t.phi(q, qvec)
+	qs.Compdists += int64(n)
+	qs.stageAdd(&qs.PlanTime, st)
 
 	res := &knnResults{k: k}
 	pq := &mindHeap{}
@@ -42,6 +56,7 @@ func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
 	t.curve.Decode(root.BoxLo, boxLo)
 	t.curve.Decode(root.BoxHi, boxHi)
 	heap.Push(pq, mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+	qs.HeapPushes++
 
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(mindItem)
@@ -50,7 +65,7 @@ func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
 		}
 		if !item.isNode {
 			// A leaf entry: fetch the object and verify.
-			if err := t.verifyKNN(q, res, item.val); err != nil {
+			if err := t.verifyKNN(q, res, item.val, qs); err != nil {
 				return res.sorted(), err
 			}
 			continue
@@ -59,33 +74,42 @@ func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
 		if err != nil {
 			return res.sorted(), err
 		}
+		qs.NodesRead++
 		if !node.Leaf {
 			for _, c := range node.Children {
 				t.curve.Decode(c.BoxLo, boxLo)
 				t.curve.Decode(c.BoxHi, boxHi)
 				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < res.bound() {
 					heap.Push(pq, mindItem{mind: mind, page: c.Page, isNode: true})
+					qs.HeapPushes++
+				} else {
+					qs.NodesPruned++ // Lemma 3
 				}
 			}
 			continue
 		}
 		for i := range node.Keys {
+			qs.EntriesScanned++
 			t.curve.Decode(node.Keys[i], cell)
 			mind := t.mindToCell(qvec, cell)
 			if mind >= res.bound() {
+				qs.EntriesPruned++ // Lemma 3
 				continue
 			}
 			if t.traversal == Greedy {
-				if err := t.verifyKNN(q, res, node.Vals[i]); err != nil {
+				if err := t.verifyKNN(q, res, node.Vals[i], qs); err != nil {
 					return res.sorted(), err
 				}
 			} else {
 				heap.Push(pq, mindItem{mind: mind, val: node.Vals[i]})
+				qs.HeapPushes++
 			}
 		}
 	}
 
-	return res.sorted(), nil
+	out := res.sorted()
+	qs.Discarded = qs.Verified - int64(len(out))
+	return out, nil
 }
 
 // sorted copies the current top-k out of the max-heap in ascending
@@ -103,12 +127,17 @@ func (r *knnResults) sorted() []Result {
 
 // verifyKNN reads the object at a RAF offset, computes its distance and
 // feeds the running top-k.
-func (t *Tree) verifyKNN(q metric.Object, res *knnResults, val uint64) error {
+func (t *Tree) verifyKNN(q metric.Object, res *knnResults, val uint64, qs *QueryStats) error {
+	st := qs.stageStart()
 	obj, err := t.raf.Read(val)
 	if err != nil {
+		qs.stageAdd(&qs.VerifyTime, st)
 		return err
 	}
 	d := t.dist.Distance(q, obj)
+	qs.stageAdd(&qs.VerifyTime, st)
+	qs.Verified++
+	qs.Compdists++
 	res.offer(Result{Object: obj, Dist: d, Exact: true})
 	return nil
 }

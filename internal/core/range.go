@@ -18,17 +18,32 @@ import (
 // On a storage or corruption error the verified answers found so far are
 // returned (sorted) alongside the non-nil error — objects are never
 // silently dropped, and the error tells the caller the set is incomplete.
+//
+// Use RangeSearchWithStats to additionally observe the query's per-stage
+// QueryStats.
 func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
+	qs := QueryStats{Op: OpRange}
+	qt := t.beginQuery(&qs)
+	res, err := t.rangeQuery(q, r, &qs)
+	qt.finish(len(res), err)
+	return res, err
+}
+
+// rangeQuery is Algorithm 1, accumulating per-stage counts into qs.
+func (t *Tree) rangeQuery(q metric.Object, r float64, qs *QueryStats) ([]Result, error) {
 	if r < 0 {
 		return nil, nil
 	}
 	n := len(t.pivots)
+	st := qs.stageStart()
 	qvec := make([]float64, n)
 	t.phi(q, qvec)
+	qs.Compdists += int64(n)
 
 	rrLo := make(sfc.Point, n)
 	rrHi := make(sfc.Point, n)
 	t.rangeRegion(qvec, r, rrLo, rrHi)
+	qs.stageAdd(&qs.PlanTime, st)
 	if sfc.BoxVolume(rrLo, rrHi) == 0 {
 		return nil, nil
 	}
@@ -59,18 +74,22 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 		t.curve.Decode(ref.BoxLo, boxLo)
 		t.curve.Decode(ref.BoxHi, boxHi)
 		if !sfc.Intersects(rrLo, rrHi, boxLo, boxHi) {
+			qs.NodesPruned++
 			continue // Lemma 1
 		}
 		node, err := t.bpt.ReadNode(ref.Page)
 		if err != nil {
 			return fail(err)
 		}
+		qs.NodesRead++
 		if !node.Leaf {
 			for _, c := range node.Children {
 				t.curve.Decode(c.BoxLo, boxLo)
 				t.curve.Decode(c.BoxHi, boxHi)
 				if sfc.Intersects(rrLo, rrHi, boxLo, boxHi) {
 					stack = append(stack, c)
+				} else {
+					qs.NodesPruned++
 				}
 			}
 			continue
@@ -84,7 +103,7 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 		case contained:
 			// MBB(N) ⊆ RR: every entry's region test is implied.
 			for i := range node.Keys {
-				res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, false, cell, rrLo, rrHi)
+				res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, false, cell, rrLo, rrHi, qs)
 				if err != nil {
 					return fail(err)
 				}
@@ -105,13 +124,16 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 					for ei < len(node.Keys) {
 						z, ok := sfc.NextInBox(t.curve, iLo, iHi, node.Keys[ei])
 						if !ok {
+							qs.EntriesSkipped += int64(len(node.Keys) - ei)
 							break
 						}
 						if node.Keys[ei] < z {
-							ei += sort.Search(len(node.Keys)-ei, func(j int) bool { return node.Keys[ei+j] >= z })
+							jump := sort.Search(len(node.Keys)-ei, func(j int) bool { return node.Keys[ei+j] >= z })
+							qs.EntriesSkipped += int64(jump)
+							ei += jump
 							continue
 						}
-						res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi)
+						res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi, qs)
 						if err != nil {
 							return fail(err)
 						}
@@ -132,7 +154,7 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 						for ki < len(keys) && ei < len(node.Keys) {
 							switch {
 							case node.Keys[ei] == keys[ki]:
-								res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi)
+								res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi, qs)
 								if err != nil {
 									return fail(err)
 								}
@@ -143,15 +165,17 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 							case node.Keys[ei] > keys[ki]:
 								ki++
 							default:
+								qs.EntriesSkipped++
 								ei++
 							}
 						}
+						qs.EntriesSkipped += int64(len(node.Keys) - ei)
 					}
 				}
 			}
 			if !merged {
 				for i := range node.Keys {
-					res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, true, cell, rrLo, rrHi)
+					res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, true, cell, rrLo, rrHi, qs)
 					if err != nil {
 						return fail(err)
 					}
@@ -175,26 +199,38 @@ func sortByID(results []Result) {
 // verifyRQ is the VerifyRQ function of Algorithm 1: optionally re-check the
 // region containment (Lemma 1), try the computation-free inclusion of
 // Lemma 2, and otherwise fetch the object and compute its distance.
-func (t *Tree) verifyRQ(q metric.Object, qvec []float64, key, val uint64, r float64, checkRegion bool, cell, rrLo, rrHi sfc.Point) (*Result, error) {
+func (t *Tree) verifyRQ(q metric.Object, qvec []float64, key, val uint64, r float64, checkRegion bool, cell, rrLo, rrHi sfc.Point, qs *QueryStats) (*Result, error) {
+	qs.EntriesScanned++
 	t.curve.Decode(key, cell)
 	if checkRegion && !sfc.Contains(rrLo, rrHi, cell) {
+		qs.EntriesPruned++
 		return nil, nil // Lemma 1
 	}
 	if !t.noLemma2 {
 		if ub, ok := t.lemma2Bound(qvec, cell, r); ok {
+			st := qs.stageStart()
 			obj, err := t.raf.Read(val)
+			qs.stageAdd(&qs.VerifyTime, st)
 			if err != nil {
 				return nil, err
 			}
+			qs.Lemma2Included++
 			return &Result{Object: obj, Dist: ub, Exact: false}, nil
 		}
 	}
+	st := qs.stageStart()
 	obj, err := t.raf.Read(val)
 	if err != nil {
+		qs.stageAdd(&qs.VerifyTime, st)
 		return nil, err
 	}
-	if d := t.dist.Distance(q, obj); d <= r {
+	d := t.dist.Distance(q, obj)
+	qs.stageAdd(&qs.VerifyTime, st)
+	qs.Verified++
+	qs.Compdists++
+	if d <= r {
 		return &Result{Object: obj, Dist: d, Exact: true}, nil
 	}
+	qs.Discarded++
 	return nil, nil
 }

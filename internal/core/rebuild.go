@@ -78,6 +78,8 @@ func (t *Tree) Rebuild(indexStore, dataStore page.Store) error {
 	t.dataCache = newData
 	t.count = len(live)
 	t.cm.markDirty()
+	// The substrates were swapped out from under any installed tracer.
+	t.wireTracer()
 	return nil
 }
 

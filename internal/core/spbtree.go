@@ -19,6 +19,7 @@ import (
 
 	"spbtree/internal/bptree"
 	"spbtree/internal/metric"
+	"spbtree/internal/obs"
 	"spbtree/internal/page"
 	"spbtree/internal/pivot"
 	"spbtree/internal/raf"
@@ -117,6 +118,14 @@ type Tree struct {
 	count int
 
 	cm costModel
+
+	// tracer is the hook installed by SetTracer, fanned out to the B+-tree,
+	// both caches and the RAF by wireTracer (and re-fanned after Rebuild).
+	tracer obs.Tracer
+	// metrics aggregates per-operation query counts, compdists/PA totals and
+	// latency histograms over the tree's lifetime; every search entry point
+	// records into it. Exposed by Metrics and PublishExpvar.
+	metrics obs.Registry
 }
 
 // Result is one similarity-search answer.
@@ -378,8 +387,13 @@ func (t *Tree) SetTraversal(s TraversalStrategy) { t.traversal = s }
 // Stats is a per-operation measurement in the paper's metrics.
 type Stats struct {
 	// PageAccesses is PA: physical page reads+writes below the caches,
-	// summed over the B+-tree and RAF stores.
+	// summed over the B+-tree and RAF stores. It always equals
+	// IndexPageAccesses + DataPageAccesses.
 	PageAccesses int64
+	// IndexPageAccesses is the B+-tree store's share of PA.
+	IndexPageAccesses int64
+	// DataPageAccesses is the RAF store's share of PA.
+	DataPageAccesses int64
 	// DistanceComputations is compdists.
 	DistanceComputations int64
 	// Elapsed is wall time.
@@ -405,10 +419,17 @@ func (t *Tree) WarmReset() {
 	t.dist.Reset()
 }
 
-// TakeStats reads the counters accumulated since the last reset.
+// TakeStats reads the counters accumulated since the last reset. Each store's
+// accesses are counted exactly once: the caches delegate Stats to the base
+// store below the checksum layer, so neither checksumming nor cache hits
+// inflate PA (see DESIGN.md §7).
 func (t *Tree) TakeStats() Stats {
+	idx := t.idxCache.Stats().Accesses()
+	data := t.dataCache.Stats().Accesses()
 	return Stats{
-		PageAccesses:         t.idxCache.Stats().Accesses() + t.dataCache.Stats().Accesses(),
+		PageAccesses:         idx + data,
+		IndexPageAccesses:    idx,
+		DataPageAccesses:     data,
 		DistanceComputations: t.dist.Count(),
 	}
 }

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"time"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/obs"
+)
+
+// Operation names used for QueryStats.Op and the aggregate metrics registry.
+const (
+	// OpRange labels range queries (Algorithm 1).
+	OpRange = "range"
+	// OpKNN labels exact kNN queries (Algorithm 2).
+	OpKNN = "knn"
+	// OpKNNApprox labels budgeted approximate kNN queries.
+	OpKNNApprox = "knn_approx"
+	// OpJoin labels similarity joins (Algorithm 3).
+	OpJoin = "join"
+)
+
+// QueryStats records a single query's cost, stage by stage, in the paper's
+// metrics: distance computations ("compdists") and page accesses ("PA",
+// split into B+-tree index pages and RAF data pages), plus the per-stage
+// pruning counts that explain them. DESIGN.md §7 defines every counter and
+// maps it to the paper's tables and figures.
+//
+// Counts are exact and race-free (incremented at the algorithm's own call
+// sites); the I/O fields are before/after deltas of the shared store
+// counters, so attributing them to one query assumes no other query runs on
+// the tree concurrently. On a partial-result error the stats cover the work
+// done up to the failure.
+type QueryStats struct {
+	// Op identifies the operation: OpRange, OpKNN, OpKNNApprox or OpJoin.
+	Op string
+
+	// --- filtering stage (index traversal, no objects touched) ----------
+
+	// NodesRead counts B+-tree nodes decoded by the traversal.
+	NodesRead int64
+	// NodesPruned counts subtrees discarded by their MBB: the Lemma 1
+	// region test for range queries, the Lemma 3 MIND bound for kNN.
+	NodesPruned int64
+	// EntriesScanned counts leaf entries examined (their SFC key decoded).
+	EntriesScanned int64
+	// EntriesPruned counts examined entries discarded by the pivot filter
+	// without touching the object: the per-entry Lemma 1 region test, the
+	// per-entry Lemma 3 MIND bound, or the join's Lemma 5 cell test.
+	EntriesPruned int64
+	// EntriesSkipped counts leaf entries never examined at all thanks to
+	// the SFC merge step (Algorithm 1 lines 14-20), BIGMIN skip scans, or
+	// the join's Lemma 6 key window.
+	EntriesSkipped int64
+	// HeapPushes counts priority-queue insertions of the kNN traversal
+	// (nodes and leaf entries), the paper's Table 5 memory-pressure signal.
+	HeapPushes int64
+	// ListEvictions counts merge-list elements retired by Lemma 6 during a
+	// similarity join (join only).
+	ListEvictions int64
+
+	// --- verification stage (objects fetched from the RAF) --------------
+
+	// Lemma2Included counts answers proved by Lemma 2 without computing
+	// their distance (their object is still fetched for the result set).
+	Lemma2Included int64
+	// Verified counts objects whose exact distance was computed.
+	Verified int64
+	// Discarded counts verified objects that failed the predicate — the
+	// filter's false positives.
+	Discarded int64
+	// Results is the number of answers returned.
+	Results int
+
+	// --- cost totals in the paper's metrics ------------------------------
+
+	// Compdists is the paper's distance-computation count: the |P| pivot
+	// mappings of the query object plus one per Verified object. It
+	// reconciles exactly with the tree-lifetime counter delta when queries
+	// do not run concurrently.
+	Compdists int64
+	// IndexPA and DataPA are physical page accesses below the buffer
+	// caches on the B+-tree and RAF stores; IndexPA+DataPA is the paper's
+	// PA.
+	IndexPA int64
+	DataPA  int64
+	// IndexCacheHits/DataCacheHits count reads served above the stores by
+	// the buffer caches (invisible to PA, by the paper's definition).
+	// Misses equal the physical reads and are not reported separately.
+	IndexCacheHits int64
+	DataCacheHits  int64
+
+	// --- wall clock -------------------------------------------------------
+
+	// PlanTime covers query preparation: the pivot mapping φ(q) and range-
+	// region computation. Populated by the WithStats entry points only.
+	PlanTime time.Duration
+	// VerifyTime covers RAF reads plus distance computations. Populated by
+	// the WithStats entry points only.
+	VerifyTime time.Duration
+	// FilterTime is the remainder of Elapsed: index traversal and pruning.
+	// Populated by the WithStats entry points only.
+	FilterTime time.Duration
+	// Elapsed is the query's total wall time.
+	Elapsed time.Duration
+
+	// timed enables the per-stage clocks; the plain entry points leave it
+	// off so the hot path never calls time.Now per verified object.
+	timed bool
+}
+
+// PageAccesses returns IndexPA+DataPA, the paper's PA metric.
+func (s *QueryStats) PageAccesses() int64 { return s.IndexPA + s.DataPA }
+
+// stageStart returns a stage start time, or the zero time when per-stage
+// timing is off.
+func (s *QueryStats) stageStart() time.Time {
+	if !s.timed {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stageAdd accumulates a stage duration started at st (no-op when timing is
+// off).
+func (s *QueryStats) stageAdd(d *time.Duration, st time.Time) {
+	if s.timed {
+		*d += time.Since(st)
+	}
+}
+
+// ioSnapshot is a point-in-time copy of the shared I/O counters used for
+// per-query deltas.
+type ioSnapshot struct {
+	idxAcc, dataAcc   int64
+	idxHits, dataHits int64
+	dist              int64
+}
+
+// takeIOSnapshot reads the tree's physical-access, cache-hit and distance
+// counters (a handful of atomic loads).
+func (t *Tree) takeIOSnapshot() ioSnapshot {
+	var s ioSnapshot
+	s.idxAcc = t.idxCache.Stats().Accesses()
+	s.dataAcc = t.dataCache.Stats().Accesses()
+	s.idxHits, _ = t.idxCache.Counts()
+	s.dataHits, _ = t.dataCache.Counts()
+	s.dist = t.dist.Count()
+	return s
+}
+
+// queryTimer carries one query's begin-state; finish turns it into deltas
+// and folds the query into the tree's aggregate metrics. It lives on the
+// caller's stack — no allocation on the query path.
+type queryTimer struct {
+	t      *Tree
+	qs     *QueryStats
+	before ioSnapshot
+	start  time.Time
+}
+
+// beginQuery snapshots the shared counters and starts the wall clock.
+func (t *Tree) beginQuery(qs *QueryStats) queryTimer {
+	return queryTimer{t: t, qs: qs, before: t.takeIOSnapshot(), start: time.Now()}
+}
+
+// finish computes the I/O deltas, closes the clocks and records the query in
+// the aggregate registry.
+func (qt *queryTimer) finish(results int, err error) {
+	qs := qt.qs
+	qs.Elapsed = time.Since(qt.start)
+	qs.Results = results
+	after := qt.t.takeIOSnapshot()
+	qs.IndexPA = after.idxAcc - qt.before.idxAcc
+	qs.DataPA = after.dataAcc - qt.before.dataAcc
+	qs.IndexCacheHits = after.idxHits - qt.before.idxHits
+	qs.DataCacheHits = after.dataHits - qt.before.dataHits
+	if qs.timed {
+		if ft := qs.Elapsed - qs.PlanTime - qs.VerifyTime; ft > 0 {
+			qs.FilterTime = ft
+		}
+	}
+	qt.t.metrics.Op(qs.Op).Observe(qs.Compdists, qs.IndexPA, qs.DataPA, int64(results), qs.Elapsed, err != nil)
+}
+
+// finishJoin is finish for the two-tree join: I/O deltas come from both
+// trees' stores (once for self-joins).
+func (qt *queryTimer) finishJoin(to *Tree, beforeTo ioSnapshot, results int, err error) {
+	qs := qt.qs
+	qs.Elapsed = time.Since(qt.start)
+	qs.Results = results
+	after := qt.t.takeIOSnapshot()
+	qs.IndexPA = after.idxAcc - qt.before.idxAcc
+	qs.DataPA = after.dataAcc - qt.before.dataAcc
+	qs.IndexCacheHits = after.idxHits - qt.before.idxHits
+	qs.DataCacheHits = after.dataHits - qt.before.dataHits
+	if to != qt.t {
+		afterTo := to.takeIOSnapshot()
+		qs.IndexPA += afterTo.idxAcc - beforeTo.idxAcc
+		qs.DataPA += afterTo.dataAcc - beforeTo.dataAcc
+		qs.IndexCacheHits += afterTo.idxHits - beforeTo.idxHits
+		qs.DataCacheHits += afterTo.dataHits - beforeTo.dataHits
+	}
+	if qs.timed {
+		if ft := qs.Elapsed - qs.PlanTime - qs.VerifyTime; ft > 0 {
+			qs.FilterTime = ft
+		}
+	}
+	qt.t.metrics.Op(qs.Op).Observe(qs.Compdists, qs.IndexPA, qs.DataPA, int64(results), qs.Elapsed, err != nil)
+}
+
+// Metrics returns the tree's aggregate observability registry: per-operation
+// query counts, compdists/PA totals and latency histograms, accumulated over
+// the tree's lifetime by every search entry point (plain and WithStats).
+func (t *Tree) Metrics() *obs.Registry { return &t.metrics }
+
+// PublishExpvar exports the tree's aggregate metrics snapshot under name in
+// the process-wide expvar registry (served at /debug/vars by the -debugaddr
+// listener of spbtool and spbbench). It reports whether the name was newly
+// published; publishing an already-used name is a no-op.
+func (t *Tree) PublishExpvar(name string) bool { return t.metrics.Publish(name) }
+
+// SetTracer installs tr on every storage layer of the tree: the B+-tree
+// (EvNodeRead), both buffer caches (EvCacheHit/EvCacheMiss/EvPageRead/
+// EvPageWrite, labeled index vs data) and the RAF (EvRecordRead). A nil tr
+// removes tracing; the default is no tracer, whose entire cost is one nil
+// check per site. Install tracers before issuing queries — the hook is not
+// synchronized with in-flight operations.
+func (t *Tree) SetTracer(tr obs.Tracer) {
+	t.tracer = tr
+	t.wireTracer()
+}
+
+// wireTracer pushes t.tracer down to the current storage substrates; Rebuild
+// re-invokes it after swapping them.
+func (t *Tree) wireTracer() {
+	t.bpt.SetTracer(t.tracer)
+	t.idxCache.SetTracer(t.tracer, obs.SrcIndex)
+	t.dataCache.SetTracer(t.tracer, obs.SrcData)
+	t.raf.SetTracer(t.tracer)
+}
+
+// RangeSearchWithStats answers RQ(q, O, r) like RangeQuery and additionally
+// returns the query's per-stage QueryStats, including the per-stage wall
+// clocks. On a partial-result error the stats cover the work completed.
+func (t *Tree) RangeSearchWithStats(q metric.Object, r float64) ([]Result, QueryStats, error) {
+	qs := QueryStats{Op: OpRange, timed: true}
+	qt := t.beginQuery(&qs)
+	res, err := t.rangeQuery(q, r, &qs)
+	qt.finish(len(res), err)
+	return res, qs, err
+}
+
+// KNNWithStats answers kNN(q, k) like KNN and additionally returns the
+// query's per-stage QueryStats.
+func (t *Tree) KNNWithStats(q metric.Object, k int) ([]Result, QueryStats, error) {
+	qs := QueryStats{Op: OpKNN, timed: true}
+	qt := t.beginQuery(&qs)
+	res, err := t.knn(q, k, &qs)
+	qt.finish(len(res), err)
+	return res, qs, err
+}
+
+// KNNApproxWithStats answers budgeted approximate kNN like KNNApprox and
+// additionally returns the query's per-stage QueryStats. A budget of zero or
+// less falls back to the exact search (reported under OpKNN).
+func (t *Tree) KNNApproxWithStats(q metric.Object, k, maxVerify int) ([]Result, QueryStats, error) {
+	if maxVerify <= 0 {
+		return t.KNNWithStats(q, k)
+	}
+	qs := QueryStats{Op: OpKNNApprox, timed: true}
+	qt := t.beginQuery(&qs)
+	res, err := t.knnApprox(q, k, maxVerify, &qs)
+	qt.finish(len(res), err)
+	return res, qs, err
+}
+
+// JoinWithStats computes SJ(Q, O, ε) like Join and additionally returns the
+// join's QueryStats: page accesses aggregate both trees' stores (once for a
+// self-join), and the aggregate metrics are recorded on tq.
+func JoinWithStats(tq, to *Tree, eps float64) ([]JoinPair, QueryStats, error) {
+	qs := QueryStats{Op: OpJoin, timed: true}
+	var beforeTo ioSnapshot
+	if to != tq {
+		beforeTo = to.takeIOSnapshot()
+	}
+	qt := tq.beginQuery(&qs)
+	pairs, err := joinImpl(tq, to, eps, &qs)
+	qt.finishJoin(to, beforeTo, len(pairs), err)
+	return pairs, qs, err
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency buckets. Bucket i counts observations
+// in [2^i µs, 2^(i+1) µs) except the first (everything below 2 µs) and the
+// last (everything at or above 2^(histBuckets-1) µs ≈ 2.2 s), so the whole
+// range from sub-microsecond cache hits to multi-second scans fits in a
+// fixed, allocation-free array.
+const histBuckets = 22
+
+// Histogram is a fixed-bucket, power-of-two latency histogram. The zero
+// value is ready to use; Record is lock-free and safe for concurrent use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	total  atomic.Int64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 2 {
+		return 0
+	}
+	idx := 0
+	for v := us; v > 1 && idx < histBuckets-1; v >>= 1 {
+		idx++
+	}
+	return idx
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		old := h.maxNS.Load()
+		if int64(d) <= old || h.maxNS.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Mean returns the mean observed latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Max returns the largest observation seen.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNS.Load()) }
+
+// Quantile returns an upper bound for the p-quantile (0 ≤ p ≤ 1), resolved
+// to bucket granularity: the upper edge of the bucket containing the p-th
+// observation. Empty histograms return 0.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.Max()
+}
+
+// bucketUpper returns the exclusive upper edge of bucket i.
+func bucketUpper(i int) time.Duration {
+	if i >= histBuckets-1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(uint64(1)<<uint(i+1)) * time.Microsecond
+}
+
+// Snapshot returns the non-empty buckets as (upper-edge, count) pairs plus
+// the totals, a stable copy safe to serialize.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.total.Load(),
+		MaxNS: h.maxNS.Load(),
+		SumNS: h.sumNS.Load(),
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperNS: int64(bucketUpper(i)), Count: c})
+		}
+	}
+	return s
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sumNS.Store(0)
+	h.maxNS.Store(0)
+}
+
+// HistBucket is one non-empty bucket of a HistSnapshot.
+type HistBucket struct {
+	// UpperNS is the bucket's exclusive upper edge in nanoseconds
+	// (math.MaxInt64 for the overflow bucket).
+	UpperNS int64 `json:"upper_ns"`
+	// Count is the observations in the bucket.
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a stable copy of a Histogram.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	SumNS   int64        `json:"sum_ns"`
+	MaxNS   int64        `json:"max_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// String renders the snapshot compactly for logs and spbtool stats.
+func (s HistSnapshot) String() string {
+	if s.Count == 0 {
+		return "no observations"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v max=%v", s.Count,
+		time.Duration(s.SumNS/s.Count).Round(time.Microsecond),
+		time.Duration(s.MaxNS).Round(time.Microsecond))
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpMetrics accumulates one operation type's lifetime totals: query count,
+// errors, result counts, the paper's two cost metrics (compdists and PA,
+// split index vs data), and a latency histogram. All methods are lock-free
+// and safe for concurrent use.
+type OpMetrics struct {
+	queries   atomic.Int64
+	errors    atomic.Int64
+	results   atomic.Int64
+	compdists atomic.Int64
+	indexPA   atomic.Int64
+	dataPA    atomic.Int64
+	latency   Histogram
+}
+
+// Observe folds one finished query into the aggregates.
+func (m *OpMetrics) Observe(compdists, indexPA, dataPA, results int64, elapsed time.Duration, failed bool) {
+	m.queries.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	m.results.Add(results)
+	m.compdists.Add(compdists)
+	m.indexPA.Add(indexPA)
+	m.dataPA.Add(dataPA)
+	m.latency.Record(elapsed)
+}
+
+// Latency exposes the histogram for direct inspection.
+func (m *OpMetrics) Latency() *Histogram { return &m.latency }
+
+// Snapshot returns a stable copy.
+func (m *OpMetrics) Snapshot() OpSnapshot {
+	return OpSnapshot{
+		Queries:   m.queries.Load(),
+		Errors:    m.errors.Load(),
+		Results:   m.results.Load(),
+		Compdists: m.compdists.Load(),
+		IndexPA:   m.indexPA.Load(),
+		DataPA:    m.dataPA.Load(),
+		Latency:   m.latency.Snapshot(),
+	}
+}
+
+// OpSnapshot is a stable copy of an OpMetrics, JSON-serializable for expvar.
+type OpSnapshot struct {
+	// Queries counts finished operations; Errors those that returned a
+	// non-nil error (partial results included).
+	Queries int64 `json:"queries"`
+	Errors  int64 `json:"errors,omitempty"`
+	// Results is the total answers returned.
+	Results int64 `json:"results"`
+	// Compdists is the paper's distance-computation total.
+	Compdists int64 `json:"compdists"`
+	// IndexPA and DataPA are physical page accesses below the caches on the
+	// B+-tree and RAF stores; their sum is the paper's PA.
+	IndexPA int64 `json:"index_pa"`
+	DataPA  int64 `json:"data_pa"`
+	// Latency is the wall-clock histogram.
+	Latency HistSnapshot `json:"latency"`
+}
+
+// PA returns the combined page-access total (the paper's PA metric).
+func (s OpSnapshot) PA() int64 { return s.IndexPA + s.DataPA }
+
+// Registry holds one OpMetrics per operation name ("range", "knn", "join",
+// …). The zero value is ready to use; Op interns metrics on first use so the
+// query path after warm-up is a read-locked map lookup plus atomic adds.
+type Registry struct {
+	mu  sync.RWMutex
+	ops map[string]*OpMetrics
+}
+
+// Op returns (creating if needed) the metrics for an operation name.
+func (r *Registry) Op(name string) *OpMetrics {
+	r.mu.RLock()
+	m := r.ops[name]
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ops == nil {
+		r.ops = make(map[string]*OpMetrics)
+	}
+	if m = r.ops[name]; m == nil {
+		m = &OpMetrics{}
+		r.ops[name] = m
+	}
+	return m
+}
+
+// Snapshot copies every operation's aggregates, keyed by name.
+func (r *Registry) Snapshot() map[string]OpSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]OpSnapshot, len(r.ops))
+	for name, m := range r.ops {
+		out[name] = m.Snapshot()
+	}
+	return out
+}
+
+// Names returns the registered operation names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ops))
+	for name := range r.ops {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Publish exports the registry's snapshot under name via expvar (see
+// Publish); typically name is "spbtree" and the JSON value appears at
+// /debug/vars on the -debugaddr listener.
+func (r *Registry) Publish(name string) bool {
+	return Publish(name, func() interface{} { return r.Snapshot() })
+}

@@ -1,0 +1,142 @@
+// Package obs is the observability substrate of the SPB-tree: allocation-
+// light counters, fixed-bucket latency histograms, and a structured tracing
+// hook, all designed so that the instrumented hot paths pay (nearly) nothing
+// when nobody is looking.
+//
+// Three layers build on it:
+//
+//   - per-query stage counters (core.QueryStats) report a single query's
+//     cost in the paper's metrics — distance computations ("compdists") and
+//     page accesses ("PA") — broken down by pruning stage;
+//   - per-tree aggregates (Registry/OpMetrics) accumulate those queries into
+//     counters and latency histograms, snapshottable at any time and
+//     exportable via expvar for scraping;
+//   - the Tracer interface receives structured events (page reads, cache
+//     hits, node and record reads) from internal/page, internal/bptree and
+//     internal/raf, for ad-hoc debugging and custom telemetry. The default
+//     is no tracer: emit sites are a single nil check, and a no-op Tracer
+//     allocates nothing.
+//
+// DESIGN.md §7 defines every counter and maps it to the paper's reported
+// metrics.
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// Src identifies which half of the SPB-tree an event or counter belongs to:
+// the B+-tree index store or the RAF data store. The paper reports the two
+// separately (index pages are touched by pruning, data pages by
+// verification).
+type Src uint8
+
+const (
+	// SrcUnknown is the zero Src, used when the component is not wired to a
+	// particular store.
+	SrcUnknown Src = iota
+	// SrcIndex is the B+-tree page store.
+	SrcIndex
+	// SrcData is the RAF page store.
+	SrcData
+)
+
+// String implements fmt.Stringer.
+func (s Src) String() string {
+	switch s {
+	case SrcIndex:
+		return "index"
+	case SrcData:
+		return "data"
+	}
+	return "unknown"
+}
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// EvPageRead is a physical page read below the buffer cache.
+	EvPageRead EventKind = iota + 1
+	// EvPageWrite is a physical page write below the buffer cache.
+	EvPageWrite
+	// EvCacheHit is a page read served from the buffer cache.
+	EvCacheHit
+	// EvCacheMiss is a page read that fell through the buffer cache.
+	EvCacheMiss
+	// EvNodeRead is a B+-tree node decoded from its page.
+	EvNodeRead
+	// EvRecordRead is a RAF record decoded from its pages.
+	EvRecordRead
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvPageRead:
+		return "page-read"
+	case EvPageWrite:
+		return "page-write"
+	case EvCacheHit:
+		return "cache-hit"
+	case EvCacheMiss:
+		return "cache-miss"
+	case EvNodeRead:
+		return "node-read"
+	case EvRecordRead:
+		return "record-read"
+	}
+	return "unknown"
+}
+
+// Event is one structured trace event. It is passed by value so emitting an
+// event through a non-nil Tracer performs no heap allocation; implementations
+// must not retain pointers into it (it has none).
+type Event struct {
+	// Kind says what happened.
+	Kind EventKind
+	// Src says on which store (index or data) it happened.
+	Src Src
+	// Page is the page involved, for page-granular kinds.
+	Page uint32
+	// Offset is the byte offset, for EvRecordRead.
+	Offset uint64
+	// Bytes is the payload size, for EvRecordRead.
+	Bytes int32
+}
+
+// Tracer receives structured events from the storage layers. Implementations
+// must be safe for concurrent use and should be fast: events are emitted
+// synchronously on the query path. A nil Tracer disables emission entirely
+// (a single branch per site).
+type Tracer interface {
+	Event(Event)
+}
+
+// NopTracer is a Tracer that discards every event. It exists for tests and
+// for callers that want to toggle tracing without rewiring: installing a
+// NopTracer exercises every emit site at zero allocations.
+type NopTracer struct{}
+
+// Event implements Tracer.
+func (NopTracer) Event(Event) {}
+
+// publishMu serializes expvar publication checks (expvar.Publish panics on
+// duplicate names, so Publish must test-and-set atomically).
+var publishMu sync.Mutex
+
+// Publish exports fn under name in the process-wide expvar registry, served
+// at /debug/vars by any HTTP listener with the expvar handler (e.g. the
+// -debugaddr flag of spbtool and spbbench). Publishing the same name twice
+// replaces nothing and is a no-op, so re-opened trees can re-publish safely.
+// It reports whether the name was newly published.
+func Publish(name string, fn func() interface{}) bool {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, expvar.Func(fn))
+	return true
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 9},          // 1000µs ∈ [2^9, 2^10)
+		{time.Second, 19},              // 1e6µs ∈ [2^19, 2^20)
+		{time.Minute, histBuckets - 1}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's upper edge is strictly increasing, and the observation
+	// always falls strictly below its bucket's upper edge.
+	for i := 0; i < histBuckets-1; i++ {
+		if bucketUpper(i) >= bucketUpper(i+1) {
+			t.Fatalf("bucket edges not increasing at %d", i)
+		}
+	}
+	for _, c := range cases {
+		if c.d >= bucketUpper(c.want) {
+			t.Errorf("%v not below its bucket's upper edge %v", c.d, bucketUpper(c.want))
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(10 * time.Microsecond)
+	}
+	h.Record(100 * time.Millisecond)
+	if h.Count() != 101 {
+		t.Errorf("Count = %d, want 101", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	// The median bucket is [8µs, 16µs); the p99.9 observation is the outlier.
+	if q := h.Quantile(0.5); q != 16*time.Microsecond {
+		t.Errorf("Quantile(0.5) = %v, want 16µs", q)
+	}
+	if q := h.Quantile(1); q < 100*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want ≥ max", q)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 101 || len(snap.Buckets) != 2 {
+		t.Errorf("snapshot count=%d buckets=%d, want 101 and 2", snap.Count, len(snap.Buckets))
+	}
+	var total int64
+	for _, b := range snap.Buckets {
+		total += b.Count
+	}
+	if total != 101 {
+		t.Errorf("bucket counts sum to %d, want 101", total)
+	}
+	if s := snap.String(); s == "" || s == "no observations" {
+		t.Errorf("String() = %q", s)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset did not zero the histogram")
+	}
+	if (HistSnapshot{}).String() != "no observations" {
+		t.Error("empty snapshot String")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(g+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestOpMetricsAndRegistry(t *testing.T) {
+	var r Registry
+	if names := r.Names(); len(names) != 0 {
+		t.Fatalf("zero registry has names %v", names)
+	}
+	m := r.Op("range")
+	if r.Op("range") != m {
+		t.Fatal("Op does not intern")
+	}
+	m.Observe(10, 2, 3, 7, time.Millisecond, false)
+	m.Observe(5, 1, 1, 0, 2*time.Millisecond, true)
+	snap := m.Snapshot()
+	if snap.Queries != 2 || snap.Errors != 1 || snap.Results != 7 ||
+		snap.Compdists != 15 || snap.IndexPA != 3 || snap.DataPA != 4 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.PA() != 7 {
+		t.Errorf("PA() = %d, want 7", snap.PA())
+	}
+	if snap.Latency.Count != 2 {
+		t.Errorf("latency count = %d, want 2", snap.Latency.Count)
+	}
+	r.Op("knn").Observe(1, 1, 0, 1, time.Microsecond, false)
+	if got := r.Names(); len(got) != 2 || got[0] != "knn" || got[1] != "range" {
+		t.Errorf("Names = %v", got)
+	}
+	all := r.Snapshot()
+	if all["range"].Queries != 2 || all["knn"].Queries != 1 {
+		t.Errorf("registry snapshot = %+v", all)
+	}
+	// The snapshot must serialize cleanly (it is the expvar payload).
+	if _, err := json.Marshal(all); err != nil {
+		t.Errorf("snapshot not JSON-serializable: %v", err)
+	}
+}
+
+func TestPublishDuplicate(t *testing.T) {
+	name := fmt.Sprintf("obs-test-%d", time.Now().UnixNano())
+	if !Publish(name, func() interface{} { return 1 }) {
+		t.Fatal("first Publish returned false")
+	}
+	if Publish(name, func() interface{} { return 2 }) {
+		t.Fatal("duplicate Publish returned true")
+	}
+	var r Registry
+	if r.Publish(name) {
+		t.Fatal("registry Publish on taken name returned true")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	kinds := map[EventKind]string{
+		EvPageRead: "page-read", EvPageWrite: "page-write",
+		EvCacheHit: "cache-hit", EvCacheMiss: "cache-miss",
+		EvNodeRead: "node-read", EvRecordRead: "record-read",
+		EventKind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if SrcIndex.String() != "index" || SrcData.String() != "data" || SrcUnknown.String() != "unknown" {
+		t.Error("Src stringer wrong")
+	}
+}
+
+// TestNopTracerZeroAlloc pins the allocation cost of a live emit site: a
+// NopTracer passed an Event by value must not allocate.
+func TestNopTracerZeroAlloc(t *testing.T) {
+	var tr Tracer = NopTracer{}
+	ev := Event{Kind: EvPageRead, Src: SrcIndex, Page: 42}
+	if n := testing.AllocsPerRun(1000, func() { tr.Event(ev) }); n != 0 {
+		t.Errorf("NopTracer emit allocates %v per run, want 0", n)
+	}
+}

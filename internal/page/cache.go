@@ -3,6 +3,9 @@ package page
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
+
+	"spbtree/internal/obs"
 )
 
 // Cache is a write-through LRU buffer cache layered over a Store. Reads that
@@ -17,8 +20,13 @@ type Cache struct {
 	capacity int
 	lru      *list.List // front = most recently used; values are *cacheEntry
 	index    map[ID]*list.Element
-	hits     int64
-	misses   int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+
+	// tracer, when non-nil, receives a structured event per cache hit, miss
+	// (with its physical read) and write-through; src labels the events.
+	tracer obs.Tracer
+	src    obs.Src
 }
 
 type cacheEntry struct {
@@ -45,18 +53,27 @@ func (c *Cache) Read(id ID, buf []byte) error {
 		return errBufSize
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.index[id]; ok {
-		c.hits++
+		c.hits.Add(1)
 		c.lru.MoveToFront(el)
 		copy(buf, el.Value.(*cacheEntry).data[:])
+		c.mu.Unlock()
+		if c.tracer != nil {
+			c.tracer.Event(obs.Event{Kind: obs.EvCacheHit, Src: c.src, Page: uint32(id)})
+		}
 		return nil
 	}
-	c.misses++
+	c.misses.Add(1)
 	if err := c.store.Read(id, buf); err != nil {
+		c.mu.Unlock()
 		return err
 	}
 	c.insertLocked(id, buf)
+	c.mu.Unlock()
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{Kind: obs.EvCacheMiss, Src: c.src, Page: uint32(id)})
+		c.tracer.Event(obs.Event{Kind: obs.EvPageRead, Src: c.src, Page: uint32(id)})
+	}
 	return nil
 }
 
@@ -68,9 +85,9 @@ func (c *Cache) Write(id ID, buf []byte) error {
 		return errBufSize
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := c.store.Write(id, buf); err != nil {
 		c.invalidateLocked(id)
+		c.mu.Unlock()
 		return err
 	}
 	if el, ok := c.index[id]; ok {
@@ -78,6 +95,10 @@ func (c *Cache) Write(id ID, buf []byte) error {
 		copy(el.Value.(*cacheEntry).data[:], buf)
 	} else {
 		c.insertLocked(id, buf)
+	}
+	c.mu.Unlock()
+	if c.tracer != nil {
+		c.tracer.Event(obs.Event{Kind: obs.EvPageWrite, Src: c.src, Page: uint32(id)})
 	}
 	return nil
 }
@@ -141,12 +162,28 @@ func (c *Cache) Flush() {
 // HitRate returns the fraction of reads served from the cache, and the
 // absolute hit/miss counts, since construction.
 func (c *Cache) HitRate() (rate float64, hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.hits+c.misses == 0 {
+	hits, misses = c.hits.Load(), c.misses.Load()
+	if hits+misses == 0 {
 		return 0, 0, 0
 	}
-	return float64(c.hits) / float64(c.hits+c.misses), c.hits, c.misses
+	return float64(hits) / float64(hits+misses), hits, misses
+}
+
+// Counts returns the raw hit/miss counters since construction; the snapshot
+// is two atomic loads, cheap enough for per-query before/after deltas
+// (core.QueryStats uses it to attribute cache hits above the store's PA
+// accounting).
+func (c *Cache) Counts() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// SetTracer installs (or, with nil, removes) a tracer receiving a structured
+// event per cache hit, per miss with its physical read, and per
+// write-through, labeled with src. Not synchronized with in-flight reads:
+// install tracers before issuing queries.
+func (c *Cache) SetTracer(tr obs.Tracer, src obs.Src) {
+	c.tracer = tr
+	c.src = src
 }
 
 // Capacity returns the cache capacity in pages.

@@ -1,0 +1,90 @@
+package page
+
+import (
+	"testing"
+
+	"spbtree/internal/obs"
+)
+
+// recordingTracer counts events per kind, mirroring what QueryStats derives
+// from the cache counters.
+type recordingTracer struct {
+	hits, misses, reads, writes int
+}
+
+func (r *recordingTracer) Event(e obs.Event) {
+	switch e.Kind {
+	case obs.EvCacheHit:
+		r.hits++
+	case obs.EvCacheMiss:
+		r.misses++
+	case obs.EvPageRead:
+		r.reads++
+	case obs.EvPageWrite:
+		r.writes++
+	}
+}
+
+func TestCacheTracerEvents(t *testing.T) {
+	c := NewCache(NewMemStore(), 4)
+	var tr recordingTracer
+	c.SetTracer(&tr, obs.SrcIndex)
+
+	id, err := c.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, Size)
+	if err := c.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if err := c.Read(id, buf); err != nil { // miss + physical read
+		t.Fatal(err)
+	}
+	if err := c.Read(id, buf); err != nil { // hit
+		t.Fatal(err)
+	}
+	if tr.writes != 1 || tr.misses != 1 || tr.reads != 1 || tr.hits != 1 {
+		t.Errorf("events = %+v, want 1 of each", tr)
+	}
+	hits, misses := c.Counts()
+	if int(hits) != tr.hits || int(misses) != tr.misses {
+		t.Errorf("Counts() = (%d, %d), disagrees with tracer %+v", hits, misses, tr)
+	}
+}
+
+// TestCacheTracerZeroAlloc pins the satellite-5 requirement: the cache-hit
+// read path with an installed no-op tracer performs zero heap allocations, so
+// leaving instrumentation wired costs nothing on the hot path.
+func TestCacheTracerZeroAlloc(t *testing.T) {
+	c := NewCache(NewMemStore(), 4)
+	id, err := c.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, Size)
+	if err := c.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Read(id, buf); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		tracer obs.Tracer
+	}{
+		{"no tracer", nil},
+		{"nop tracer", obs.NopTracer{}},
+	} {
+		c.SetTracer(tc.tracer, obs.SrcIndex)
+		if n := testing.AllocsPerRun(200, func() {
+			if err := c.Read(id, buf); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("%s: cache-hit Read allocates %v per run, want 0", tc.name, n)
+		}
+	}
+}

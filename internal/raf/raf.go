@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"spbtree/internal/metric"
+	"spbtree/internal/obs"
 	"spbtree/internal/page"
 )
 
@@ -36,7 +37,15 @@ type File struct {
 	havePg  bool
 	pos     int  // write position within buf
 	dirty   bool // buf has unflushed bytes
+
+	// tracer, when non-nil, receives one EvRecordRead per decoded record.
+	tracer obs.Tracer
 }
+
+// SetTracer installs (or, with nil, removes) a tracer receiving one
+// structured EvRecordRead event per record decoded by Read. Not synchronized
+// with in-flight reads: install tracers before issuing queries.
+func (f *File) SetTracer(tr obs.Tracer) { f.tracer = tr }
 
 // New returns an empty RAF on store, decoding objects with codec.
 func New(store page.Store, codec metric.Codec) *File {
@@ -176,8 +185,12 @@ func (f *File) Close() error {
 	return syncErr
 }
 
-// Read decodes the record at offset. Every page touched is a page access on
-// the underlying store (or a cache hit if the store is a page.Cache).
+// Read decodes the record at offset. Each page the record touches is read
+// from the underlying store exactly once per call — the header and a payload
+// sharing its page cost one page access, not two — so with caching disabled
+// the store's counters still measure the paper's PA (pages fetched), and
+// with caching enabled the hit/miss accounting above the cache stays
+// truthful.
 func (f *File) Read(offset uint64) (metric.Object, error) {
 	if offset+headerSize > f.size {
 		return nil, fmt.Errorf("raf: offset %d out of range (size %d)", offset, f.size)
@@ -187,8 +200,10 @@ func (f *File) Read(offset uint64) (metric.Object, error) {
 			return nil, err
 		}
 	}
+	var pr pageReader
+	pr.f = f
 	var hdr [headerSize]byte
-	if err := f.readAt(offset, hdr[:]); err != nil {
+	if err := pr.read(offset, hdr[:]); err != nil {
 		return nil, err
 	}
 	id := binary.LittleEndian.Uint64(hdr[0:8])
@@ -200,32 +215,54 @@ func (f *File) Read(offset uint64) (metric.Object, error) {
 		if err := f.Flush(); err != nil {
 			return nil, err
 		}
+		// The flush rewrote the tail page; drop any stale copy.
+		pr.valid = false
 	}
 	payload := make([]byte, plen)
-	if err := f.readAt(offset+headerSize, payload); err != nil {
+	if err := pr.read(offset+headerSize, payload); err != nil {
 		return nil, err
 	}
 	obj, err := f.codec.Decode(id, payload)
 	if err != nil {
 		return nil, fmt.Errorf("raf: decode record at %d: %w", offset, err)
 	}
+	if f.tracer != nil {
+		f.tracer.Event(obs.Event{Kind: obs.EvRecordRead, Src: obs.SrcData, Offset: offset, Bytes: int32(plen)})
+	}
 	return obj, nil
 }
 
-// readAt fills b from the file starting at offset, reading whole pages.
-func (f *File) readAt(offset uint64, b []byte) error {
-	var pg [page.Size]byte
+// pageReader copies file bytes out of whole pages, keeping the last page
+// fetched so consecutive reads within one record never touch the store twice
+// for the same page.
+type pageReader struct {
+	f     *File
+	id    page.ID
+	valid bool
+	pg    [page.Size]byte
+}
+
+// read fills b from the file starting at offset.
+func (r *pageReader) read(offset uint64, b []byte) error {
 	for len(b) > 0 {
 		id := page.ID(offset / page.Size)
-		within := int(offset % page.Size)
-		if err := f.store.Read(id, pg[:]); err != nil {
-			return fmt.Errorf("raf: read page %d: %w", id, err)
+		if !r.valid || id != r.id {
+			if err := r.f.store.Read(id, r.pg[:]); err != nil {
+				return fmt.Errorf("raf: read page %d: %w", id, err)
+			}
+			r.id, r.valid = id, true
 		}
-		n := copy(b, pg[within:])
+		n := copy(b, r.pg[offset%page.Size:])
 		b = b[n:]
 		offset += uint64(n)
 	}
 	return nil
+}
+
+// readAt fills b from the file starting at offset, reading whole pages.
+func (f *File) readAt(offset uint64, b []byte) error {
+	pr := pageReader{f: f}
+	return pr.read(offset, b)
 }
 
 // Scan iterates all records in file order, invoking fn with each record's

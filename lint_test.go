@@ -1,0 +1,206 @@
+package spbtree
+
+// Documentation lints, run as ordinary tests so CI's `go test ./...` enforces
+// them without external tooling:
+//
+//   - TestPackageDocs: every package in the module has a package doc comment.
+//   - TestExportedDocs: every exported top-level symbol of the public root
+//     package is documented.
+//   - TestMarkdownLinks: every relative link in the repo's markdown files
+//     points at a file or directory that exists.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// modulePackages walks the repo and returns one representative non-test Go
+// file per package directory.
+func modulePackages(t *testing.T) map[string][]string {
+	t.Helper()
+	pkgs := make(map[string][]string)
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgs[dir] = append(pkgs[dir], path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestPackageDocs fails for any package directory whose files all lack a
+// package doc comment.
+func TestPackageDocs(t *testing.T) {
+	for dir, files := range modulePackages(t) {
+		documented := false
+		fset := token.NewFileSet()
+		for _, file := range files {
+			f, err := parser.ParseFile(fset, file, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", file, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s has no package doc comment in any file", dir)
+		}
+	}
+}
+
+// TestExportedDocs fails for any exported top-level declaration of the root
+// package (the public API) without a doc comment.
+func TestExportedDocs(t *testing.T) {
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					t.Errorf("%s: exported func %s has no doc comment",
+						fset.Position(d.Pos()), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							t.Errorf("%s: exported type %s has no doc comment",
+								fset.Position(s.Pos()), s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								t.Errorf("%s: exported %s %s has no doc comment",
+									fset.Position(name.Pos()), d.Tok, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// mdLink matches inline markdown links and images; the first group is the
+// target. Reference-style links and autolinks are out of scope.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// stripCode removes fenced code blocks and inline code spans, where
+// bracket-paren sequences are code (slice indexing, calls), not links.
+func stripCode(s string) string {
+	var b strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || strings.HasPrefix(line, "    ") || strings.HasPrefix(line, "\t") {
+			continue
+		}
+		// Drop inline `code` spans.
+		for {
+			i := strings.IndexByte(line, '`')
+			if i < 0 {
+				break
+			}
+			j := strings.IndexByte(line[i+1:], '`')
+			if j < 0 {
+				break
+			}
+			line = line[:i] + line[i+1+j+1:]
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestMarkdownLinks checks that every relative link target in the repo's
+// markdown files exists on disk. External (scheme://) and pure-anchor links
+// are skipped; anchors on relative links are stripped before the check.
+func TestMarkdownLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	for _, file := range mdFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(stripCode(string(data)), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link target %q does not exist (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}

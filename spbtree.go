@@ -38,6 +38,7 @@ import (
 	"spbtree/internal/core"
 	"spbtree/internal/forest"
 	"spbtree/internal/metric"
+	"spbtree/internal/obs"
 	"spbtree/internal/page"
 	"spbtree/internal/pivot"
 	"spbtree/internal/sfc"
@@ -64,11 +65,16 @@ type (
 	NearestIter = core.NearestIter
 )
 
-// Build constructs an SPB-tree over objs. See core.Build.
+// Build constructs an SPB-tree over objs: it selects pivots, maps every
+// object through the two-stage pivot-and-SFC mapping, writes the RAF in
+// ascending SFC order and bulk-loads the B+-tree. Options.Distance and
+// Options.Codec are required; every other option has the paper's default.
+// See core.Build.
 func Build(objs []Object, opts Options) (*Tree, error) { return core.Build(objs, opts) }
 
-// Join computes the similarity join SJ(Q, O, ε) over two Z-order SPB-trees
-// sharing one mapped space. See core.Join.
+// Join computes the similarity join SJ(Q, O, ε) = {⟨q, o⟩ | d(q, o) ≤ ε}
+// over two Z-order SPB-trees sharing one mapped space (build the second with
+// Options.ShareMapping). Self-joins (tq == to) are allowed. See core.Join.
 func Join(tq, to *Tree, eps float64) ([]JoinPair, error) { return core.Join(tq, to, eps) }
 
 // EstimateJoin predicts a join's cost from the trees' cost models.
@@ -89,7 +95,11 @@ var ErrNotFound = core.ErrNotFound
 type OpenOptions = core.OpenOptions
 
 // Open reopens a tree persisted with Tree.WriteMeta against its two page
-// stores. See core.Open.
+// stores. The caller supplies the stores (OpenOptions.IndexStore/DataStore)
+// plus the same Distance and Codec the tree was built with; the meta stream
+// restores the pivot table, quantization and bookkeeping without a single
+// distance computation. Meta corruption is reported as ErrCorruptMeta.
+// See core.Open.
 func Open(meta io.Reader, opts OpenOptions) (*Tree, error) { return core.Open(meta, opts) }
 
 // Durability and corruption resilience. Trees persisted with
@@ -121,11 +131,18 @@ var (
 	ErrCorruptMeta = core.ErrCorruptMeta
 )
 
-// Load reopens an index directory written by Tree.SaveAtomic. See core.Load.
+// Load reopens an index directory written by Tree.SaveAtomic: it validates
+// the meta footer's checksum, opens the two page files and verifies spot
+// checks before handing back a queryable tree. A directory that fails
+// validation is reported with ErrCorruptMeta or ErrCorrupt (try Repair).
+// See core.Load.
 func Load(dir string, opts LoadOptions) (*Tree, error) { return core.Load(dir, opts) }
 
 // Repair rebuilds an index directory from the objects that survive in its
-// RAF, replacing the old files. See core.Repair.
+// RAF — salvaging records sequentially, re-deriving keys through the pivot
+// mapping and bulk-loading a fresh B+-tree — then atomically replaces the
+// old files. The report says how many objects were recovered and lost.
+// See core.Repair.
 func Repair(dir string, opts LoadOptions) (RepairReport, error) { return core.Repair(dir, opts) }
 
 // Page storage for persistent trees.
@@ -239,6 +256,68 @@ func BuildForest(objs []Object, opts ForestOptions) (*Forest, error) {
 // space, all shard pairs in parallel. See forest.Join.
 func JoinForests(fq, fo *Forest, eps float64) ([]JoinPair, error) {
 	return forest.Join(fq, fo, eps)
+}
+
+// Observability surface: per-query stage statistics, aggregate metrics and
+// structured tracing hooks. DESIGN.md §7 defines every counter and maps it
+// to the paper's metrics. The WithStats entry points (e.g.
+// Tree.RangeSearchWithStats, Tree.KNNWithStats, JoinWithStats) return a
+// QueryStats per query; Tree.Metrics and Tree.PublishExpvar expose the
+// running aggregates; Tree.SetTracer installs a TraceEvent hook on every
+// storage layer (no-op and allocation-free when unset).
+type (
+	// QueryStats is one query's per-stage cost breakdown: pruning counts,
+	// compdists, index/data page accesses, cache hits and stage wall clocks.
+	QueryStats = core.QueryStats
+	// MetricsRegistry aggregates per-operation metrics over a tree's life.
+	MetricsRegistry = obs.Registry
+	// OpMetrics is one operation's aggregate counters and latency histogram.
+	OpMetrics = obs.OpMetrics
+	// OpSnapshot is a consistent-enough copy of an OpMetrics, JSON-taggable.
+	OpSnapshot = obs.OpSnapshot
+	// LatencyHistogram is a fixed-bucket (powers of two, 1µs…) histogram.
+	LatencyHistogram = obs.Histogram
+	// HistSnapshot is a histogram copy with bucket upper edges in ns.
+	HistSnapshot = obs.HistSnapshot
+	// Tracer receives structured storage-layer events; implementations must
+	// be cheap and must not retain the Event past the call.
+	Tracer = obs.Tracer
+	// NopTracer is a Tracer that does nothing.
+	NopTracer = obs.NopTracer
+	// TraceEvent is one storage-layer event (kind, source, page, offset).
+	TraceEvent = obs.Event
+	// TraceEventKind enumerates the event kinds.
+	TraceEventKind = obs.EventKind
+	// TraceSrc labels an event's storage side: index (B+-tree) or data (RAF).
+	TraceSrc = obs.Src
+)
+
+// Trace event kinds and sources, re-exported for Tracer implementations.
+const (
+	EvPageRead   = obs.EvPageRead
+	EvPageWrite  = obs.EvPageWrite
+	EvCacheHit   = obs.EvCacheHit
+	EvCacheMiss  = obs.EvCacheMiss
+	EvNodeRead   = obs.EvNodeRead
+	EvRecordRead = obs.EvRecordRead
+
+	SrcIndex = obs.SrcIndex
+	SrcData  = obs.SrcData
+)
+
+// Operation names used in QueryStats.Op and the metrics registry.
+const (
+	OpRange     = core.OpRange
+	OpKNN       = core.OpKNN
+	OpKNNApprox = core.OpKNNApprox
+	OpJoin      = core.OpJoin
+)
+
+// JoinWithStats computes the similarity join like Join and additionally
+// returns the join's QueryStats (page accesses aggregate both trees' stores,
+// once for a self-join). See core.JoinWithStats.
+func JoinWithStats(tq, to *Tree, eps float64) ([]JoinPair, QueryStats, error) {
+	return core.JoinWithStats(tq, to, eps)
 }
 
 // Pivot selection algorithms for Options.Selector.
