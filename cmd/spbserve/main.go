@@ -1,0 +1,206 @@
+// Command spbserve serves a persisted SPB-tree index over HTTP: range, kNN,
+// approximate kNN and similarity-join queries with per-request deadlines,
+// bounded concurrency with admission control, and per-endpoint metrics on
+// /debug/vars. See the README's "Serving" section for a curl walkthrough.
+//
+// Usage:
+//
+//	spbserve -dir INDEXDIR [-addr :8080] [-workers N] [-queue N]
+//	         [-timeout 5s] [-max-timeout 60s]
+//	spbserve -demo 50000 [-dim 8] [-addr :8080]
+//
+// -dir serves an index directory written by "spbtool build" (the directory's
+// config.json supplies the metric). -demo builds a transient in-memory index
+// over uniform random vectors on a Z-order curve (so /v1/join works) — handy
+// for trying the API without building an index first.
+//
+// SIGINT/SIGTERM trigger a graceful drain: new queries get 503, in-flight
+// ones finish under their own deadlines, then the process exits.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"spbtree/internal/core"
+	"spbtree/internal/metric"
+	"spbtree/internal/server"
+	"spbtree/internal/sfc"
+)
+
+// serveConfig mirrors spbtool's config.json: the dataset type and its
+// parameters, persisted next to the index at build time.
+type serveConfig struct {
+	Type   string `json:"type"`
+	Dim    int    `json:"dim,omitempty"`
+	Width  int    `json:"width,omitempty"`
+	MaxLen int    `json:"maxlen,omitempty"`
+}
+
+// resolve returns the metric, codec and query parser for a persisted config.
+func (cfg serveConfig) resolve() (metric.DistanceFunc, metric.Codec, server.ParseQueryFunc, error) {
+	switch cfg.Type {
+	case "vectors":
+		if cfg.Dim <= 0 {
+			return nil, nil, nil, fmt.Errorf("config.json: vectors need dim")
+		}
+		return metric.L2(cfg.Dim), metric.VectorCodec{Dim: cfg.Dim}, server.VectorParser(cfg.Dim), nil
+	case "words":
+		maxLen := cfg.MaxLen
+		if maxLen == 0 {
+			maxLen = 64
+		}
+		return metric.EditDistance{MaxLen: maxLen}, metric.StrCodec{},
+			server.TextParser(func(id uint64, line string) (metric.Object, error) {
+				return metric.NewStr(id, line), nil
+			}), nil
+	case "dna":
+		return metric.TrigramAngular{}, metric.SeqCodec{},
+			server.TextParser(func(id uint64, line string) (metric.Object, error) {
+				return metric.NewSeq(id, line), nil
+			}), nil
+	case "signatures":
+		if cfg.Width <= 0 {
+			return nil, nil, nil, fmt.Errorf("config.json: signatures need width")
+		}
+		return metric.Hamming{Bytes: cfg.Width}, metric.BitStringCodec{Bytes: cfg.Width},
+			server.TextParser(func(id uint64, line string) (metric.Object, error) {
+				b, err := hex.DecodeString(strings.TrimSpace(line))
+				if err != nil {
+					return nil, err
+				}
+				if len(b) != cfg.Width {
+					return nil, fmt.Errorf("signature is %d bytes, want %d", len(b), cfg.Width)
+				}
+				return metric.NewBitString(id, b), nil
+			}), nil
+	}
+	return nil, nil, nil, fmt.Errorf("config.json: unknown type %q (words|vectors|dna|signatures)", cfg.Type)
+}
+
+// openDir loads the persisted index at dir along with its query parser.
+func openDir(dir string) (*core.Tree, server.ParseQueryFunc, error) {
+	cj, err := os.ReadFile(filepath.Join(dir, "config.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg serveConfig
+	if err := json.Unmarshal(cj, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("parse config.json: %w", err)
+	}
+	dist, codec, parse, err := cfg.resolve()
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := core.Load(dir, core.LoadOptions{Distance: dist, Codec: codec})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, parse, nil
+}
+
+// buildDemo builds a transient Z-order index over n uniform random vectors.
+func buildDemo(n, dim int) (*core.Tree, server.ParseQueryFunc, error) {
+	rng := rand.New(rand.NewSource(1))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		coords := make([]float64, dim)
+		for d := range coords {
+			coords[d] = rng.Float64()
+		}
+		objs[i] = metric.NewVector(uint64(i), coords)
+	}
+	tree, err := core.Build(objs, core.Options{
+		Distance: metric.L2(dim),
+		Codec:    metric.VectorCodec{Dim: dim},
+		Curve:    sfc.ZOrder,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tree, server.VectorParser(dim), nil
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "index directory written by spbtool build")
+	demo := flag.Int("demo", 0, "serve a transient demo index over this many random vectors instead of -dir")
+	dim := flag.Int("dim", 8, "demo vector dimensionality")
+	workers := flag.Int("workers", 0, "concurrent query limit (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 2x workers)")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on request-supplied deadlines")
+	drainWait := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	var tree *core.Tree
+	var parse server.ParseQueryFunc
+	var err error
+	switch {
+	case *demo > 0:
+		fmt.Fprintf(os.Stderr, "building demo index: %d vectors, dim %d\n", *demo, *dim)
+		tree, parse, err = buildDemo(*demo, *dim)
+	case *dir != "":
+		tree, parse, err = openDir(*dir)
+	default:
+		return errors.New("spbserve needs -dir or -demo (see -h)")
+	}
+	if err != nil {
+		return err
+	}
+	defer tree.Close()
+
+	srv, err := server.New(server.Config{
+		Tree:           tree,
+		ParseQuery:     parse,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MetricsName:    "spbserve",
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving %d objects (%s curve) on %s\n",
+		tree.Len(), tree.CurveKind(), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "%v: draining (budget %v)\n", s, *drainWait)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+	}
+	return httpSrv.Shutdown(ctx)
+}
+
+func main() {
+	if err := run(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "spbserve:", err)
+		os.Exit(1)
+	}
+}

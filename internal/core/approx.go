@@ -2,7 +2,7 @@ package core
 
 import (
 	"container/heap"
-	"sort"
+	"context"
 
 	"spbtree/internal/metric"
 	"spbtree/internal/page"
@@ -22,21 +22,17 @@ import (
 // structure serves exact and budgeted queries.
 //
 // Use KNNApproxWithStats to additionally observe the query's per-stage
-// QueryStats.
+// QueryStats, and KNNApproxCtx for deadline- and cancellation-aware
+// execution.
 func (t *Tree) KNNApprox(q metric.Object, k, maxVerify int) ([]Result, error) {
-	if maxVerify <= 0 {
-		return t.KNN(q, k)
-	}
-	qs := QueryStats{Op: OpKNNApprox}
-	qt := t.beginQuery(&qs)
-	res, err := t.knnApprox(q, k, maxVerify, &qs)
-	qt.finish(len(res), err)
-	return res, err
+	return t.KNNApproxCtx(context.Background(), q, k, maxVerify)
 }
 
 // knnApprox is the budgeted best-first traversal, accumulating per-stage
-// counts into qs.
-func (t *Tree) knnApprox(q metric.Object, k, maxVerify int, qs *QueryStats) ([]Result, error) {
+// counts into qs. ctx is checked at every heap pop and every verification; on
+// cancellation (or any storage error) the candidates verified so far are
+// returned with the error, mirroring knn's partial-result contract.
+func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int, qs *QueryStats) ([]Result, error) {
 	if k <= 0 || t.count == 0 {
 		return nil, nil
 	}
@@ -64,20 +60,23 @@ func (t *Tree) knnApprox(q metric.Object, k, maxVerify int, qs *QueryStats) ([]R
 
 	verified := 0
 	for pq.Len() > 0 && verified < maxVerify {
+		if err := ctxDone(ctx); err != nil {
+			return res.sorted(), err
+		}
 		item := heap.Pop(pq).(mindItem)
 		if item.mind >= res.bound() {
 			break
 		}
 		if !item.isNode {
-			if err := t.verifyKNN(q, res, item.val, qs); err != nil {
-				return nil, err
+			if err := t.verifyKNN(ctx, q, res, item.val, qs); err != nil {
+				return res.sorted(), err
 			}
 			verified++
 			continue
 		}
 		node, err := t.bpt.ReadNode(item.page)
 		if err != nil {
-			return nil, err
+			return res.sorted(), err
 		}
 		qs.NodesRead++
 		if !node.Leaf {
@@ -104,13 +103,7 @@ func (t *Tree) knnApprox(q metric.Object, k, maxVerify int, qs *QueryStats) ([]R
 			}
 		}
 	}
-	out := append([]Result(nil), res.items...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].Object.ID() < out[j].Object.ID()
-	})
+	out := res.sorted()
 	qs.Discarded = qs.Verified - int64(len(out))
 	return out, nil
 }

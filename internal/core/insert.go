@@ -18,6 +18,8 @@ var ErrNotFound = errors.New("core: object not found")
 // tail rather than in SFC order; heavy churn therefore degrades clustering
 // until the index is rebuilt, the usual bulk-load-plus-deltas trade-off.
 func (t *Tree) Insert(o metric.Object) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := len(t.pivots)
 	vec := make([]float64, n)
 	t.phi(o, vec)
@@ -49,6 +51,8 @@ func (t *Tree) Insert(o metric.Object) error {
 // append-only, as in the paper's design where objects are compacted only on
 // rebuild).
 func (t *Tree) Delete(o metric.Object) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	n := len(t.pivots)
 	vec := make([]float64, n)
 	t.phi(o, vec)
@@ -82,6 +86,8 @@ func (t *Tree) Delete(o metric.Object) error {
 // Get retrieves an indexed object by an exemplar with the same φ and ID, or
 // ErrNotFound. It exists mainly for tests and tools.
 func (t *Tree) Get(o metric.Object) (metric.Object, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := len(t.pivots)
 	vec := make([]float64, n)
 	t.phi(o, vec)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,23 +30,19 @@ type JoinPair struct {
 // alongside the non-nil error, so callers get a partial answer rather than
 // silently losing pairs.
 //
-// Use JoinWithStats to additionally observe the join's QueryStats.
+// Use JoinWithStats to additionally observe the join's QueryStats, and
+// JoinCtx for deadline- and cancellation-aware execution.
 func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
-	qs := QueryStats{Op: OpJoin}
-	var beforeTo ioSnapshot
-	if to != tq {
-		beforeTo = to.takeIOSnapshot()
-	}
-	qt := tq.beginQuery(&qs)
-	pairs, err := joinImpl(tq, to, eps, &qs)
-	qt.finishJoin(to, beforeTo, len(pairs), err)
-	return pairs, err
+	return JoinCtx(context.Background(), tq, to, eps)
 }
 
 // joinImpl is Algorithm 3, accumulating per-stage counts into qs. Leaf-chain
 // cursor reads are not reflected in NodesRead (the cursors decode nodes
 // internally); the physical side of that traversal still shows up in IndexPA.
-func joinImpl(tq, to *Tree, eps float64, qs *QueryStats) ([]JoinPair, error) {
+// ctx is checked at every merge step and before every distance computation;
+// on cancellation the pairs verified so far are returned with a typed
+// ErrCanceled.
+func joinImpl(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats) ([]JoinPair, error) {
 	if err := joinCompatible(tq, to); err != nil {
 		return nil, err
 	}
@@ -60,6 +57,9 @@ func joinImpl(tq, to *Tree, eps float64, qs *QueryStats) ([]JoinPair, error) {
 	cq := tq.bpt.SeekFirst()
 	co := to.bpt.SeekFirst()
 	for cq.Valid() || co.Valid() {
+		if err := ctxDone(ctx); err != nil {
+			return pairs, err
+		}
 		if err := cq.Err(); err != nil {
 			return pairs, err
 		}
@@ -80,9 +80,12 @@ func joinImpl(tq, to *Tree, eps float64, qs *QueryStats) ([]JoinPair, error) {
 			if err != nil {
 				return pairs, err
 			}
-			verifyJoin(tq, elem, &listO, eps, qs, func(other joinElem, d float64) {
+			err = verifyJoin(ctx, tq, elem, &listO, eps, qs, func(other joinElem, d float64) {
 				pairs = append(pairs, JoinPair{Q: elem.obj, O: other.obj, Dist: d})
 			})
+			if err != nil {
+				return pairs, err
+			}
 			listQ = append(listQ, elem)
 			cq.Next()
 		} else {
@@ -90,9 +93,12 @@ func joinImpl(tq, to *Tree, eps float64, qs *QueryStats) ([]JoinPair, error) {
 			if err != nil {
 				return pairs, err
 			}
-			verifyJoin(tq, elem, &listQ, eps, qs, func(other joinElem, d float64) {
+			err = verifyJoin(ctx, tq, elem, &listQ, eps, qs, func(other joinElem, d float64) {
 				pairs = append(pairs, JoinPair{Q: other.obj, O: elem.obj, Dist: d})
 			})
+			if err != nil {
+				return pairs, err
+			}
 			listO = append(listO, elem)
 			co.Next()
 		}
@@ -179,9 +185,12 @@ func (t *Tree) loadJoinElem(key, val uint64, eps float64, n int, qs *QueryStats)
 // from newest to oldest, evicting entries whose maxRR has fallen behind the
 // current key (Lemma 6 — they can never match any later element either),
 // skipping entries outside the key window, testing cell containment
-// (Lemma 5), and only then computing the metric distance.
-func verifyJoin(t *Tree, cur joinElem, list *[]joinElem, eps float64, qs *QueryStats, emit func(other joinElem, d float64)) {
+// (Lemma 5), and only then computing the metric distance. ctx is checked
+// before each distance computation so even one element's long candidate list
+// cannot overrun a deadline; pairs emitted before the cancellation stand.
+func verifyJoin(ctx context.Context, t *Tree, cur joinElem, list *[]joinElem, eps float64, qs *QueryStats, emit func(other joinElem, d float64)) error {
 	l := *list
+	defer func() { *list = l }()
 	for i := len(l) - 1; i >= 0; i-- {
 		o := l[i]
 		if o.maxRR < cur.key {
@@ -199,6 +208,9 @@ func verifyJoin(t *Tree, cur joinElem, list *[]joinElem, eps float64, qs *QueryS
 			qs.EntriesPruned++ // Lemma 5
 			continue
 		}
+		if err := ctxDone(ctx); err != nil {
+			return err
+		}
 		st := qs.stageStart()
 		d := t.dist.Distance(cur.obj, o.obj)
 		qs.stageAdd(&qs.VerifyTime, st)
@@ -210,5 +222,5 @@ func verifyJoin(t *Tree, cur joinElem, list *[]joinElem, eps float64, qs *QueryS
 			qs.Discarded++
 		}
 	}
-	*list = l
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -207,7 +208,9 @@ func TestJoinListEviction(t *testing.T) {
 		rrLo: sfc.Point{15, 15}, rrHi: sfc.Point{15, 15},
 		cells: sfc.Point{0, 0},
 	}
-	verifyJoin(tDummy, cur, &list, 1, &QueryStats{}, func(joinElem, float64) { t.Fatal("unexpected emit") })
+	if err := verifyJoin(context.Background(), tDummy, cur, &list, 1, &QueryStats{}, func(joinElem, float64) { t.Fatal("unexpected emit") }); err != nil {
+		t.Fatal(err)
+	}
 	if len(list) != 1 || list[0].key != 5 {
 		t.Errorf("eviction failed: %d entries left", len(list))
 	}

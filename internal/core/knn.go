@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -21,17 +22,16 @@ import (
 // returned (sorted by distance) alongside the non-nil error, so callers get
 // a best-effort partial answer rather than silently losing objects.
 //
-// Use KNNWithStats to additionally observe the query's per-stage QueryStats.
+// Use KNNWithStats to additionally observe the query's per-stage QueryStats,
+// and KNNCtx for deadline- and cancellation-aware execution.
 func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
-	qs := QueryStats{Op: OpKNN}
-	qt := t.beginQuery(&qs)
-	res, err := t.knn(q, k, &qs)
-	qt.finish(len(res), err)
-	return res, err
+	return t.KNNCtx(context.Background(), q, k)
 }
 
-// knn is Algorithm 2, accumulating per-stage counts into qs.
-func (t *Tree) knn(q metric.Object, k int, qs *QueryStats) ([]Result, error) {
+// knn is Algorithm 2, accumulating per-stage counts into qs. ctx is checked
+// at every heap pop and every verification; on cancellation the best
+// candidates found so far are returned with a typed ErrCanceled.
+func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) ([]Result, error) {
 	if k <= 0 || t.count == 0 {
 		return nil, nil
 	}
@@ -59,13 +59,16 @@ func (t *Tree) knn(q metric.Object, k int, qs *QueryStats) ([]Result, error) {
 	qs.HeapPushes++
 
 	for pq.Len() > 0 {
+		if err := ctxDone(ctx); err != nil {
+			return res.sorted(), err
+		}
 		item := heap.Pop(pq).(mindItem)
 		if item.mind >= res.bound() {
 			break // Lemma 3 early termination
 		}
 		if !item.isNode {
 			// A leaf entry: fetch the object and verify.
-			if err := t.verifyKNN(q, res, item.val, qs); err != nil {
+			if err := t.verifyKNN(ctx, q, res, item.val, qs); err != nil {
 				return res.sorted(), err
 			}
 			continue
@@ -97,7 +100,7 @@ func (t *Tree) knn(q metric.Object, k int, qs *QueryStats) ([]Result, error) {
 				continue
 			}
 			if t.traversal == Greedy {
-				if err := t.verifyKNN(q, res, node.Vals[i], qs); err != nil {
+				if err := t.verifyKNN(ctx, q, res, node.Vals[i], qs); err != nil {
 					return res.sorted(), err
 				}
 			} else {
@@ -126,8 +129,13 @@ func (r *knnResults) sorted() []Result {
 }
 
 // verifyKNN reads the object at a RAF offset, computes its distance and
-// feeds the running top-k.
-func (t *Tree) verifyKNN(q metric.Object, res *knnResults, val uint64, qs *QueryStats) error {
+// feeds the running top-k. The ctx check gives verification-batch
+// granularity: a canceled query stops before the next RAF page read and
+// distance computation.
+func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, val uint64, qs *QueryStats) error {
+	if err := ctxDone(ctx); err != nil {
+		return err
+	}
 	st := qs.stageStart()
 	obj, err := t.raf.Read(val)
 	if err != nil {

@@ -174,6 +174,7 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorruptMeta, v, treeMetaVersion)
 	}
 	t := &Tree{
+		id:        treeIDs.Add(1),
 		dist:      metric.NewCounter(opts.Distance),
 		codec:     opts.Codec,
 		traversal: opts.Traversal,

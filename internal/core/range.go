@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"spbtree/internal/bptree"
@@ -20,17 +21,16 @@ import (
 // silently dropped, and the error tells the caller the set is incomplete.
 //
 // Use RangeSearchWithStats to additionally observe the query's per-stage
-// QueryStats.
+// QueryStats, and RangeSearchCtx for deadline- and cancellation-aware
+// execution.
 func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
-	qs := QueryStats{Op: OpRange}
-	qt := t.beginQuery(&qs)
-	res, err := t.rangeQuery(q, r, &qs)
-	qt.finish(len(res), err)
-	return res, err
+	return t.RangeSearchCtx(context.Background(), q, r)
 }
 
-// rangeQuery is Algorithm 1, accumulating per-stage counts into qs.
-func (t *Tree) rangeQuery(q metric.Object, r float64, qs *QueryStats) ([]Result, error) {
+// rangeQuery is Algorithm 1, accumulating per-stage counts into qs. ctx is
+// checked at every node visit and every verification; on cancellation the
+// answers verified so far are returned with a typed ErrCanceled.
+func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *QueryStats) ([]Result, error) {
 	if r < 0 {
 		return nil, nil
 	}
@@ -69,6 +69,9 @@ func (t *Tree) rangeQuery(q metric.Object, r float64, qs *QueryStats) ([]Result,
 
 	stack := []bptree.NodeRef{root}
 	for len(stack) > 0 {
+		if err := ctxDone(ctx); err != nil {
+			return fail(err)
+		}
 		ref := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		t.curve.Decode(ref.BoxLo, boxLo)
@@ -103,7 +106,7 @@ func (t *Tree) rangeQuery(q metric.Object, r float64, qs *QueryStats) ([]Result,
 		case contained:
 			// MBB(N) ⊆ RR: every entry's region test is implied.
 			for i := range node.Keys {
-				res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, false, cell, rrLo, rrHi, qs)
+				res, err := t.verifyRQ(ctx, q, qvec, node.Keys[i], node.Vals[i], r, false, cell, rrLo, rrHi, qs)
 				if err != nil {
 					return fail(err)
 				}
@@ -133,7 +136,7 @@ func (t *Tree) rangeQuery(q metric.Object, r float64, qs *QueryStats) ([]Result,
 							ei += jump
 							continue
 						}
-						res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi, qs)
+						res, err := t.verifyRQ(ctx, q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi, qs)
 						if err != nil {
 							return fail(err)
 						}
@@ -154,7 +157,7 @@ func (t *Tree) rangeQuery(q metric.Object, r float64, qs *QueryStats) ([]Result,
 						for ki < len(keys) && ei < len(node.Keys) {
 							switch {
 							case node.Keys[ei] == keys[ki]:
-								res, err := t.verifyRQ(q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi, qs)
+								res, err := t.verifyRQ(ctx, q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi, qs)
 								if err != nil {
 									return fail(err)
 								}
@@ -175,7 +178,7 @@ func (t *Tree) rangeQuery(q metric.Object, r float64, qs *QueryStats) ([]Result,
 			}
 			if !merged {
 				for i := range node.Keys {
-					res, err := t.verifyRQ(q, qvec, node.Keys[i], node.Vals[i], r, true, cell, rrLo, rrHi, qs)
+					res, err := t.verifyRQ(ctx, q, qvec, node.Keys[i], node.Vals[i], r, true, cell, rrLo, rrHi, qs)
 					if err != nil {
 						return fail(err)
 					}
@@ -198,8 +201,13 @@ func sortByID(results []Result) {
 
 // verifyRQ is the VerifyRQ function of Algorithm 1: optionally re-check the
 // region containment (Lemma 1), try the computation-free inclusion of
-// Lemma 2, and otherwise fetch the object and compute its distance.
-func (t *Tree) verifyRQ(q metric.Object, qvec []float64, key, val uint64, r float64, checkRegion bool, cell, rrLo, rrHi sfc.Point, qs *QueryStats) (*Result, error) {
+// Lemma 2, and otherwise fetch the object and compute its distance. The ctx
+// check here gives verification-batch granularity: a canceled query stops
+// before the next RAF page read and distance computation.
+func (t *Tree) verifyRQ(ctx context.Context, q metric.Object, qvec []float64, key, val uint64, r float64, checkRegion bool, cell, rrLo, rrHi sfc.Point, qs *QueryStats) (*Result, error) {
+	if err := ctxDone(ctx); err != nil {
+		return nil, err
+	}
 	qs.EntriesScanned++
 	t.curve.Decode(key, cell)
 	if checkRegion && !sfc.Contains(rrLo, rrHi, cell) {

@@ -19,7 +19,14 @@ import (
 //
 // New stores may be supplied (e.g. fresh files to swap in); nil arguments
 // select in-memory stores. The old stores are left untouched.
+//
+// Rebuild takes the tree's write lock: it waits for in-flight queries to
+// drain, swaps the substrates, and queries issued afterwards see the compact
+// tree — safe under concurrent read traffic (run the stress tests with
+// -race).
 func (t *Tree) Rebuild(indexStore, dataStore page.Store) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if indexStore == nil {
 		indexStore = page.NewMemStore()
 	}

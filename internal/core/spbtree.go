@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"spbtree/internal/bptree"
@@ -91,8 +92,19 @@ type Options struct {
 	DisableSFCMerge bool
 }
 
-// Tree is a built SPB-tree.
+// Tree is a built SPB-tree. Queries may run concurrently with each other;
+// the structural mutators (Insert, Delete, Rebuild, Close) are serialized
+// against them by an internal reader-writer lock, so a Rebuild can swap the
+// storage substrates under live traffic without readers observing a torn
+// tree. NearestIter is the exception: an open iterator holds no lock and must
+// not overlap a mutator.
 type Tree struct {
+	// mu serializes structural mutation (Rebuild's substrate swap, Insert,
+	// Delete, Close) against in-flight queries, which hold it in read mode.
+	mu sync.RWMutex
+	// id orders lock acquisition for two-tree joins (see rlockPair).
+	id uint64
+
 	dist  *metric.Counter
 	codec metric.Codec
 
@@ -156,6 +168,7 @@ func Build(objs []metric.Object, opts Options) (*Tree, error) {
 	rng := rand.New(rand.NewSource(seed))
 
 	t := &Tree{
+		id:         treeIDs.Add(1),
 		dist:       metric.NewCounter(opts.Distance),
 		codec:      opts.Codec,
 		kind:       opts.Curve,
@@ -404,6 +417,8 @@ type Stats struct {
 // flushes both caches — the paper's cold-start protocol before each of its
 // 500 measured queries.
 func (t *Tree) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.idxCache.Stats().Reset()
 	t.dataCache.Stats().Reset()
 	t.dist.Reset()
@@ -414,6 +429,8 @@ func (t *Tree) ResetStats() {
 // WarmReset zeroes the counters but keeps cache contents, for measuring
 // sequences that intentionally share a warm cache.
 func (t *Tree) WarmReset() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.idxCache.Stats().Reset()
 	t.dataCache.Stats().Reset()
 	t.dist.Reset()
@@ -448,6 +465,13 @@ func (t *Tree) StorageBytes() int64 {
 // stable storage. Until Sync (or SaveAtomic) succeeds, completed writes may
 // still sit in OS buffers.
 func (t *Tree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.syncLocked()
+}
+
+// syncLocked is Sync's body, for callers already holding the write lock.
+func (t *Tree) syncLocked() error {
 	if err := t.raf.Flush(); err != nil {
 		return err
 	}
@@ -458,9 +482,12 @@ func (t *Tree) Sync() error {
 }
 
 // Close syncs and closes both page stores, so a clean shutdown is durable.
-// The tree must not be used afterwards.
+// The tree must not be used afterwards. Close waits for in-flight queries to
+// drain before touching the stores.
 func (t *Tree) Close() error {
-	syncErr := t.Sync()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	syncErr := t.syncLocked()
 	idxErr := t.idxCache.Close()
 	dataErr := t.dataCache.Close()
 	if syncErr != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"spbtree/internal/metric"
@@ -243,48 +244,25 @@ func (t *Tree) wireTracer() {
 // returns the query's per-stage QueryStats, including the per-stage wall
 // clocks. On a partial-result error the stats cover the work completed.
 func (t *Tree) RangeSearchWithStats(q metric.Object, r float64) ([]Result, QueryStats, error) {
-	qs := QueryStats{Op: OpRange, timed: true}
-	qt := t.beginQuery(&qs)
-	res, err := t.rangeQuery(q, r, &qs)
-	qt.finish(len(res), err)
-	return res, qs, err
+	return t.RangeSearchWithStatsCtx(context.Background(), q, r)
 }
 
 // KNNWithStats answers kNN(q, k) like KNN and additionally returns the
 // query's per-stage QueryStats.
 func (t *Tree) KNNWithStats(q metric.Object, k int) ([]Result, QueryStats, error) {
-	qs := QueryStats{Op: OpKNN, timed: true}
-	qt := t.beginQuery(&qs)
-	res, err := t.knn(q, k, &qs)
-	qt.finish(len(res), err)
-	return res, qs, err
+	return t.KNNWithStatsCtx(context.Background(), q, k)
 }
 
 // KNNApproxWithStats answers budgeted approximate kNN like KNNApprox and
 // additionally returns the query's per-stage QueryStats. A budget of zero or
 // less falls back to the exact search (reported under OpKNN).
 func (t *Tree) KNNApproxWithStats(q metric.Object, k, maxVerify int) ([]Result, QueryStats, error) {
-	if maxVerify <= 0 {
-		return t.KNNWithStats(q, k)
-	}
-	qs := QueryStats{Op: OpKNNApprox, timed: true}
-	qt := t.beginQuery(&qs)
-	res, err := t.knnApprox(q, k, maxVerify, &qs)
-	qt.finish(len(res), err)
-	return res, qs, err
+	return t.KNNApproxWithStatsCtx(context.Background(), q, k, maxVerify)
 }
 
 // JoinWithStats computes SJ(Q, O, ε) like Join and additionally returns the
 // join's QueryStats: page accesses aggregate both trees' stores (once for a
 // self-join), and the aggregate metrics are recorded on tq.
 func JoinWithStats(tq, to *Tree, eps float64) ([]JoinPair, QueryStats, error) {
-	qs := QueryStats{Op: OpJoin, timed: true}
-	var beforeTo ioSnapshot
-	if to != tq {
-		beforeTo = to.takeIOSnapshot()
-	}
-	qt := tq.beginQuery(&qs)
-	pairs, err := joinImpl(tq, to, eps, &qs)
-	qt.finishJoin(to, beforeTo, len(pairs), err)
-	return pairs, qs, err
+	return JoinWithStatsCtx(context.Background(), tq, to, eps)
 }

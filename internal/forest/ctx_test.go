@@ -1,0 +1,111 @@
+package forest
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"spbtree/internal/core"
+	"spbtree/internal/metric"
+)
+
+// TestScatterStopsOnCancel: shards not yet dispatched when the context is
+// canceled never run — the scatter loop must stop issuing work, not fire one
+// goroutine per shard regardless.
+func TestScatterStopsOnCancel(t *testing.T) {
+	objs := vectors(600, 3, 11, 0)
+	f, err := Build(objs, Options{
+		Tree: core.Options{
+			Distance: metric.L2(3), Codec: metric.VectorCodec{Dim: 3}, NumPivots: 2,
+		},
+		Shards:   6,
+		Parallel: 1, // serialize dispatch so cancellation lands between shards
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var launched atomic.Int32
+	err = f.scatter(ctx, func(i int, tr *core.Tree) error {
+		if launched.Add(1) == 1 {
+			cancel() // cancel while the first shard is still running
+		}
+		return nil
+	})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if n := launched.Load(); n > 2 {
+		t.Fatalf("%d shards launched after cancellation (dispatch did not stop)", n)
+	}
+}
+
+// TestScatterStopsOnError: once one shard fails, un-dispatched shards never
+// start, and the first error (in shard order) is returned.
+func TestScatterStopsOnError(t *testing.T) {
+	objs := vectors(600, 3, 12, 0)
+	f, err := Build(objs, Options{
+		Tree: core.Options{
+			Distance: metric.L2(3), Codec: metric.VectorCodec{Dim: 3}, NumPivots: 2,
+		},
+		Shards:   6,
+		Parallel: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("shard exploded")
+	var launched atomic.Int32
+	err = f.scatter(context.Background(), func(i int, tr *core.Tree) error {
+		launched.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the shard error", err)
+	}
+	// With Parallel=1 the dispatcher re-checks the failure flag before each
+	// shard; at most the shard already in flight alongside the failure runs.
+	if n := launched.Load(); n > 2 {
+		t.Fatalf("%d shards launched after a shard error", n)
+	}
+}
+
+// TestForestQueryCtxPartials: forest queries under an expired context return
+// gathered partials plus ErrCanceled, matching the single-tree contract.
+func TestForestQueryCtxPartials(t *testing.T) {
+	objs := vectors(500, 3, 13, 0)
+	f, err := Build(objs, Options{
+		Tree: core.Options{
+			Distance: metric.L2(3), Codec: metric.VectorCodec{Dim: 3}, NumPivots: 2,
+		},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.RangeQueryCtx(ctx, objs[0], 0.3); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("range: err = %v, want ErrCanceled", err)
+	}
+	if _, err := f.KNNCtx(ctx, objs[0], 5); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("knn: err = %v, want ErrCanceled", err)
+	}
+
+	// Background contexts stay equivalent to the plain entry points.
+	plain, err := f.RangeQuery(objs[0], 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := f.RangeQueryCtx(context.Background(), objs[0], 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(withCtx) {
+		t.Fatalf("ctx variant disagrees: %d vs %d", len(plain), len(withCtx))
+	}
+}

@@ -11,9 +11,11 @@
 package forest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"spbtree/internal/core"
 	"spbtree/internal/metric"
@@ -92,22 +94,41 @@ func (f *Forest) Len() int {
 }
 
 // scatter runs fn for every shard, bounded by the parallelism limit, and
-// returns the first error.
-func (f *Forest) scatter(fn func(i int, t *core.Tree) error) error {
+// returns the first error (in shard order). Dispatch is admission-controlled:
+// once ctx is canceled or any shard has recorded an error, no further shard
+// work is issued — already-running shards wind down through their own ctx
+// checks, but queued ones never start. On cancellation with no shard error
+// the returned error matches core.ErrCanceled.
+func (f *Forest) scatter(ctx context.Context, fn func(i int, t *core.Tree) error) error {
 	limit := f.parallel
 	if limit <= 0 || limit > len(f.shards) {
 		limit = len(f.shards)
 	}
 	sem := make(chan struct{}, limit)
 	errs := make([]error, len(f.shards))
+	var failed atomic.Bool
 	var wg sync.WaitGroup
+dispatch:
 	for i, t := range f.shards {
+		if failed.Load() || ctx.Err() != nil {
+			break // stop issuing work; un-dispatched shards never run
+		}
+		// Acquire the slot before spawning, so a full pipeline blocks the
+		// dispatcher (not a goroutine per shard) and cancellation while
+		// waiting abandons the remaining shards outright.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
 		wg.Add(1)
 		go func(i int, t *core.Tree) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = fn(i, t)
+			if err := fn(i, t); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
 		}(i, t)
 	}
 	wg.Wait()
@@ -116,40 +137,52 @@ func (f *Forest) scatter(fn func(i int, t *core.Tree) error) error {
 			return err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", core.ErrCanceled, context.Cause(ctx))
+	}
 	return nil
 }
 
 // RangeQuery scatters RQ(q, shard, r) and concatenates the answers.
 func (f *Forest) RangeQuery(q metric.Object, r float64) ([]core.Result, error) {
+	return f.RangeQueryCtx(context.Background(), q, r)
+}
+
+// RangeQueryCtx is RangeQuery honoring ctx: shards not yet dispatched when
+// the context is canceled never run, in-flight shards stop at their own
+// cancellation checks, and the answers gathered so far are returned with an
+// error matching core.ErrCanceled.
+func (f *Forest) RangeQueryCtx(ctx context.Context, q metric.Object, r float64) ([]core.Result, error) {
 	per := make([][]core.Result, len(f.shards))
-	err := f.scatter(func(i int, t *core.Tree) error {
-		res, err := t.RangeQuery(q, r)
+	err := f.scatter(ctx, func(i int, t *core.Tree) error {
+		res, err := t.RangeSearchCtx(ctx, q, r)
 		per[i] = res
 		return err
 	})
-	if err != nil {
-		return nil, err
-	}
 	var out []core.Result
 	for _, res := range per {
 		out = append(out, res...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Object.ID() < out[j].Object.ID() })
-	return out, nil
+	return out, err
 }
 
 // KNN scatters kNN(q, k) to every shard and merges the per-shard top-k sets
 // into the global top-k — the standard distributed-kNN reduction.
 func (f *Forest) KNN(q metric.Object, k int) ([]core.Result, error) {
+	return f.KNNCtx(context.Background(), q, k)
+}
+
+// KNNCtx is KNN honoring ctx, with the same partial-result contract as
+// RangeQueryCtx: whatever the finished shards produced, merged and cut to k,
+// plus an error matching core.ErrCanceled.
+func (f *Forest) KNNCtx(ctx context.Context, q metric.Object, k int) ([]core.Result, error) {
 	per := make([][]core.Result, len(f.shards))
-	err := f.scatter(func(i int, t *core.Tree) error {
-		res, err := t.KNN(q, k)
+	err := f.scatter(ctx, func(i int, t *core.Tree) error {
+		res, err := t.KNNCtx(ctx, q, k)
 		per[i] = res
 		return err
 	})
-	if err != nil {
-		return nil, err
-	}
 	var all []core.Result
 	for _, res := range per {
 		all = append(all, res...)
@@ -163,13 +196,22 @@ func (f *Forest) KNN(q metric.Object, k int) ([]core.Result, error) {
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all, nil
+	return all, err
 }
 
 // Join computes SJ(Q, O, ε) between two forests sharing one mapped space:
 // every (Q-shard, O-shard) pair runs an independent SJA merge, all pairs in
 // parallel — the shuffle-free join plan a shared-pivot partitioning allows.
 func Join(fq, fo *Forest, eps float64) ([]core.JoinPair, error) {
+	return JoinCtx(context.Background(), fq, fo, eps)
+}
+
+// JoinCtx is Join honoring ctx: shard pairs not yet dispatched when the
+// context is canceled (or an earlier pair failed) never run, running pairs
+// stop at the core join's cancellation checks, and the pairs gathered so far
+// are returned with the first error (matching core.ErrCanceled on
+// cancellation).
+func JoinCtx(ctx context.Context, fq, fo *Forest, eps float64) ([]core.JoinPair, error) {
 	type task struct{ qi, oi int }
 	var tasks []task
 	for qi := range fq.shards {
@@ -184,21 +226,38 @@ func Join(fq, fo *Forest, eps float64) ([]core.JoinPair, error) {
 	sem := make(chan struct{}, limit)
 	per := make([][]core.JoinPair, len(tasks))
 	errs := make([]error, len(tasks))
+	var failed atomic.Bool
 	var wg sync.WaitGroup
+dispatch:
 	for ti, tk := range tasks {
+		if failed.Load() || ctx.Err() != nil {
+			break // stop issuing shard-pair work
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
 		wg.Add(1)
 		go func(ti int, tk task) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			per[ti], errs[ti] = core.Join(fq.shards[tk.qi], fo.shards[tk.oi], eps)
+			per[ti], errs[ti] = core.JoinCtx(ctx, fq.shards[tk.qi], fo.shards[tk.oi], eps)
+			if errs[ti] != nil {
+				failed.Store(true)
+			}
 		}(ti, tk)
 	}
 	wg.Wait()
+	var firstErr error
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			firstErr = err
+			break
 		}
+	}
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = fmt.Errorf("%w: %w", core.ErrCanceled, context.Cause(ctx))
 	}
 	var out []core.JoinPair
 	for _, pairs := range per {
@@ -210,7 +269,7 @@ func Join(fq, fo *Forest, eps float64) ([]core.JoinPair, error) {
 		}
 		return out[i].O.ID() < out[j].O.ID()
 	})
-	return out, nil
+	return out, firstErr
 }
 
 // BuildPartner builds a second forest over objs sharing f's pivot mapping

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"spbtree/internal/core"
+	"spbtree/internal/metric"
+)
+
+// Request bounds: a decoded body may not carry a query vector longer than
+// MaxVectorDim, ask for more than MaxK neighbors, or budget more than MaxK
+// verifications — caps that keep a single malicious request from turning
+// into an unbounded allocation or an effectively unbounded scan.
+const (
+	// MaxVectorDim caps the query vector length a request may carry.
+	MaxVectorDim = 4096
+	// MaxK caps k and max_verify.
+	MaxK = 100_000
+	// MaxQueryLen caps the textual query form's length in bytes.
+	MaxQueryLen = 1 << 16
+)
+
+// QueryID is the object id given to query objects parsed from requests. It
+// sits above any plausible dataset id so results never collide with it.
+const QueryID = uint64(1) << 63
+
+// Request is the JSON body accepted by the query endpoints. Exactly the
+// fields the endpoint needs must validate: /v1/range needs a query object and
+// radius, /v1/knn a query object and k, /v1/knn/approx additionally
+// max_verify, /v1/join only eps. timeout_ms optionally tightens (never
+// extends beyond the server's MaxTimeout) the per-request deadline.
+type Request struct {
+	// Vector is the query object for vector-valued trees.
+	Vector []float64 `json:"vector,omitempty"`
+	// Query is the textual query form for non-vector trees (same line format
+	// as spbtool input files).
+	Query string `json:"query,omitempty"`
+	// Radius is the range-query radius (required for /v1/range; 0 is legal).
+	Radius *float64 `json:"radius,omitempty"`
+	// K is the neighbor count for /v1/knn and /v1/knn/approx.
+	K int `json:"k,omitempty"`
+	// MaxVerify is the verification budget for /v1/knn/approx (0 falls back
+	// to the exact search).
+	MaxVerify int `json:"max_verify,omitempty"`
+	// Eps is the join threshold (required for /v1/join).
+	Eps *float64 `json:"eps,omitempty"`
+	// TimeoutMS bounds this request's execution in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ErrBadRequest matches (errors.Is) every decode or validation failure of a
+// request body; the handlers map it to HTTP 400.
+var ErrBadRequest = errors.New("server: bad request")
+
+// badf wraps a validation failure in ErrBadRequest.
+func badf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// DecodeRequest parses and validates one endpoint's JSON request body. It
+// never panics on malformed input — arbitrary bytes either produce a fully
+// validated Request or an error matching ErrBadRequest (the fuzz target
+// FuzzDecodeRequest pins this down). Size limiting happens a layer up via
+// http.MaxBytesReader; length-bearing fields are re-checked here anyway.
+func DecodeRequest(body io.Reader, op string) (Request, error) {
+	var req Request
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		// Keep the cause in the chain: the handler maps an underlying
+		// *http.MaxBytesError to 413 instead of 400.
+		return Request{}, fmt.Errorf("%w: decode body: %w", ErrBadRequest, err)
+	}
+	// Reject trailing garbage after the JSON object.
+	if dec.More() {
+		return Request{}, badf("trailing data after request object")
+	}
+	if err := req.validate(op); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// validate applies the per-endpoint field requirements.
+func (req *Request) validate(op string) error {
+	if len(req.Vector) > MaxVectorDim {
+		return badf("vector has %d components, limit %d", len(req.Vector), MaxVectorDim)
+	}
+	for i, v := range req.Vector {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return badf("vector component %d is not finite", i)
+		}
+	}
+	if len(req.Query) > MaxQueryLen {
+		return badf("query is %d bytes, limit %d", len(req.Query), MaxQueryLen)
+	}
+	if req.TimeoutMS < 0 {
+		return badf("timeout_ms must be non-negative")
+	}
+	needsObject := op != core.OpJoin
+	hasObject := len(req.Vector) > 0 || req.Query != ""
+	if needsObject && !hasObject {
+		return badf("request needs a query object (vector or query)")
+	}
+	if len(req.Vector) > 0 && req.Query != "" {
+		return badf("vector and query are mutually exclusive")
+	}
+	switch op {
+	case core.OpRange:
+		if req.Radius == nil {
+			return badf("range query needs radius")
+		}
+		if !finiteNonNegative(*req.Radius) {
+			return badf("radius must be finite and non-negative")
+		}
+	case core.OpKNN, core.OpKNNApprox:
+		if req.K <= 0 {
+			return badf("k must be positive")
+		}
+		if req.K > MaxK {
+			return badf("k is %d, limit %d", req.K, MaxK)
+		}
+		if op == core.OpKNNApprox {
+			if req.MaxVerify < 0 {
+				return badf("max_verify must be non-negative")
+			}
+			if req.MaxVerify > MaxK {
+				return badf("max_verify is %d, limit %d", req.MaxVerify, MaxK)
+			}
+		}
+	case core.OpJoin:
+		if hasObject {
+			return badf("join takes no query object")
+		}
+		if req.Eps == nil {
+			return badf("join needs eps")
+		}
+		if !finiteNonNegative(*req.Eps) {
+			return badf("eps must be finite and non-negative")
+		}
+	default:
+		return badf("unknown operation %q", op)
+	}
+	return nil
+}
+
+// finiteNonNegative reports whether v is a usable radius/threshold.
+func finiteNonNegative(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// ParseQueryFunc turns a validated Request into the query object of the
+// tree's metric space. The server calls it only after validation, so
+// implementations see either a non-empty Vector or a non-empty Query.
+type ParseQueryFunc func(Request) (metric.Object, error)
+
+// VectorParser returns a ParseQueryFunc for dim-dimensional vector trees: it
+// accepts the "vector" field (exact dimensionality) and rejects textual
+// queries.
+func VectorParser(dim int) ParseQueryFunc {
+	return func(req Request) (metric.Object, error) {
+		if len(req.Vector) == 0 {
+			return nil, badf("this index serves vector queries; use the vector field")
+		}
+		if len(req.Vector) != dim {
+			return nil, badf("vector has %d components, index dimensionality is %d", len(req.Vector), dim)
+		}
+		return metric.NewVector(QueryID, req.Vector), nil
+	}
+}
+
+// TextParser returns a ParseQueryFunc adapting a line parser (the spbtool
+// input format) for textual query objects; it rejects the vector field.
+func TextParser(parse func(id uint64, line string) (metric.Object, error)) ParseQueryFunc {
+	return func(req Request) (metric.Object, error) {
+		if req.Query == "" {
+			return nil, badf("this index serves textual queries; use the query field")
+		}
+		obj, err := parse(QueryID, req.Query)
+		if err != nil {
+			return nil, badf("parse query: %v", err)
+		}
+		return obj, nil
+	}
+}

@@ -33,6 +33,7 @@
 package spbtree
 
 import (
+	"context"
 	"io"
 
 	"spbtree/internal/core"
@@ -318,6 +319,35 @@ const (
 // once for a self-join). See core.JoinWithStats.
 func JoinWithStats(tq, to *Tree, eps float64) ([]JoinPair, QueryStats, error) {
 	return core.JoinWithStats(tq, to, eps)
+}
+
+// Cancellation surface. Every search entry point has a context-honoring
+// variant (Tree.RangeSearchCtx, Tree.KNNCtx, Tree.KNNApproxCtx, JoinCtx and
+// their WithStats forms): cancellation is checked at leaf-scan and
+// verification granularity, and an interrupted query returns the answers
+// verified so far together with an error matching ErrCanceled — partial
+// results plus a typed error, the same contract the durability layer uses
+// for corrupt pages. The spbserve HTTP service builds its per-request
+// deadlines on this surface.
+var (
+	// ErrCanceled matches (errors.Is) every query abandoned because its
+	// context was canceled or its deadline expired; the context's own cause
+	// (e.g. context.DeadlineExceeded) stays matchable through it.
+	ErrCanceled = core.ErrCanceled
+)
+
+// JoinCtx computes the similarity join like Join, honoring ctx: cancellation
+// is checked at every merge step and before every distance computation, and
+// the pairs found so far are returned with an error matching ErrCanceled.
+// See core.JoinCtx.
+func JoinCtx(ctx context.Context, tq, to *Tree, eps float64) ([]JoinPair, error) {
+	return core.JoinCtx(ctx, tq, to, eps)
+}
+
+// JoinWithStatsCtx is JoinCtx plus the join's QueryStats. See
+// core.JoinWithStatsCtx.
+func JoinWithStatsCtx(ctx context.Context, tq, to *Tree, eps float64) ([]JoinPair, QueryStats, error) {
+	return core.JoinWithStatsCtx(ctx, tq, to, eps)
 }
 
 // Pivot selection algorithms for Options.Selector.
