@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spbtree/internal/core"
+	"spbtree/internal/metric"
+)
+
+// pr4 benchmarks the parallel query execution engine (DESIGN.md §9) against
+// fully serial execution on the Table 4 / Fig. 10 workloads: kNN with k=8
+// (greedy traversal, so leaf batches exercise the coalesced RAF reads) and
+// range queries at r = 8% of d+, each measured cold (cache flushed per
+// query, the paper's protocol) and warm (cache large enough to hold the
+// working set, primed by one pass).
+//
+// Beyond reporting, the experiment enforces the engine's portable
+// invariants and fails on violation — this is the CI regression gate:
+//
+//   - parallel Compdists equals serial Compdists exactly (the ordered-commit
+//     replay guarantee),
+//   - parallel result counts equal serial result counts,
+//   - warm parallel PA does not exceed warm serial PA,
+//   - warm parallel wall time is at most 2× warm serial wall time.
+//
+// Wall-clock speedup from parallelism itself scales with GOMAXPROCS; the
+// emitted JSON records the core count so baselines from different machines
+// are comparable.
+func pr4(cfg config) error {
+	header(cfg.out, "PR4: parallel execution engine, serial vs parallel verification")
+	workers := cfg.workers
+	if workers == 0 {
+		workers = 8
+	}
+	report := pr4Report{
+		N: cfg.n, Queries: cfg.queries, K: 8, Workers: workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		WarmSpeedup: map[string]float64{},
+	}
+	fmt.Fprintf(cfg.out, "%-10s %-6s %-5s %10s %12s %12s %12s\n",
+		"dataset", "op", "cache", "PA/q", "compdists/q", "serial", fmt.Sprintf("K=%d", workers))
+
+	for _, name := range []string{"words", "dna", "color"} {
+		ds := scaledDataset(cfg, name)
+		// A cache sized to the whole store makes the warm runs purely
+		// CPU-bound, isolating the verification pipeline.
+		tree, err := buildSPB(ds, cfg.seed, core.Options{
+			Traversal: core.Greedy, CacheSize: 1 << 16,
+		})
+		if err != nil {
+			return err
+		}
+		queries := ds.Queries(cfg.queries)
+		r := 0.08 * ds.Distance.MaxDistance()
+
+		for _, op := range []string{"knn", "range"} {
+			for _, cache := range []string{"cold", "warm"} {
+				var serial, parallel pr4Entry
+				for _, mode := range []int{1, workers} {
+					tree.SetWorkers(mode)
+					e, err := pr4Measure(tree, queries, op, r, cache == "warm")
+					if err != nil {
+						return err
+					}
+					e.Dataset, e.Op, e.Cache = ds.Name, op, cache
+					if mode == 1 {
+						e.Mode = "serial"
+						serial = e
+					} else {
+						e.Mode = fmt.Sprintf("parallel%d", workers)
+						parallel = e
+					}
+					report.Entries = append(report.Entries, e)
+				}
+				if err := pr4Check(serial, parallel, cache); err != nil {
+					return err
+				}
+				if op == "knn" && cache == "warm" {
+					report.WarmSpeedup[ds.Name] = serial.WallUs / parallel.WallUs
+				}
+				fmt.Fprintf(cfg.out, "%-10s %-6s %-5s %10.1f %12.1f %10.0fµs %10.0fµs\n",
+					ds.Name, op, cache, parallel.PA, parallel.CD, serial.WallUs, parallel.WallUs)
+			}
+		}
+		tree.Close()
+	}
+	for dsName, s := range report.WarmSpeedup {
+		fmt.Fprintf(cfg.out, "warm kNN k=8 speedup [%s]: %.2fx (GOMAXPROCS=%d)\n",
+			dsName, s, report.GOMAXPROCS)
+	}
+	if cfg.jsonPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+// pr4Entry is one (dataset, op, mode, cache) measurement, averaged per query.
+type pr4Entry struct {
+	Dataset string  `json:"dataset"`
+	Op      string  `json:"op"`
+	Mode    string  `json:"mode"`
+	Cache   string  `json:"cache"`
+	WallUs  float64 `json:"wall_us_per_query"`
+	PA      float64 `json:"pa_per_query"`
+	CD      float64 `json:"compdists_per_query"`
+	Results int     `json:"results_total"`
+}
+
+// pr4Report is the BENCH_PR4.json schema: the environment, every
+// measurement, and the headline warm-kNN speedups per dataset.
+type pr4Report struct {
+	N           int                `json:"n"`
+	Queries     int                `json:"queries"`
+	K           int                `json:"k"`
+	Workers     int                `json:"workers"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Entries     []pr4Entry         `json:"entries"`
+	WarmSpeedup map[string]float64 `json:"warm_knn_speedup"`
+}
+
+// pr4Measure runs the workload twice: once with per-query stats for the
+// PA/compdists counters, once with the plain entry points for wall time —
+// so the serial mode is not penalized by the per-verification stage clocks
+// of the WithStats path.
+func pr4Measure(tree *core.Tree, queries []metric.Object, op string, r float64, warm bool) (pr4Entry, error) {
+	var e pr4Entry
+	run := func(q metric.Object) (int, error) {
+		if op == "knn" {
+			res, err := tree.KNN(q, 8)
+			return len(res), err
+		}
+		res, err := tree.RangeQuery(q, r)
+		return len(res), err
+	}
+	runStats := func(q metric.Object) (int, core.QueryStats, error) {
+		if op == "knn" {
+			res, qs, err := tree.KNNWithStats(q, 8)
+			return len(res), qs, err
+		}
+		res, qs, err := tree.RangeSearchWithStats(q, r)
+		return len(res), qs, err
+	}
+	if warm {
+		for _, q := range queries {
+			if _, err := run(q); err != nil {
+				return e, err
+			}
+		}
+	}
+	for _, q := range queries {
+		if !warm {
+			tree.ResetStats()
+		}
+		n, qs, err := runStats(q)
+		if err != nil {
+			return e, err
+		}
+		e.Results += n
+		e.PA += float64(qs.PageAccesses())
+		e.CD += float64(qs.Compdists)
+	}
+	var total time.Duration
+	for _, q := range queries {
+		if !warm {
+			tree.ResetStats()
+		}
+		start := time.Now()
+		if _, err := run(q); err != nil {
+			return e, err
+		}
+		total += time.Since(start)
+	}
+	nq := float64(len(queries))
+	e.WallUs = float64(total.Microseconds()) / nq
+	e.PA /= nq
+	e.CD /= nq
+	return e, nil
+}
+
+// pr4Check enforces the engine's machine-independent invariants.
+func pr4Check(serial, parallel pr4Entry, cache string) error {
+	if parallel.CD != serial.CD {
+		return fmt.Errorf("pr4: %s/%s %s: parallel compdists %.1f != serial %.1f",
+			serial.Dataset, serial.Op, cache, parallel.CD, serial.CD)
+	}
+	if parallel.Results != serial.Results {
+		return fmt.Errorf("pr4: %s/%s %s: parallel results %d != serial %d",
+			serial.Dataset, serial.Op, cache, parallel.Results, serial.Results)
+	}
+	if cache == "warm" {
+		if parallel.PA > serial.PA {
+			return fmt.Errorf("pr4: %s/%s warm: parallel PA %.1f > serial %.1f",
+				serial.Dataset, serial.Op, parallel.PA, serial.PA)
+		}
+		if parallel.WallUs > 2*serial.WallUs {
+			return fmt.Errorf("pr4: %s/%s warm: parallel wall %.0fµs > 2x serial %.0fµs",
+				serial.Dataset, serial.Op, parallel.WallUs, serial.WallUs)
+		}
+	}
+	return nil
+}

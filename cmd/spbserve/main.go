@@ -6,13 +6,19 @@
 // Usage:
 //
 //	spbserve -dir INDEXDIR [-addr :8080] [-workers N] [-queue N]
-//	         [-timeout 5s] [-max-timeout 60s]
+//	         [-query-workers K] [-timeout 5s] [-max-timeout 60s]
 //	spbserve -demo 50000 [-dim 8] [-addr :8080]
 //
 // -dir serves an index directory written by "spbtool build" (the directory's
 // config.json supplies the metric). -demo builds a transient in-memory index
 // over uniform random vectors on a Z-order curve (so /v1/join works) — handy
 // for trying the API without building an index first.
+//
+// -workers bounds concurrent queries (admission control); -query-workers is
+// the per-query verifier pool of the parallel execution engine (0 = the
+// min(GOMAXPROCS, 8) default, 1 = serial verification). The two compose: all
+// verifiers come from one process-wide pool, so saturated queries degrade to
+// serial verification instead of multiplying goroutines.
 //
 // SIGINT/SIGTERM trigger a graceful drain: new queries get 503, in-flight
 // ones finish under their own deadlines, then the process exits.
@@ -91,7 +97,7 @@ func (cfg serveConfig) resolve() (metric.DistanceFunc, metric.Codec, server.Pars
 }
 
 // openDir loads the persisted index at dir along with its query parser.
-func openDir(dir string) (*core.Tree, server.ParseQueryFunc, error) {
+func openDir(dir string, queryWorkers int) (*core.Tree, server.ParseQueryFunc, error) {
 	cj, err := os.ReadFile(filepath.Join(dir, "config.json"))
 	if err != nil {
 		return nil, nil, err
@@ -104,7 +110,7 @@ func openDir(dir string) (*core.Tree, server.ParseQueryFunc, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	tree, err := core.Load(dir, core.LoadOptions{Distance: dist, Codec: codec})
+	tree, err := core.Load(dir, core.LoadOptions{Distance: dist, Codec: codec, Workers: queryWorkers})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -112,7 +118,7 @@ func openDir(dir string) (*core.Tree, server.ParseQueryFunc, error) {
 }
 
 // buildDemo builds a transient Z-order index over n uniform random vectors.
-func buildDemo(n, dim int) (*core.Tree, server.ParseQueryFunc, error) {
+func buildDemo(n, dim, queryWorkers int) (*core.Tree, server.ParseQueryFunc, error) {
 	rng := rand.New(rand.NewSource(1))
 	objs := make([]metric.Object, n)
 	for i := range objs {
@@ -126,6 +132,7 @@ func buildDemo(n, dim int) (*core.Tree, server.ParseQueryFunc, error) {
 		Distance: metric.L2(dim),
 		Codec:    metric.VectorCodec{Dim: dim},
 		Curve:    sfc.ZOrder,
+		Workers:  queryWorkers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -139,6 +146,7 @@ func run() error {
 	demo := flag.Int("demo", 0, "serve a transient demo index over this many random vectors instead of -dir")
 	dim := flag.Int("dim", 8, "demo vector dimensionality")
 	workers := flag.Int("workers", 0, "concurrent query limit (0 = GOMAXPROCS)")
+	queryWorkers := flag.Int("query-workers", 0, "per-query verifier pool (0 = min(GOMAXPROCS, 8), 1 = serial)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 2x workers)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on request-supplied deadlines")
@@ -151,9 +159,9 @@ func run() error {
 	switch {
 	case *demo > 0:
 		fmt.Fprintf(os.Stderr, "building demo index: %d vectors, dim %d\n", *demo, *dim)
-		tree, parse, err = buildDemo(*demo, *dim)
+		tree, parse, err = buildDemo(*demo, *dim, *queryWorkers)
 	case *dir != "":
-		tree, parse, err = openDir(*dir)
+		tree, parse, err = openDir(*dir, *queryWorkers)
 	default:
 		return errors.New("spbserve needs -dir or -demo (see -h)")
 	}

@@ -42,9 +42,11 @@ func ExampleBuild() {
 	names := []string{nn[0].Object.(*spbtree.Str).S, nn[1].Object.(*spbtree.Str).S}
 	sort.Strings(names)
 	fmt.Println("2NN(defoliate):", names)
+	// Three words are at edit distance ≤ 1; the k-th slot tie between
+	// "defoliates" (id 1) and "defoliated" (id 3) goes to the smaller id.
 	// Output:
 	// RQ(defoliate, 1): [defoliate defoliated defoliates]
-	// 2NN(defoliate): [defoliate defoliated]
+	// 2NN(defoliate): [defoliate defoliates]
 }
 
 // ExampleJoin runs the paper's Definition 4 example: a similarity join of

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 
 	"spbtree/internal/metric"
@@ -43,19 +42,25 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 	qs.Compdists += int64(n)
 	qs.stageAdd(&qs.PlanTime, st)
 
-	res := &knnResults{k: k}
-	pq := &mindHeap{}
 	root, ok := t.bpt.Root()
 	if !ok {
 		return nil, nil
 	}
+	if slots := t.workersFor(); slots > 0 {
+		// The ordered-commit engine enforces the budget at commit time, so
+		// the verified set is exactly the serial prefix (exec.go).
+		return t.knnParallel(ctx, q, qvec, k, qs, slots, int64(maxVerify))
+	}
+
+	res := &knnResults{k: k}
+	pq := &mindHeap{}
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
 	cell := make(sfc.Point, n)
 
 	t.curve.Decode(root.BoxLo, boxLo)
 	t.curve.Decode(root.BoxHi, boxHi)
-	heap.Push(pq, mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+	pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
 	qs.HeapPushes++
 
 	verified := 0
@@ -63,7 +68,7 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 		if err := ctxDone(ctx); err != nil {
 			return res.sorted(), err
 		}
-		item := heap.Pop(pq).(mindItem)
+		item := pq.pop()
 		if item.mind >= res.bound() {
 			break
 		}
@@ -84,7 +89,7 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 				t.curve.Decode(c.BoxLo, boxLo)
 				t.curve.Decode(c.BoxHi, boxHi)
 				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < res.bound() {
-					heap.Push(pq, mindItem{mind: mind, page: page.ID(c.Page), isNode: true})
+					pq.push(mindItem{mind: mind, page: page.ID(c.Page), isNode: true})
 					qs.HeapPushes++
 				} else {
 					qs.NodesPruned++
@@ -96,7 +101,7 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 			qs.EntriesScanned++
 			t.curve.Decode(node.Keys[i], cell)
 			if mind := t.mindToCell(qvec, cell); mind < res.bound() {
-				heap.Push(pq, mindItem{mind: mind, val: node.Vals[i]})
+				pq.push(mindItem{mind: mind, val: node.Vals[i]})
 				qs.HeapPushes++
 			} else {
 				qs.EntriesPruned++

@@ -1,0 +1,954 @@
+// Parallel query execution engine (DESIGN.md §9).
+//
+// Traversal stays serial — pruning is cheap, order-sensitive, and drives the
+// counters the paper's cost models calibrate against — while the expensive
+// verification stage (RAF page reads plus metric distance computations) fans
+// out to a pool of verifier goroutines. Three designs keep parallel
+// executions byte-identical to serial ones in results and in the
+// Verified/Compdists counters:
+//
+//   - Range queries and joins have bound-independent candidate sets, so their
+//     verifiers are embarrassingly parallel; per-worker counter shards merge
+//     at the end, and results are re-ordered deterministically (by object ID
+//     for ranges, by dispatch sequence for joins).
+//
+//   - kNN verifications feed back into the pruning bound curND_k, so the
+//     engine replays them in dispatch order: workers compute speculative
+//     distances out of order, and a sequenced commit step applies each
+//     verdict exactly as the serial algorithm would have — tightening the
+//     bound, terminating, or discarding stale-admitted extras. The traversal
+//     prunes against the committed bound, which is always ≥ the serial bound
+//     at the equivalent point, so staleness only admits extra candidates
+//     (which provably self-discard at commit), never drops answers.
+//
+//   - Speculative work stays invisible: workers read records quietly (tracer
+//     events fire at commit) and compute distances on the unwrapped metric
+//     (the lifetime compdists counter advances at commit), so observability
+//     sees exactly the serial execution.
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/sfc"
+)
+
+// maxWorkers caps Options.Workers; defaultWorkerCap bounds the default so a
+// large machine does not dedicate every core to one query.
+const (
+	maxWorkers       = 64
+	defaultWorkerCap = 8
+)
+
+// defaultWorkers is the Workers default: min(GOMAXPROCS, 8).
+func defaultWorkers() int {
+	k := runtime.GOMAXPROCS(0)
+	if k > defaultWorkerCap {
+		k = defaultWorkerCap
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// resolveWorkers normalizes an Options.Workers value to [1, maxWorkers].
+func resolveWorkers(w int) int {
+	switch {
+	case w == 0:
+		return defaultWorkers()
+	case w < 1:
+		return 1
+	case w > maxWorkers:
+		return maxWorkers
+	}
+	return w
+}
+
+// execSlots is the process-wide pool of verifier goroutines. Every query —
+// across trees, forest shards and server workers — draws its verifiers from
+// here non-blockingly, so shard-level and intra-query parallelism compose
+// without goroutine explosion: under saturation queries degrade gracefully
+// to serial execution instead of queueing or multiplying threads.
+var execSlots = make(chan struct{}, execSlotCap())
+
+func execSlotCap() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// acquireSlots takes up to n slots without blocking, returning how many it
+// got.
+func acquireSlots(n int) int {
+	got := 0
+	for got < n {
+		select {
+		case execSlots <- struct{}{}:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+func releaseSlots(n int) {
+	for i := 0; i < n; i++ {
+		<-execSlots
+	}
+}
+
+// workersFor reserves verifier goroutines for one query: up to the tree's
+// configured worker count, fewer under load, zero when the pool is exhausted
+// (the query then runs serially). The caller must hand the count to an
+// engine (which releases on finish) or call releaseSlots itself.
+func (t *Tree) workersFor() int {
+	k := t.workers
+	if k <= 1 {
+		return 0
+	}
+	return acquireSlots(k)
+}
+
+// errStopTraversal aborts a traversal after a verifier worker recorded an
+// error; the engine's finish reports the worker's error in its place.
+var errStopTraversal = errors.New("core: stop traversal")
+
+// rangeBatchSize is how many surviving candidates a range traversal batches
+// per verifier job — large enough for ReadBatch to coalesce a leaf's
+// page-sharing records, small enough to keep the pipeline busy.
+const rangeBatchSize = 16
+
+// ---------------------------------------------------------------------------
+// Range queries
+// ---------------------------------------------------------------------------
+
+// rangeSink consumes leaf entries that survived the traversal-side pruning
+// of Algorithm 1. add's cell argument holds the entry's decoded SFC cell and
+// is scratch owned by the caller, valid only during the call; finish returns
+// the verified answers (unsorted) and the first verification error.
+type rangeSink interface {
+	add(key, val uint64, cell sfc.Point) error
+	finish() ([]Result, error)
+}
+
+// rangeSerial verifies candidates inline — the exact serial tail of the
+// paper's VerifyRQ: Lemma 2 inclusion, then fetch + distance.
+type rangeSerial struct {
+	t       *Tree
+	q       metric.Object
+	qvec    []float64
+	r       float64
+	qs      *QueryStats
+	results []Result
+}
+
+func (s *rangeSerial) add(key, val uint64, cell sfc.Point) error {
+	t, qs := s.t, s.qs
+	if !t.noLemma2 {
+		if ub, ok := t.lemma2Bound(s.qvec, cell, s.r); ok {
+			st := qs.stageStart()
+			obj, err := t.raf.Read(val)
+			qs.stageAdd(&qs.VerifyTime, st)
+			if err != nil {
+				return err
+			}
+			qs.Lemma2Included++
+			s.results = append(s.results, Result{Object: obj, Dist: ub, Exact: false})
+			return nil
+		}
+	}
+	st := qs.stageStart()
+	obj, err := t.raf.Read(val)
+	if err != nil {
+		qs.stageAdd(&qs.VerifyTime, st)
+		return err
+	}
+	d := t.dist.Distance(s.q, obj)
+	qs.stageAdd(&qs.VerifyTime, st)
+	qs.Verified++
+	qs.Compdists++
+	if d <= s.r {
+		s.results = append(s.results, Result{Object: obj, Dist: d, Exact: true})
+	} else {
+		qs.Discarded++
+	}
+	return nil
+}
+
+func (s *rangeSerial) finish() ([]Result, error) { return s.results, nil }
+
+// rangeCand is one dispatched candidate; seq is its position in scan order,
+// used to report the scan-earliest error when several workers fail.
+type rangeCand struct {
+	key, val uint64
+	seq      int64
+}
+
+// rangeExec fans range verification out to a worker pool. The candidate set
+// is independent of the results (no feedback bound), so workers verify
+// batches concurrently with per-worker counter shards; finish merges shards
+// and picks the scan-earliest error. Results are sorted by ID afterwards, so
+// the answer set and every verification counter are identical to serial
+// execution.
+type rangeExec struct {
+	t     *Tree
+	ctx   context.Context
+	q     metric.Object
+	qvec  []float64
+	r     float64
+	qs    *QueryStats
+	timed bool
+
+	jobs    chan []rangeCand
+	batch   []rangeCand
+	seq     int64
+	failed  atomic.Bool
+	wg      sync.WaitGroup
+	workers []rangeWorker
+}
+
+// rangeWorker is one verifier's counter shard and result slice.
+type rangeWorker struct {
+	results    []Result
+	lemma2     int64
+	verified   int64
+	discarded  int64
+	compdists  int64
+	verifyTime time.Duration
+	errSeq     int64
+	err        error
+}
+
+func (t *Tree) newRangeExec(ctx context.Context, q metric.Object, qvec []float64, r float64, qs *QueryStats, slots int) *rangeExec {
+	e := &rangeExec{
+		t: t, ctx: ctx, q: q, qvec: qvec, r: r, qs: qs, timed: qs.timed,
+		jobs:    make(chan []rangeCand, 2*slots),
+		batch:   make([]rangeCand, 0, rangeBatchSize),
+		workers: make([]rangeWorker, slots),
+	}
+	e.wg.Add(slots)
+	for i := range e.workers {
+		go e.run(&e.workers[i])
+	}
+	return e
+}
+
+func (e *rangeExec) add(key, val uint64, _ sfc.Point) error {
+	if e.failed.Load() {
+		return errStopTraversal
+	}
+	e.batch = append(e.batch, rangeCand{key: key, val: val, seq: e.seq})
+	e.seq++
+	if len(e.batch) >= rangeBatchSize {
+		e.flushBatch()
+	}
+	return nil
+}
+
+func (e *rangeExec) flushBatch() {
+	if len(e.batch) == 0 {
+		return
+	}
+	b := e.batch
+	e.batch = make([]rangeCand, 0, rangeBatchSize)
+	e.jobs <- b
+}
+
+func (e *rangeExec) finish() ([]Result, error) {
+	e.flushBatch()
+	close(e.jobs)
+	e.wg.Wait()
+	releaseSlots(len(e.workers))
+	qs := e.qs
+	var results []Result
+	var firstErr error
+	errSeq := int64(math.MaxInt64)
+	for i := range e.workers {
+		w := &e.workers[i]
+		results = append(results, w.results...)
+		qs.Lemma2Included += w.lemma2
+		qs.Verified += w.verified
+		qs.Discarded += w.discarded
+		qs.Compdists += w.compdists
+		qs.VerifyTime += w.verifyTime
+		if w.err != nil && w.errSeq < errSeq {
+			firstErr, errSeq = w.err, w.errSeq
+		}
+	}
+	return results, firstErr
+}
+
+// run is a verifier goroutine: drain jobs, verify each batch.
+func (e *rangeExec) run(w *rangeWorker) {
+	defer e.wg.Done()
+	cell := make(sfc.Point, len(e.t.pivots))
+	offsets := make([]uint64, 0, rangeBatchSize)
+	objs := make([]metric.Object, rangeBatchSize)
+	plens := make([]int, rangeBatchSize)
+	for cands := range e.jobs {
+		if w.err != nil || e.failed.Load() {
+			continue // wind down: drain without working
+		}
+		e.runBatch(w, cands, cell, offsets, objs, plens)
+	}
+}
+
+// runBatch coalesces the batch's RAF reads and verifies each candidate. On a
+// batch read failure it falls back to per-candidate reads (the pages are
+// warm) so the error surfaces at the exact scan position the serial
+// execution would have reported.
+func (e *rangeExec) runBatch(w *rangeWorker, cands []rangeCand, cell sfc.Point, offsets []uint64, objs []metric.Object, plens []int) {
+	if err := ctxDone(e.ctx); err != nil {
+		e.fail(w, cands[0].seq, err)
+		return
+	}
+	var st time.Time
+	if e.timed {
+		st = time.Now()
+	}
+	offsets = offsets[:0]
+	for _, c := range cands {
+		offsets = append(offsets, c.val)
+	}
+	objs, plens = objs[:len(cands)], plens[:len(cands)]
+	if idx, err := e.t.raf.ReadBatch(offsets, objs, plens); idx >= 0 || err != nil {
+		for _, c := range cands {
+			if err := ctxDone(e.ctx); err != nil {
+				e.fail(w, c.seq, err)
+				break
+			}
+			obj, plen, err := e.t.raf.ReadQuiet(c.val)
+			if err != nil {
+				e.fail(w, c.seq, err)
+				break
+			}
+			e.verifyOne(w, c, obj, plen, cell)
+		}
+	} else {
+		for i, c := range cands {
+			e.verifyOne(w, c, objs[i], plens[i], cell)
+		}
+	}
+	if e.timed {
+		w.verifyTime += time.Since(st)
+	}
+}
+
+// verifyOne applies the serial VerifyRQ tail to one fetched candidate:
+// Lemma 2 inclusion or a distance computation, into the worker's shard.
+func (e *rangeExec) verifyOne(w *rangeWorker, c rangeCand, obj metric.Object, plen int, cell sfc.Point) {
+	t := e.t
+	t.curve.Decode(c.key, cell)
+	if !t.noLemma2 {
+		if ub, ok := t.lemma2Bound(e.qvec, cell, e.r); ok {
+			w.lemma2++
+			t.raf.EmitRecordRead(c.val, plen)
+			w.results = append(w.results, Result{Object: obj, Dist: ub, Exact: false})
+			return
+		}
+	}
+	d := t.dist.Distance(e.q, obj)
+	w.verified++
+	w.compdists++
+	t.raf.EmitRecordRead(c.val, plen)
+	if d <= e.r {
+		w.results = append(w.results, Result{Object: obj, Dist: d, Exact: true})
+	} else {
+		w.discarded++
+	}
+}
+
+func (e *rangeExec) fail(w *rangeWorker, seq int64, err error) {
+	if w.err == nil {
+		w.err, w.errSeq = err, seq
+	}
+	e.failed.Store(true)
+}
+
+// ---------------------------------------------------------------------------
+// kNN queries (ordered-commit replay)
+// ---------------------------------------------------------------------------
+
+// knnCand is one admitted leaf entry: its MIND lower bound and RAF offset.
+type knnCand struct {
+	mind float64
+	val  uint64
+}
+
+// knnJob carries consecutively sequenced candidates (a greedy leaf batch, or
+// a single incremental entry) to a verifier.
+type knnJob struct {
+	seq   int64
+	items []knnCand
+}
+
+// knnVerdict is a worker's speculative result for one candidate, awaiting
+// its commit slot.
+type knnVerdict struct {
+	mind float64
+	val  uint64
+	obj  metric.Object
+	d    float64
+	plen int
+	dur  time.Duration
+	err  error
+}
+
+// knnExec runs Algorithm 2's verification stage as an ordered-commit
+// pipeline. The traversal dispatches admitted entries with increasing
+// sequence numbers and prunes against the committed bound; workers read and
+// compute speculatively; commits replay strictly in sequence, so each slot
+// decides exactly what the serial algorithm would have: terminate (budget or
+// bound), discard a stale-admitted extra, surface an error, or tighten
+// curND_k. The committed verification set — and therefore Verified,
+// Compdists, the emitted tracer events and the lifetime distance counter —
+// matches serial execution exactly.
+type knnExec struct {
+	t      *Tree
+	ctx    context.Context
+	q      metric.Object
+	raw    metric.DistanceFunc
+	greedy bool
+	budget int64 // max committed verifications; -1 = unlimited
+	qs     *QueryStats
+	timed  bool
+
+	jobs  chan knnJob
+	wg    sync.WaitGroup
+	slots int
+
+	// boundBits is the committed curND_k as float bits, read lock-free by
+	// the traversal; done flags termination or failure so the traversal and
+	// workers stop early.
+	boundBits atomic.Uint64
+	done      atomic.Bool
+
+	dispatched int64 // traversal-side sequence counter
+
+	mu             sync.Mutex
+	res            *knnResults
+	next           int64 // next sequence to commit
+	pending        map[int64]knnVerdict
+	committed      int64
+	terminated     bool
+	err            error
+	verified       int64
+	compdists      int64
+	prunedAtCommit int64
+	verifyTime     time.Duration
+}
+
+func (t *Tree) newKNNExec(ctx context.Context, q metric.Object, k int, qs *QueryStats, slots int, budget int64, greedy bool) *knnExec {
+	ex := &knnExec{
+		t: t, ctx: ctx, q: q, raw: t.dist.Unwrap(), greedy: greedy,
+		budget: budget, qs: qs, timed: qs.timed,
+		jobs:    make(chan knnJob, 2*slots),
+		slots:   slots,
+		res:     &knnResults{k: k},
+		pending: make(map[int64]knnVerdict),
+	}
+	ex.boundBits.Store(math.Float64bits(math.Inf(1)))
+	ex.wg.Add(slots)
+	for i := 0; i < slots; i++ {
+		go ex.worker()
+	}
+	return ex
+}
+
+// bound returns the committed curND_k. It is never tighter than the serial
+// bound at the equivalent replay point, so pruning on it is always safe.
+func (ex *knnExec) bound() float64 { return math.Float64frombits(ex.boundBits.Load()) }
+
+// dispatch hands admitted entries (in traversal order) to the workers.
+func (ex *knnExec) dispatch(items ...knnCand) {
+	seq := ex.dispatched
+	ex.dispatched += int64(len(items))
+	cp := make([]knnCand, len(items))
+	copy(cp, items)
+	ex.jobs <- knnJob{seq: seq, items: cp}
+}
+
+func (ex *knnExec) worker() {
+	defer ex.wg.Done()
+	t := ex.t
+	var offsets []uint64
+	var objs []metric.Object
+	var plens []int
+	var live []int
+	for job := range ex.jobs {
+		if ex.done.Load() {
+			// Terminated: nothing can commit, but the replay sequence must
+			// stay dense so earlier pending verdicts drain.
+			for i, it := range job.items {
+				ex.submit(job.seq+int64(i), knnVerdict{mind: it.mind, val: it.val})
+			}
+			continue
+		}
+		if err := ctxDone(ex.ctx); err != nil {
+			for i, it := range job.items {
+				ex.submit(job.seq+int64(i), knnVerdict{mind: it.mind, val: it.val, err: err})
+			}
+			continue
+		}
+		// Re-check every candidate against the committed bound before
+		// touching it. The bound only tightens, so mind >= bound now implies
+		// mind >= bound at this slot's commit, where it is discarded (greedy)
+		// or terminates the query (incremental) without using the verdict
+		// value — reading and verifying it would be pure waste. This is what
+		// keeps speculative work bounded when the traversal runs far ahead of
+		// the commits; the empty verdicts keep the replay sequence dense.
+		live = live[:0]
+		bound := ex.bound()
+		for i, it := range job.items {
+			if it.mind >= bound {
+				ex.submit(job.seq+int64(i), knnVerdict{mind: it.mind, val: it.val})
+			} else {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		var st time.Time
+		if ex.timed {
+			st = time.Now()
+		}
+		if len(live) == 1 {
+			it := job.items[live[0]]
+			v := knnVerdict{mind: it.mind, val: it.val}
+			if obj, plen, err := t.raf.ReadQuiet(it.val); err != nil {
+				v.err = err
+			} else {
+				v.obj, v.plen = obj, plen
+				v.d = ex.raw.Distance(ex.q, obj)
+			}
+			if ex.timed {
+				v.dur = time.Since(st)
+			}
+			ex.submit(job.seq+int64(live[0]), v)
+			continue
+		}
+		// A greedy leaf batch: coalesce the reads.
+		offsets = offsets[:0]
+		for _, i := range live {
+			offsets = append(offsets, job.items[i].val)
+		}
+		if cap(objs) < len(offsets) {
+			objs = make([]metric.Object, len(offsets))
+			plens = make([]int, len(offsets))
+		}
+		objs, plens = objs[:len(offsets)], plens[:len(offsets)]
+		if idx, err := t.raf.ReadBatch(offsets, objs, plens); idx >= 0 || err != nil {
+			// Per-record fallback so each verdict carries its own error.
+			for bi, i := range live {
+				it := job.items[i]
+				v := knnVerdict{mind: it.mind, val: it.val}
+				if obj, plen, rerr := t.raf.ReadQuiet(it.val); rerr != nil {
+					v.err = rerr
+				} else {
+					v.obj, v.plen = obj, plen
+					v.d = ex.raw.Distance(ex.q, obj)
+				}
+				if ex.timed && bi == 0 {
+					v.dur = time.Since(st)
+				}
+				ex.submit(job.seq+int64(i), v)
+			}
+			continue
+		}
+		for bi, i := range live {
+			it := job.items[i]
+			v := knnVerdict{mind: it.mind, val: it.val, obj: objs[bi], plen: plens[bi]}
+			v.d = ex.raw.Distance(ex.q, objs[bi])
+			if ex.timed && bi == len(live)-1 {
+				v.dur = time.Since(st)
+			}
+			ex.submit(job.seq+int64(i), v)
+		}
+	}
+}
+
+// submit files a verdict and drains every consecutively ready commit slot.
+// Verdicts arriving exactly in sequence (the common case once the pipeline is
+// warm) commit directly, skipping the pending map.
+func (ex *knnExec) submit(seq int64, v knnVerdict) {
+	ex.mu.Lock()
+	if seq == ex.next {
+		ex.next++
+		ex.commitLocked(v)
+	} else {
+		ex.pending[seq] = v
+	}
+	for len(ex.pending) > 0 {
+		nv, ok := ex.pending[ex.next]
+		if !ok {
+			break
+		}
+		delete(ex.pending, ex.next)
+		ex.next++
+		ex.commitLocked(nv)
+	}
+	ex.mu.Unlock()
+}
+
+// commitLocked replays one verdict exactly as serial execution would have,
+// in serial order: the approximate-search budget first (checked at the loop
+// top there), then the Lemma 3 bound (checked at pop/scan), then the
+// verification itself — so a read error on an entry the serial run would
+// never have verified stays invisible, like the read itself.
+func (ex *knnExec) commitLocked(v knnVerdict) {
+	if ex.terminated {
+		return
+	}
+	if ex.budget >= 0 && ex.committed >= ex.budget {
+		ex.terminate()
+		return
+	}
+	if v.mind >= ex.res.bound() {
+		if ex.greedy {
+			// Serial greedy would have pruned this entry at the leaf scan
+			// and moved on.
+			ex.prunedAtCommit++
+			return
+		}
+		// Incremental pops in nondecreasing MIND order, so the first
+		// bound-crossing entry ends the query (Lemma 3).
+		ex.terminate()
+		return
+	}
+	if v.err != nil {
+		ex.err = v.err
+		ex.terminate()
+		return
+	}
+	ex.verified++
+	ex.compdists++
+	ex.t.dist.Add(1)
+	ex.verifyTime += v.dur
+	ex.t.raf.EmitRecordRead(v.val, v.plen)
+	ex.committed++
+	ex.res.offer(Result{Object: v.obj, Dist: v.d, Exact: true})
+	ex.boundBits.Store(math.Float64bits(ex.res.bound()))
+}
+
+func (ex *knnExec) terminate() {
+	ex.terminated = true
+	ex.done.Store(true)
+}
+
+// finish drains the pipeline, folds the commit-side counters into qs (the
+// traversal is done, so no counter races), and returns the sorted answer.
+func (ex *knnExec) finish() ([]Result, error) {
+	close(ex.jobs)
+	ex.wg.Wait()
+	releaseSlots(ex.slots)
+	qs := ex.qs
+	qs.Verified += ex.verified
+	qs.Compdists += ex.compdists
+	qs.EntriesPruned += ex.prunedAtCommit
+	qs.VerifyTime += ex.verifyTime
+	out := ex.res.sorted()
+	qs.Discarded = qs.Verified - int64(len(out))
+	return out, ex.err
+}
+
+// knnParallel is Algorithm 2 (exact when budget < 0, budgeted otherwise)
+// with pipelined verification: the traversal below is the serial one, except
+// that admitted entries go to the engine instead of being verified inline,
+// and pruning uses the committed (never tighter than serial) bound.
+func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64, k int, qs *QueryStats, slots int, budget int64) ([]Result, error) {
+	n := len(t.pivots)
+	greedy := t.traversal == Greedy && budget < 0
+	ex := t.newKNNExec(ctx, q, k, qs, slots, budget, greedy)
+
+	root, _ := t.bpt.Root()
+	boxLo := make(sfc.Point, n)
+	boxHi := make(sfc.Point, n)
+	cell := make(sfc.Point, n)
+	var leafBatch []knnCand
+
+	pq := &mindHeap{}
+	t.curve.Decode(root.BoxLo, boxLo)
+	t.curve.Decode(root.BoxHi, boxHi)
+	pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+	qs.HeapPushes++
+
+	var travErr error
+	for pq.Len() > 0 {
+		if ex.done.Load() {
+			break // committed termination, error, or exhausted budget
+		}
+		if budget >= 0 && ex.dispatched >= budget {
+			break // every remaining slot would exceed the budget
+		}
+		if err := ctxDone(ctx); err != nil {
+			travErr = err
+			break
+		}
+		item := pq.pop()
+		if item.mind >= ex.bound() {
+			break // Lemma 3 on the committed bound: never earlier than serial
+		}
+		if !item.isNode {
+			ex.dispatch(knnCand{mind: item.mind, val: item.val})
+			continue
+		}
+		node, err := t.bpt.ReadNode(item.page)
+		if err != nil {
+			travErr = err
+			break
+		}
+		qs.NodesRead++
+		if !node.Leaf {
+			for _, c := range node.Children {
+				t.curve.Decode(c.BoxLo, boxLo)
+				t.curve.Decode(c.BoxHi, boxHi)
+				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < ex.bound() {
+					pq.push(mindItem{mind: mind, page: c.Page, isNode: true})
+					qs.HeapPushes++
+				} else {
+					qs.NodesPruned++
+				}
+			}
+			continue
+		}
+		if greedy {
+			leafBatch = leafBatch[:0]
+			for i := range node.Keys {
+				qs.EntriesScanned++
+				t.curve.Decode(node.Keys[i], cell)
+				mind := t.mindToCell(qvec, cell)
+				if mind >= ex.bound() {
+					qs.EntriesPruned++
+					continue
+				}
+				leafBatch = append(leafBatch, knnCand{mind: mind, val: node.Vals[i]})
+			}
+			if len(leafBatch) > 0 {
+				ex.dispatch(leafBatch...)
+			}
+			continue
+		}
+		for i := range node.Keys {
+			qs.EntriesScanned++
+			t.curve.Decode(node.Keys[i], cell)
+			mind := t.mindToCell(qvec, cell)
+			if mind >= ex.bound() {
+				qs.EntriesPruned++
+				continue
+			}
+			pq.push(mindItem{mind: mind, val: node.Vals[i]})
+			qs.HeapPushes++
+		}
+	}
+
+	out, vErr := ex.finish()
+	if vErr != nil {
+		return out, vErr
+	}
+	return out, travErr
+}
+
+// ---------------------------------------------------------------------------
+// Similarity joins
+// ---------------------------------------------------------------------------
+
+// joinSink consumes candidate pairs that survived Algorithm 3's geometric
+// pruning (Lemmas 5/6). flip reports that cur came from the O side, so the
+// emitted pair is ⟨other, cur⟩.
+type joinSink interface {
+	pair(cur, other joinElem, flip bool) error
+	finish() ([]JoinPair, error)
+}
+
+// joinSerial computes pair distances inline, exactly as before.
+type joinSerial struct {
+	ctx   context.Context
+	t     *Tree
+	eps   float64
+	qs    *QueryStats
+	pairs []JoinPair
+}
+
+func (s *joinSerial) pair(cur, other joinElem, flip bool) error {
+	if err := ctxDone(s.ctx); err != nil {
+		return err
+	}
+	qs := s.qs
+	st := qs.stageStart()
+	d := s.t.dist.Distance(cur.obj, other.obj)
+	qs.stageAdd(&qs.VerifyTime, st)
+	qs.Verified++
+	qs.Compdists++
+	if d <= s.eps {
+		if flip {
+			s.pairs = append(s.pairs, JoinPair{Q: other.obj, O: cur.obj, Dist: d})
+		} else {
+			s.pairs = append(s.pairs, JoinPair{Q: cur.obj, O: other.obj, Dist: d})
+		}
+	} else {
+		qs.Discarded++
+	}
+	return nil
+}
+
+func (s *joinSerial) finish() ([]JoinPair, error) { return s.pairs, nil }
+
+// joinJob is one dispatched candidate pair; the objects are copied out of
+// the merge lists, so later list evictions cannot race the workers.
+type joinJob struct {
+	seq  int64
+	a, b metric.Object
+	flip bool
+}
+
+type joinVerdict struct {
+	job joinJob
+	d   float64
+	dur time.Duration
+	err error
+}
+
+// joinExec fans pair verification out to workers. The candidate set has no
+// feedback bound, so ordering matters only for output determinism and
+// cancellation semantics: verdicts commit in dispatch order, which appends
+// pairs in exactly the serial emission order and counts exactly the
+// distances the serial run would have computed before a cancellation.
+type joinExec struct {
+	t     *Tree
+	ctx   context.Context
+	eps   float64
+	qs    *QueryStats
+	timed bool
+
+	jobs  chan joinJob
+	wg    sync.WaitGroup
+	slots int
+	done  atomic.Bool
+
+	dispatched int64
+
+	mu         sync.Mutex
+	next       int64
+	pending    map[int64]joinVerdict
+	pairs      []JoinPair
+	terminated bool
+	err        error
+	verified   int64
+	compdists  int64
+	discarded  int64
+	verifyTime time.Duration
+}
+
+func (t *Tree) newJoinExec(ctx context.Context, eps float64, qs *QueryStats, slots int) *joinExec {
+	ex := &joinExec{
+		t: t, ctx: ctx, eps: eps, qs: qs, timed: qs.timed,
+		jobs:    make(chan joinJob, 4*slots),
+		slots:   slots,
+		pending: make(map[int64]joinVerdict),
+	}
+	ex.wg.Add(slots)
+	for i := 0; i < slots; i++ {
+		go ex.worker()
+	}
+	return ex
+}
+
+func (ex *joinExec) pair(cur, other joinElem, flip bool) error {
+	if ex.done.Load() {
+		return errStopTraversal
+	}
+	seq := ex.dispatched
+	ex.dispatched++
+	ex.jobs <- joinJob{seq: seq, a: cur.obj, b: other.obj, flip: flip}
+	return nil
+}
+
+func (ex *joinExec) worker() {
+	defer ex.wg.Done()
+	raw := ex.t.dist.Unwrap()
+	for job := range ex.jobs {
+		v := joinVerdict{job: job}
+		if ex.done.Load() {
+			ex.submit(job.seq, v)
+			continue
+		}
+		if err := ctxDone(ex.ctx); err != nil {
+			v.err = err
+			ex.submit(job.seq, v)
+			continue
+		}
+		var st time.Time
+		if ex.timed {
+			st = time.Now()
+		}
+		v.d = raw.Distance(job.a, job.b)
+		if ex.timed {
+			v.dur = time.Since(st)
+		}
+		ex.submit(job.seq, v)
+	}
+}
+
+func (ex *joinExec) submit(seq int64, v joinVerdict) {
+	ex.mu.Lock()
+	ex.pending[seq] = v
+	for {
+		nv, ok := ex.pending[ex.next]
+		if !ok {
+			break
+		}
+		delete(ex.pending, ex.next)
+		ex.next++
+		ex.commitLocked(nv)
+	}
+	ex.mu.Unlock()
+}
+
+func (ex *joinExec) commitLocked(v joinVerdict) {
+	if ex.terminated {
+		return
+	}
+	if v.err != nil {
+		ex.err = v.err
+		ex.terminated = true
+		ex.done.Store(true)
+		return
+	}
+	ex.verified++
+	ex.compdists++
+	ex.t.dist.Add(1)
+	ex.verifyTime += v.dur
+	if v.d <= ex.eps {
+		if v.job.flip {
+			ex.pairs = append(ex.pairs, JoinPair{Q: v.job.b, O: v.job.a, Dist: v.d})
+		} else {
+			ex.pairs = append(ex.pairs, JoinPair{Q: v.job.a, O: v.job.b, Dist: v.d})
+		}
+	} else {
+		ex.discarded++
+	}
+}
+
+func (ex *joinExec) finish() ([]JoinPair, error) {
+	close(ex.jobs)
+	ex.wg.Wait()
+	releaseSlots(ex.slots)
+	qs := ex.qs
+	qs.Verified += ex.verified
+	qs.Compdists += ex.compdists
+	qs.Discarded += ex.discarded
+	qs.VerifyTime += ex.verifyTime
+	return ex.pairs, ex.err
+}

@@ -28,7 +28,7 @@ func (t *Tree) NearestIter(q metric.Object) *NearestIter {
 	if root, ok := t.bpt.Root(); ok {
 		t.curve.Decode(root.BoxLo, it.boxLo)
 		t.curve.Decode(root.BoxHi, it.boxHi)
-		heap.Push(&it.pq, mindItem{mind: t.mindToBox(it.qvec, it.boxLo, it.boxHi), page: root.Page, isNode: true})
+		it.pq.push(mindItem{mind: t.mindToBox(it.qvec, it.boxLo, it.boxHi), page: root.Page, isNode: true})
 	}
 	return it
 }
@@ -55,13 +55,13 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 	}
 	for {
 		// Emit a verified result once nothing unexplored can beat it.
-		if len(it.verified) > 0 && (it.pq.Len() == 0 || it.verified[0].Dist <= it.pq[0].mind) {
+		if len(it.verified) > 0 && (it.pq.Len() == 0 || it.verified[0].Dist <= it.pq.peekMind()) {
 			return heap.Pop(&it.verified).(Result), true
 		}
 		if it.pq.Len() == 0 {
 			return Result{}, false
 		}
-		item := heap.Pop(&it.pq).(mindItem)
+		item := it.pq.pop()
 		if !item.isNode {
 			obj, err := it.t.raf.Read(item.val)
 			if err != nil {
@@ -81,13 +81,13 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 			for _, c := range node.Children {
 				it.t.curve.Decode(c.BoxLo, it.boxLo)
 				it.t.curve.Decode(c.BoxHi, it.boxHi)
-				heap.Push(&it.pq, mindItem{mind: it.t.mindToBox(it.qvec, it.boxLo, it.boxHi), page: c.Page, isNode: true})
+				it.pq.push(mindItem{mind: it.t.mindToBox(it.qvec, it.boxLo, it.boxHi), page: c.Page, isNode: true})
 			}
 			continue
 		}
 		for i := range node.Keys {
 			it.t.curve.Decode(node.Keys[i], it.cell)
-			heap.Push(&it.pq, mindItem{mind: it.t.mindToCell(it.qvec, it.cell), val: node.Vals[i]})
+			it.pq.push(mindItem{mind: it.t.mindToCell(it.qvec, it.cell), val: node.Vals[i]})
 		}
 	}
 }

@@ -42,6 +42,11 @@ func Join(tq, to *Tree, eps float64) ([]JoinPair, error) {
 // ctx is checked at every merge step and before every distance computation;
 // on cancellation the pairs verified so far are returned with a typed
 // ErrCanceled.
+//
+// The merge, list maintenance and geometric pruning (Lemmas 5/6) stay
+// serial; surviving pairs go through a joinSink — verified inline in serial
+// mode, fanned out to workers with dispatch-ordered commits otherwise
+// (exec.go) — so both modes emit identical pairs in identical order.
 func joinImpl(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats) ([]JoinPair, error) {
 	if err := joinCompatible(tq, to); err != nil {
 		return nil, err
@@ -49,22 +54,37 @@ func joinImpl(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats) ([
 	if eps < 0 {
 		return nil, nil
 	}
-	n := len(tq.pivots)
+	var sink joinSink
+	if slots := tq.workersFor(); slots > 0 {
+		sink = tq.newJoinExec(ctx, eps, qs, slots)
+	} else {
+		sink = &joinSerial{ctx: ctx, t: tq, eps: eps, qs: qs}
+	}
+	travErr := joinMerge(ctx, tq, to, eps, qs, sink)
+	pairs, err := sink.finish()
+	if err == nil && travErr != nil && travErr != errStopTraversal {
+		err = travErr
+	}
+	return pairs, err
+}
 
-	var pairs []JoinPair
+// joinMerge is the merge pass of Algorithm 3, feeding candidate pairs to the
+// sink.
+func joinMerge(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats, sink joinSink) error {
+	n := len(tq.pivots)
 	var listQ, listO []joinElem
 
 	cq := tq.bpt.SeekFirst()
 	co := to.bpt.SeekFirst()
 	for cq.Valid() || co.Valid() {
 		if err := ctxDone(ctx); err != nil {
-			return pairs, err
+			return err
 		}
 		if err := cq.Err(); err != nil {
-			return pairs, err
+			return err
 		}
 		if err := co.Err(); err != nil {
-			return pairs, err
+			return err
 		}
 		takeQ := false
 		switch {
@@ -78,38 +98,29 @@ func joinImpl(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats) ([
 		if takeQ {
 			elem, err := tq.loadJoinElem(cq.Key(), cq.Val(), eps, n, qs)
 			if err != nil {
-				return pairs, err
+				return err
 			}
-			err = verifyJoin(ctx, tq, elem, &listO, eps, qs, func(other joinElem, d float64) {
-				pairs = append(pairs, JoinPair{Q: elem.obj, O: other.obj, Dist: d})
-			})
-			if err != nil {
-				return pairs, err
+			if err := verifyJoin(ctx, elem, &listO, eps, qs, sink, false); err != nil {
+				return err
 			}
 			listQ = append(listQ, elem)
 			cq.Next()
 		} else {
 			elem, err := to.loadJoinElem(co.Key(), co.Val(), eps, n, qs)
 			if err != nil {
-				return pairs, err
+				return err
 			}
-			err = verifyJoin(ctx, tq, elem, &listQ, eps, qs, func(other joinElem, d float64) {
-				pairs = append(pairs, JoinPair{Q: other.obj, O: elem.obj, Dist: d})
-			})
-			if err != nil {
-				return pairs, err
+			if err := verifyJoin(ctx, elem, &listQ, eps, qs, sink, true); err != nil {
+				return err
 			}
 			listO = append(listO, elem)
 			co.Next()
 		}
 	}
 	if err := cq.Err(); err != nil {
-		return pairs, err
+		return err
 	}
-	if err := co.Err(); err != nil {
-		return pairs, err
-	}
-	return pairs, nil
+	return co.Err()
 }
 
 // joinCompatible ensures the two trees share a Z-order mapped space.
@@ -185,10 +196,12 @@ func (t *Tree) loadJoinElem(key, val uint64, eps float64, n int, qs *QueryStats)
 // from newest to oldest, evicting entries whose maxRR has fallen behind the
 // current key (Lemma 6 — they can never match any later element either),
 // skipping entries outside the key window, testing cell containment
-// (Lemma 5), and only then computing the metric distance. ctx is checked
-// before each distance computation so even one element's long candidate list
-// cannot overrun a deadline; pairs emitted before the cancellation stand.
-func verifyJoin(ctx context.Context, t *Tree, cur joinElem, list *[]joinElem, eps float64, qs *QueryStats, emit func(other joinElem, d float64)) error {
+// (Lemma 5), and only then handing the pair to the sink for the metric
+// distance. flip marks cur as coming from the O side, so emitted pairs keep
+// the ⟨q, o⟩ orientation. The sink's per-pair ctx check bounds work between
+// cancellation points so even one element's long candidate list cannot
+// overrun a deadline; pairs emitted before the cancellation stand.
+func verifyJoin(ctx context.Context, cur joinElem, list *[]joinElem, eps float64, qs *QueryStats, sink joinSink, flip bool) error {
 	l := *list
 	defer func() { *list = l }()
 	for i := len(l) - 1; i >= 0; i-- {
@@ -208,18 +221,8 @@ func verifyJoin(ctx context.Context, t *Tree, cur joinElem, list *[]joinElem, ep
 			qs.EntriesPruned++ // Lemma 5
 			continue
 		}
-		if err := ctxDone(ctx); err != nil {
+		if err := sink.pair(cur, o, flip); err != nil {
 			return err
-		}
-		st := qs.stageStart()
-		d := t.dist.Distance(cur.obj, o.obj)
-		qs.stageAdd(&qs.VerifyTime, st)
-		qs.Verified++
-		qs.Compdists++
-		if d <= eps {
-			emit(o, d)
-		} else {
-			qs.Discarded++
 		}
 	}
 	return nil

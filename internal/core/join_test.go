@@ -208,8 +208,12 @@ func TestJoinListEviction(t *testing.T) {
 		rrLo: sfc.Point{15, 15}, rrHi: sfc.Point{15, 15},
 		cells: sfc.Point{0, 0},
 	}
-	if err := verifyJoin(context.Background(), tDummy, cur, &list, 1, &QueryStats{}, func(joinElem, float64) { t.Fatal("unexpected emit") }); err != nil {
+	sink := &joinSerial{ctx: context.Background(), t: tDummy, eps: 1, qs: &QueryStats{}}
+	if err := verifyJoin(context.Background(), cur, &list, 1, &QueryStats{}, sink, false); err != nil {
 		t.Fatal(err)
+	}
+	if len(sink.pairs) != 0 {
+		t.Fatal("unexpected emit")
 	}
 	if len(list) != 1 || list[0].key != 5 {
 		t.Errorf("eviction failed: %d entries left", len(list))

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"math"
 	"sort"
@@ -42,27 +41,32 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 	qs.Compdists += int64(n)
 	qs.stageAdd(&qs.PlanTime, st)
 
-	res := &knnResults{k: k}
-	pq := &mindHeap{}
 	root, ok := t.bpt.Root()
 	if !ok {
 		return nil, nil
 	}
+	if slots := t.workersFor(); slots > 0 {
+		// Pipelined verification with ordered commits (exec.go): identical
+		// results and verification counters, concurrent distance work.
+		return t.knnParallel(ctx, q, qvec, k, qs, slots, -1)
+	}
 
+	res := &knnResults{k: k}
+	pq := &mindHeap{}
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
 	cell := make(sfc.Point, n)
 
 	t.curve.Decode(root.BoxLo, boxLo)
 	t.curve.Decode(root.BoxHi, boxHi)
-	heap.Push(pq, mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+	pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
 	qs.HeapPushes++
 
 	for pq.Len() > 0 {
 		if err := ctxDone(ctx); err != nil {
 			return res.sorted(), err
 		}
-		item := heap.Pop(pq).(mindItem)
+		item := pq.pop()
 		if item.mind >= res.bound() {
 			break // Lemma 3 early termination
 		}
@@ -83,7 +87,7 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 				t.curve.Decode(c.BoxLo, boxLo)
 				t.curve.Decode(c.BoxHi, boxHi)
 				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < res.bound() {
-					heap.Push(pq, mindItem{mind: mind, page: c.Page, isNode: true})
+					pq.push(mindItem{mind: mind, page: c.Page, isNode: true})
 					qs.HeapPushes++
 				} else {
 					qs.NodesPruned++ // Lemma 3
@@ -104,7 +108,7 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 					return res.sorted(), err
 				}
 			} else {
-				heap.Push(pq, mindItem{mind: mind, val: node.Vals[i]})
+				pq.push(mindItem{mind: mind, val: node.Vals[i]})
 				qs.HeapPushes++
 			}
 		}
@@ -154,7 +158,19 @@ func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, 
 // O(log k).
 type knnResults struct {
 	k     int
-	items []Result // max-heap by Dist
+	items []Result // max-heap by (Dist, ID)
+}
+
+// resultWorse reports whether a ranks strictly after b in the (Dist, ID)
+// total order. Using it as the heap priority makes the k-th boundary
+// deterministic under distance ties: of two equal-distance candidates the
+// smaller ID wins a slot, regardless of arrival order — so serial and
+// parallel executions return identical result sets.
+func resultWorse(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Object.ID() > b.Object.ID()
 }
 
 // bound returns curND_k: +∞ until k candidates exist.
@@ -171,7 +187,7 @@ func (r *knnResults) offer(x Result) {
 		r.up(len(r.items) - 1)
 		return
 	}
-	if x.Dist >= r.items[0].Dist {
+	if !resultWorse(r.items[0], x) {
 		return
 	}
 	r.items[0] = x
@@ -181,7 +197,7 @@ func (r *knnResults) offer(x Result) {
 func (r *knnResults) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if r.items[parent].Dist >= r.items[i].Dist {
+		if !resultWorse(r.items[i], r.items[parent]) {
 			break
 		}
 		r.items[parent], r.items[i] = r.items[i], r.items[parent]
@@ -193,10 +209,10 @@ func (r *knnResults) down(i int) {
 	for {
 		l, rr := 2*i+1, 2*i+2
 		big := i
-		if l < len(r.items) && r.items[l].Dist > r.items[big].Dist {
+		if l < len(r.items) && resultWorse(r.items[l], r.items[big]) {
 			big = l
 		}
-		if rr < len(r.items) && r.items[rr].Dist > r.items[big].Dist {
+		if rr < len(r.items) && resultWorse(r.items[rr], r.items[big]) {
 			big = rr
 		}
 		if big == i {
@@ -216,16 +232,71 @@ type mindItem struct {
 	val    uint64
 }
 
-type mindHeap []mindItem
-
-func (h mindHeap) Len() int            { return len(h) }
-func (h mindHeap) Less(i, j int) bool  { return h[i].mind < h[j].mind }
-func (h mindHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mindHeap) Push(x interface{}) { *h = append(*h, x.(mindItem)) }
-func (h *mindHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// mindLess is a total order on heap items: MIND first, then nodes before
+// entries, then page/offset. Totality matters twice — equal-MIND items pop
+// in the same relative order in every execution, so serial and parallel
+// traversals admit identical candidate sequences (and thus identical
+// Verified/Compdists), and results never depend on heap internals.
+func mindLess(a, b mindItem) bool {
+	if a.mind != b.mind {
+		return a.mind < b.mind
+	}
+	if a.isNode != b.isNode {
+		return a.isNode
+	}
+	if a.isNode {
+		return a.page < b.page
+	}
+	return a.val < b.val
 }
+
+// mindHeap is a concrete binary min-heap of mindItems. Replacing the
+// container/heap implementation removes an interface{} boxing allocation on
+// every push and pop — Algorithm 2 performs one per admitted entry, so the
+// savings scale with EntriesScanned.
+type mindHeap struct {
+	items []mindItem
+}
+
+func (h *mindHeap) Len() int { return len(h.items) }
+
+func (h *mindHeap) push(x mindItem) {
+	h.items = append(h.items, x)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !mindLess(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *mindHeap) pop() mindItem {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && mindLess(h.items[l], h.items[small]) {
+			small = l
+		}
+		if r < n && mindLess(h.items[r], h.items[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
+
+// peekMind returns the minimum MIND without popping; the heap must be
+// non-empty.
+func (h *mindHeap) peekMind() float64 { return h.items[0].mind }

@@ -151,6 +151,9 @@ type OpenOptions struct {
 	CacheSize int
 	// Traversal selects the kNN strategy.
 	Traversal TraversalStrategy
+	// Workers is the per-query verifier pool size (see Options.Workers):
+	// 0 selects the default, 1 forces serial execution.
+	Workers int
 }
 
 // Open reopens a tree persisted with WriteMeta.
@@ -178,6 +181,7 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 		dist:      metric.NewCounter(opts.Distance),
 		codec:     opts.Codec,
 		traversal: opts.Traversal,
+		workers:   resolveWorkers(opts.Workers),
 	}
 	t.kind = sfc.Kind(r.u8())
 	t.bits = int(r.u8())

@@ -30,6 +30,11 @@ func (t *Tree) RangeQuery(q metric.Object, r float64) ([]Result, error) {
 // rangeQuery is Algorithm 1, accumulating per-stage counts into qs. ctx is
 // checked at every node visit and every verification; on cancellation the
 // answers verified so far are returned with a typed ErrCanceled.
+//
+// The traversal prunes serially; verification goes through a rangeSink —
+// inline when the tree runs serially, a worker pool otherwise (exec.go). The
+// candidate set does not depend on the answers, so both modes verify exactly
+// the same objects.
 func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *QueryStats) ([]Result, error) {
 	if r < 0 {
 		return nil, nil
@@ -47,20 +52,32 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 	if sfc.BoxVolume(rrLo, rrHi) == 0 {
 		return nil, nil
 	}
-
-	var results []Result
-	// fail returns the answers verified so far together with the error, so
-	// a corrupt page degrades the query to a partial result instead of
-	// silently dropping objects.
-	fail := func(err error) ([]Result, error) {
-		sortByID(results)
-		return results, err
-	}
 	root, ok := t.bpt.Root()
 	if !ok {
 		return nil, nil
 	}
 
+	var sink rangeSink
+	if slots := t.workersFor(); slots > 0 {
+		sink = t.newRangeExec(ctx, q, qvec, r, qs, slots)
+	} else {
+		sink = &rangeSerial{t: t, q: q, qvec: qvec, r: r, qs: qs}
+	}
+	travErr := t.rangeTraverse(ctx, root, rrLo, rrHi, sink, qs)
+	results, err := sink.finish()
+	if err == nil && travErr != nil && travErr != errStopTraversal {
+		err = travErr
+	}
+	sortByID(results)
+	return results, err
+}
+
+// rangeTraverse walks the B+-tree, pruning with Lemma 1 and the SFC merge
+// strategies, and hands surviving leaf entries to the sink. A corrupt page
+// or cancellation stops the walk; the answers verified so far survive in the
+// sink.
+func (t *Tree) rangeTraverse(ctx context.Context, root bptree.NodeRef, rrLo, rrHi sfc.Point, sink rangeSink, qs *QueryStats) error {
+	n := len(t.pivots)
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
 	cell := make(sfc.Point, n)
@@ -70,7 +87,7 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 	stack := []bptree.NodeRef{root}
 	for len(stack) > 0 {
 		if err := ctxDone(ctx); err != nil {
-			return fail(err)
+			return err
 		}
 		ref := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -82,7 +99,7 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 		}
 		node, err := t.bpt.ReadNode(ref.Page)
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		qs.NodesRead++
 		if !node.Leaf {
@@ -98,20 +115,15 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 			continue
 		}
 
-		// Leaf handling, Algorithm 1 lines 11-23.
-		t.curve.Decode(ref.BoxLo, boxLo)
-		t.curve.Decode(ref.BoxHi, boxHi)
+		// Leaf handling, Algorithm 1 lines 11-23. boxLo/boxHi still hold
+		// this leaf's MBB — the non-leaf path above continues the loop.
 		contained := sfc.Contains(rrLo, rrHi, boxLo) && sfc.Contains(rrLo, rrHi, boxHi)
 		switch {
 		case contained:
 			// MBB(N) ⊆ RR: every entry's region test is implied.
 			for i := range node.Keys {
-				res, err := t.verifyRQ(ctx, q, qvec, node.Keys[i], node.Vals[i], r, false, cell, rrLo, rrHi, qs)
-				if err != nil {
-					return fail(err)
-				}
-				if res != nil {
-					results = append(results, *res)
+				if err := t.scanRQ(ctx, sink, node.Keys[i], node.Vals[i], false, cell, rrLo, rrHi, qs); err != nil {
+					return err
 				}
 			}
 		default:
@@ -136,12 +148,8 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 							ei += jump
 							continue
 						}
-						res, err := t.verifyRQ(ctx, q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi, qs)
-						if err != nil {
-							return fail(err)
-						}
-						if res != nil {
-							results = append(results, *res)
+						if err := t.scanRQ(ctx, sink, node.Keys[ei], node.Vals[ei], false, cell, rrLo, rrHi, qs); err != nil {
+							return err
 						}
 						ei++
 					}
@@ -157,12 +165,8 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 						for ki < len(keys) && ei < len(node.Keys) {
 							switch {
 							case node.Keys[ei] == keys[ki]:
-								res, err := t.verifyRQ(ctx, q, qvec, node.Keys[ei], node.Vals[ei], r, false, cell, rrLo, rrHi, qs)
-								if err != nil {
-									return fail(err)
-								}
-								if res != nil {
-									results = append(results, *res)
+								if err := t.scanRQ(ctx, sink, node.Keys[ei], node.Vals[ei], false, cell, rrLo, rrHi, qs); err != nil {
+									return err
 								}
 								ei++
 							case node.Keys[ei] > keys[ki]:
@@ -178,20 +182,14 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 			}
 			if !merged {
 				for i := range node.Keys {
-					res, err := t.verifyRQ(ctx, q, qvec, node.Keys[i], node.Vals[i], r, true, cell, rrLo, rrHi, qs)
-					if err != nil {
-						return fail(err)
-					}
-					if res != nil {
-						results = append(results, *res)
+					if err := t.scanRQ(ctx, sink, node.Keys[i], node.Vals[i], true, cell, rrLo, rrHi, qs); err != nil {
+						return err
 					}
 				}
 			}
 		}
 	}
-
-	sortByID(results)
-	return results, nil
+	return nil
 }
 
 // sortByID orders results by object id for deterministic output.
@@ -199,46 +197,21 @@ func sortByID(results []Result) {
 	sort.Slice(results, func(i, j int) bool { return results[i].Object.ID() < results[j].Object.ID() })
 }
 
-// verifyRQ is the VerifyRQ function of Algorithm 1: optionally re-check the
-// region containment (Lemma 1), try the computation-free inclusion of
-// Lemma 2, and otherwise fetch the object and compute its distance. The ctx
-// check here gives verification-batch granularity: a canceled query stops
-// before the next RAF page read and distance computation.
-func (t *Tree) verifyRQ(ctx context.Context, q metric.Object, qvec []float64, key, val uint64, r float64, checkRegion bool, cell, rrLo, rrHi sfc.Point, qs *QueryStats) (*Result, error) {
+// scanRQ is the traversal side of VerifyRQ (Algorithm 1): cancellation
+// check, scan count, and the optional Lemma 1 region re-check; the surviving
+// candidate goes to the sink, which verifies it inline (serial) or ships it
+// to the verifier pool. The ctx check here gives verification-batch
+// granularity: a canceled query stops before the next RAF page read and
+// distance computation.
+func (t *Tree) scanRQ(ctx context.Context, sink rangeSink, key, val uint64, checkRegion bool, cell, rrLo, rrHi sfc.Point, qs *QueryStats) error {
 	if err := ctxDone(ctx); err != nil {
-		return nil, err
+		return err
 	}
 	qs.EntriesScanned++
 	t.curve.Decode(key, cell)
 	if checkRegion && !sfc.Contains(rrLo, rrHi, cell) {
 		qs.EntriesPruned++
-		return nil, nil // Lemma 1
+		return nil // Lemma 1
 	}
-	if !t.noLemma2 {
-		if ub, ok := t.lemma2Bound(qvec, cell, r); ok {
-			st := qs.stageStart()
-			obj, err := t.raf.Read(val)
-			qs.stageAdd(&qs.VerifyTime, st)
-			if err != nil {
-				return nil, err
-			}
-			qs.Lemma2Included++
-			return &Result{Object: obj, Dist: ub, Exact: false}, nil
-		}
-	}
-	st := qs.stageStart()
-	obj, err := t.raf.Read(val)
-	if err != nil {
-		qs.stageAdd(&qs.VerifyTime, st)
-		return nil, err
-	}
-	d := t.dist.Distance(q, obj)
-	qs.stageAdd(&qs.VerifyTime, st)
-	qs.Verified++
-	qs.Compdists++
-	if d <= r {
-		return &Result{Object: obj, Dist: d, Exact: true}, nil
-	}
-	qs.Discarded++
-	return nil, nil
+	return sink.add(key, val, cell)
 }

@@ -90,6 +90,9 @@ type LoadOptions struct {
 	CacheSize int
 	// Traversal selects the kNN strategy.
 	Traversal TraversalStrategy
+	// Workers is the per-query verifier pool size (see Options.Workers):
+	// 0 selects the default, 1 forces serial execution.
+	Workers int
 }
 
 // Load reopens an index directory written by SaveAtomic (or spbtool build):
@@ -117,6 +120,7 @@ func Load(dir string, opts LoadOptions) (*Tree, error) {
 		Distance: opts.Distance, Codec: opts.Codec,
 		IndexStore: idx, DataStore: data,
 		CacheSize: opts.CacheSize, Traversal: opts.Traversal,
+		Workers: opts.Workers,
 	})
 	if err != nil {
 		idx.Close()

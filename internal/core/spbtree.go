@@ -90,6 +90,14 @@ type Options struct {
 	// 14-20), falling back to per-entry region tests. Results are
 	// identical; the flag exists for the ablation benchmarks.
 	DisableSFCMerge bool
+	// Workers is the per-query verifier pool size for the parallel execution
+	// engine (DESIGN.md §9): range/kNN/join verification fans out to up to
+	// this many goroutines, drawn non-blockingly from a process-wide pool so
+	// concurrent queries and forest shards compose without goroutine
+	// explosion. 0 selects min(GOMAXPROCS, 8); 1 forces fully serial
+	// execution. Results and the Verified/Compdists counters are identical
+	// in every mode.
+	Workers int
 }
 
 // Tree is a built SPB-tree. Queries may run concurrently with each other;
@@ -126,6 +134,9 @@ type Tree struct {
 
 	noLemma2   bool // ablation: skip Lemma 2 inclusion
 	noSFCMerge bool // ablation: skip the computeSFC merge step
+
+	// workers is the resolved per-query verifier pool size (≥ 1; 1 = serial).
+	workers int
 
 	count int
 
@@ -176,6 +187,7 @@ func Build(objs []metric.Object, opts Options) (*Tree, error) {
 		dPlus:      opts.Distance.MaxDistance(),
 		noLemma2:   opts.DisableLemma2,
 		noSFCMerge: opts.DisableSFCMerge,
+		workers:    resolveWorkers(opts.Workers),
 	}
 
 	// Pivot table: either shared with a partner tree (joins need a common
@@ -396,6 +408,18 @@ func (t *Tree) Traversal() TraversalStrategy { return t.traversal }
 
 // SetTraversal switches the kNN traversal strategy.
 func (t *Tree) SetTraversal(s TraversalStrategy) { t.traversal = s }
+
+// Workers returns the per-query verifier pool size (1 = serial execution).
+func (t *Tree) Workers() int { return t.workers }
+
+// SetWorkers reconfigures the per-query verifier pool size: 0 restores the
+// default min(GOMAXPROCS, 8), 1 forces serial execution. It takes effect for
+// queries started afterwards; in-flight queries finish with their pool.
+func (t *Tree) SetWorkers(w int) {
+	t.mu.Lock()
+	t.workers = resolveWorkers(w)
+	t.mu.Unlock()
+}
 
 // Stats is a per-operation measurement in the paper's metrics.
 type Stats struct {

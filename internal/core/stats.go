@@ -31,6 +31,15 @@ const (
 // counters, so attributing them to one query assumes no other query runs on
 // the tree concurrently. On a partial-result error the stats cover the work
 // done up to the failure.
+//
+// Under the parallel execution engine (Options.Workers > 1, the default;
+// DESIGN.md §9) the verification counters — Lemma2Included, Verified,
+// Discarded, Compdists — and the result set are still identical to serial
+// execution: ranges and joins verify a bound-independent candidate set, and
+// kNN commits verdicts in dispatch order against the committed bound.
+// VerifyTime becomes the summed worker time (it can exceed Elapsed), and on
+// error or cancellation the traversal-side diagnostics may include work a
+// serial run would not have reached before stopping.
 type QueryStats struct {
 	// Op identifies the operation: OpRange, OpKNN, OpKNNApprox or OpJoin.
 	Op string

@@ -91,6 +91,14 @@ func (c *Counter) Count() int64 { return c.n.Load() }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n.Store(0) }
 
+// Add folds n distance computations performed outside the wrapper into the
+// count. The parallel query engine uses it: verifier workers compute
+// speculative distances with Unwrap (uncounted, since a stale pruning bound
+// may discard them), and the ordered commit step adds exactly the
+// computations the equivalent serial execution would have performed, keeping
+// the lifetime counter reconcilable with per-query Compdists.
+func (c *Counter) Add(n int64) { c.n.Add(n) }
+
 // Unwrap returns the underlying DistanceFunc.
 func (c *Counter) Unwrap() DistanceFunc { return c.fn }
 

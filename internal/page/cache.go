@@ -13,15 +13,26 @@ import (
 // toward its Stats — exactly the experimental setup of the paper's Fig. 10,
 // where the cache is flushed before each query and PA measures the misses.
 //
-// A capacity of zero disables caching: every access goes to the store.
+// The cache is sharded: page IDs map onto a power-of-two number of
+// independently locked LRU lists (id & mask), so concurrent queries — and the
+// parallel verifier workers within one query — do not serialize on a single
+// mutex. Sequential page IDs land on distinct shards round-robin, which
+// spreads the SFC-local access patterns of the B+-tree and RAF evenly.
+// Capacity is divided across shards; small caches collapse to one shard so
+// per-shard LRU behavior stays close to the paper's global LRU.
+//
+// Concurrent misses on the same page are coalesced: one goroutine performs
+// the physical read while the rest wait for its result, so a burst of
+// workers faulting the same page costs one page access (the waiters count as
+// hits — they were served without touching the store).
+//
+// A capacity of zero disables caching: every access goes to the store, with
+// no miss coalescing, so the store's counters see every read.
 type Cache struct {
-	mu       sync.Mutex
 	store    Store
 	capacity int
-	lru      *list.List // front = most recently used; values are *cacheEntry
-	index    map[ID]*list.Element
-	hits     atomic.Int64
-	misses   atomic.Int64
+	shards   []cacheShard
+	mask     uint64
 
 	// tracer, when non-nil, receives a structured event per cache hit, miss
 	// (with its physical read) and write-through; src labels the events.
@@ -29,9 +40,46 @@ type Cache struct {
 	src    obs.Src
 }
 
+// cacheShard is one independently locked LRU over a slice of the ID space.
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	index    map[ID]*list.Element
+	flights  map[ID]*flight
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
 type cacheEntry struct {
 	id   ID
 	data [Size]byte
+}
+
+// flight is an in-progress physical read being shared by concurrent misses.
+type flight struct {
+	done chan struct{}
+	data [Size]byte
+	err  error
+}
+
+// maxCacheShards bounds the shard count; minShardPages keeps each shard's
+// LRU deep enough that sharding a small cache does not degrade its
+// replacement behavior versus the paper's single global LRU.
+const (
+	maxCacheShards = 16
+	minShardPages  = 8
+)
+
+// cacheShardCount picks the largest power-of-two shard count (≤
+// maxCacheShards) that still leaves every shard at least minShardPages of
+// capacity.
+func cacheShardCount(capacity int) int {
+	n := 1
+	for n < maxCacheShards && capacity/(n*2) >= minShardPages {
+		n *= 2
+	}
+	return n
 }
 
 // NewCache wraps store with an LRU cache holding up to capacity pages.
@@ -39,37 +87,90 @@ func NewCache(store Store, capacity int) *Cache {
 	if capacity < 0 {
 		capacity = 0
 	}
-	return &Cache{
+	n := cacheShardCount(capacity)
+	c := &Cache{
 		store:    store,
 		capacity: capacity,
-		lru:      list.New(),
-		index:    make(map[ID]*list.Element, capacity),
+		shards:   make([]cacheShard, n),
+		mask:     uint64(n - 1),
 	}
+	base, extra := capacity/n, capacity%n
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = base
+		if i < extra {
+			s.capacity++
+		}
+		s.lru = list.New()
+		s.index = make(map[ID]*list.Element, s.capacity)
+		s.flights = make(map[ID]*flight)
+	}
+	return c
 }
+
+func (c *Cache) shard(id ID) *cacheShard { return &c.shards[uint64(id)&c.mask] }
 
 // Read implements Store.
 func (c *Cache) Read(id ID, buf []byte) error {
 	if len(buf) != Size {
 		return errBufSize
 	}
-	c.mu.Lock()
-	if el, ok := c.index[id]; ok {
-		c.hits.Add(1)
-		c.lru.MoveToFront(el)
+	s := c.shard(id)
+	s.mu.Lock()
+	if el, ok := s.index[id]; ok {
+		s.hits.Add(1)
+		s.lru.MoveToFront(el)
 		copy(buf, el.Value.(*cacheEntry).data[:])
-		c.mu.Unlock()
+		s.mu.Unlock()
 		if c.tracer != nil {
 			c.tracer.Event(obs.Event{Kind: obs.EvCacheHit, Src: c.src, Page: uint32(id)})
 		}
 		return nil
 	}
-	c.misses.Add(1)
-	if err := c.store.Read(id, buf); err != nil {
-		c.mu.Unlock()
-		return err
+	if c.capacity == 0 {
+		// Caching disabled: pure pass-through, every read is physical.
+		s.misses.Add(1)
+		s.mu.Unlock()
+		if err := c.store.Read(id, buf); err != nil {
+			return err
+		}
+		if c.tracer != nil {
+			c.tracer.Event(obs.Event{Kind: obs.EvCacheMiss, Src: c.src, Page: uint32(id)})
+			c.tracer.Event(obs.Event{Kind: obs.EvPageRead, Src: c.src, Page: uint32(id)})
+		}
+		return nil
 	}
-	c.insertLocked(id, buf)
-	c.mu.Unlock()
+	if fl, ok := s.flights[id]; ok {
+		// Another goroutine is already reading this page; share its result.
+		s.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return fl.err
+		}
+		s.hits.Add(1)
+		copy(buf, fl.data[:])
+		if c.tracer != nil {
+			c.tracer.Event(obs.Event{Kind: obs.EvCacheHit, Src: c.src, Page: uint32(id)})
+		}
+		return nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[id] = fl
+	s.misses.Add(1)
+	s.mu.Unlock()
+
+	fl.err = c.store.Read(id, fl.data[:])
+	s.mu.Lock()
+	delete(s.flights, id)
+	if fl.err == nil {
+		s.insertLocked(id, fl.data[:])
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	if fl.err != nil {
+		return fl.err
+	}
+	copy(buf, fl.data[:])
 	if c.tracer != nil {
 		c.tracer.Event(obs.Event{Kind: obs.EvCacheMiss, Src: c.src, Page: uint32(id)})
 		c.tracer.Event(obs.Event{Kind: obs.EvPageRead, Src: c.src, Page: uint32(id)})
@@ -84,36 +185,37 @@ func (c *Cache) Write(id ID, buf []byte) error {
 	if len(buf) != Size {
 		return errBufSize
 	}
-	c.mu.Lock()
+	s := c.shard(id)
+	s.mu.Lock()
 	if err := c.store.Write(id, buf); err != nil {
-		c.invalidateLocked(id)
-		c.mu.Unlock()
+		s.invalidateLocked(id)
+		s.mu.Unlock()
 		return err
 	}
-	if el, ok := c.index[id]; ok {
-		c.lru.MoveToFront(el)
+	if el, ok := s.index[id]; ok {
+		s.lru.MoveToFront(el)
 		copy(el.Value.(*cacheEntry).data[:], buf)
 	} else {
-		c.insertLocked(id, buf)
+		s.insertLocked(id, buf)
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	if c.tracer != nil {
 		c.tracer.Event(obs.Event{Kind: obs.EvPageWrite, Src: c.src, Page: uint32(id)})
 	}
 	return nil
 }
 
-func (c *Cache) insertLocked(id ID, buf []byte) {
-	if c.capacity == 0 {
+func (s *cacheShard) insertLocked(id ID, buf []byte) {
+	if s.capacity == 0 {
 		return
 	}
 	e := &cacheEntry{id: id}
 	copy(e.data[:], buf)
-	c.index[id] = c.lru.PushFront(e)
-	for c.lru.Len() > c.capacity {
-		back := c.lru.Back()
-		delete(c.index, back.Value.(*cacheEntry).id)
-		c.lru.Remove(back)
+	s.index[id] = s.lru.PushFront(e)
+	for s.lru.Len() > s.capacity {
+		back := s.lru.Back()
+		delete(s.index, back.Value.(*cacheEntry).id)
+		s.lru.Remove(back)
 	}
 }
 
@@ -121,15 +223,16 @@ func (c *Cache) insertLocked(id ID, buf []byte) {
 // next read to hit the underlying store. Verification and repair use it so
 // cached copies cannot mask on-disk corruption.
 func (c *Cache) Invalidate(id ID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.invalidateLocked(id)
+	s := c.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invalidateLocked(id)
 }
 
-func (c *Cache) invalidateLocked(id ID) {
-	if el, ok := c.index[id]; ok {
-		delete(c.index, id)
-		c.lru.Remove(el)
+func (s *cacheShard) invalidateLocked(id ID) {
+	if el, ok := s.index[id]; ok {
+		delete(s.index, id)
+		s.lru.Remove(el)
 	}
 }
 
@@ -153,28 +256,37 @@ func (c *Cache) Close() error { return c.store.Close() }
 // Flush empties the cache. The paper flushes the buffer before each of its
 // 500 measured queries so that PA reflects a cold start.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.lru.Init()
-	clear(c.index)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.lru.Init()
+		clear(s.index)
+		s.mu.Unlock()
+	}
 }
 
 // HitRate returns the fraction of reads served from the cache, and the
 // absolute hit/miss counts, since construction.
 func (c *Cache) HitRate() (rate float64, hits, misses int64) {
-	hits, misses = c.hits.Load(), c.misses.Load()
+	hits, misses = c.Counts()
 	if hits+misses == 0 {
 		return 0, 0, 0
 	}
 	return float64(hits) / float64(hits+misses), hits, misses
 }
 
-// Counts returns the raw hit/miss counters since construction; the snapshot
-// is two atomic loads, cheap enough for per-query before/after deltas
-// (core.QueryStats uses it to attribute cache hits above the store's PA
-// accounting).
+// Counts returns the raw hit/miss counters since construction, summed across
+// the shards; the snapshot is a handful of atomic loads, cheap enough for
+// per-query before/after deltas (core.QueryStats uses it to attribute cache
+// hits above the store's PA accounting). Reads that joined another
+// goroutine's in-flight physical read count as hits: they were served
+// without touching the store.
 func (c *Cache) Counts() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
 }
 
 // SetTracer installs (or, with nil, removes) a tracer receiving a structured
@@ -186,7 +298,7 @@ func (c *Cache) SetTracer(tr obs.Tracer, src obs.Src) {
 	c.src = src
 }
 
-// Capacity returns the cache capacity in pages.
+// Capacity returns the cache capacity in pages (summed over the shards).
 func (c *Cache) Capacity() int { return c.capacity }
 
 var _ Store = (*Cache)(nil)

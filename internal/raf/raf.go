@@ -9,6 +9,7 @@ package raf
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"spbtree/internal/metric"
 	"spbtree/internal/obs"
@@ -190,46 +191,101 @@ func (f *File) Close() error {
 // sharing its page cost one page access, not two — so with caching disabled
 // the store's counters still measure the paper's PA (pages fetched), and
 // with caching enabled the hit/miss accounting above the cache stays
-// truthful.
+// truthful. Read never mutates the File (an unflushed tail page is served
+// from the append buffer), so concurrent Reads are safe as long as no
+// Append/Flush runs alongside them — the locking discipline the tree's
+// reader-writer lock provides.
 func (f *File) Read(offset uint64) (metric.Object, error) {
-	if offset+headerSize > f.size {
-		return nil, fmt.Errorf("raf: offset %d out of range (size %d)", offset, f.size)
+	obj, plen, err := f.ReadQuiet(offset)
+	if err != nil {
+		return nil, err
 	}
-	if f.dirty && offset+headerSize > uint64(f.curPage)*page.Size {
-		if err := f.Flush(); err != nil {
-			return nil, err
-		}
-	}
+	f.EmitRecordRead(offset, plen)
+	return obj, nil
+}
+
+// ReadQuiet is Read without the per-record tracer event, additionally
+// returning the record's payload length. Callers that may discard the read
+// speculatively — the parallel kNN verifiers racing a stale pruning bound —
+// use it and emit the event themselves via EmitRecordRead only when the
+// verification commits, so traced record reads keep matching the per-query
+// Verified+Lemma2Included counts.
+func (f *File) ReadQuiet(offset uint64) (metric.Object, int, error) {
 	var pr pageReader
 	pr.f = f
+	return pr.readRecord(offset)
+}
+
+// EmitRecordRead fires the EvRecordRead tracer event a ReadQuiet suppressed
+// (a no-op without a tracer).
+func (f *File) EmitRecordRead(offset uint64, payloadLen int) {
+	if f.tracer != nil {
+		f.tracer.Event(obs.Event{Kind: obs.EvRecordRead, Src: obs.SrcData, Offset: offset, Bytes: int32(payloadLen)})
+	}
+}
+
+// readRecord decodes one record through r, so batched reads reuse pages
+// across records.
+func (r *pageReader) readRecord(offset uint64) (metric.Object, int, error) {
+	f := r.f
+	if offset+headerSize > f.size {
+		return nil, 0, fmt.Errorf("raf: offset %d out of range (size %d)", offset, f.size)
+	}
 	var hdr [headerSize]byte
-	if err := pr.read(offset, hdr[:]); err != nil {
-		return nil, err
+	if err := r.read(offset, hdr[:]); err != nil {
+		return nil, 0, err
 	}
 	id := binary.LittleEndian.Uint64(hdr[0:8])
 	plen := binary.LittleEndian.Uint32(hdr[8:12])
 	if uint64(plen) > maxPayload || offset+headerSize+uint64(plen) > f.size {
-		return nil, fmt.Errorf("raf: corrupt record at %d: payload length %d", offset, plen)
-	}
-	if f.dirty && offset+headerSize+uint64(plen) > uint64(f.curPage)*page.Size {
-		if err := f.Flush(); err != nil {
-			return nil, err
-		}
-		// The flush rewrote the tail page; drop any stale copy.
-		pr.valid = false
+		return nil, 0, fmt.Errorf("raf: corrupt record at %d: payload length %d", offset, plen)
 	}
 	payload := make([]byte, plen)
-	if err := pr.read(offset+headerSize, payload); err != nil {
-		return nil, err
+	if err := r.read(offset+headerSize, payload); err != nil {
+		return nil, 0, err
 	}
 	obj, err := f.codec.Decode(id, payload)
 	if err != nil {
-		return nil, fmt.Errorf("raf: decode record at %d: %w", offset, err)
+		return nil, 0, fmt.Errorf("raf: decode record at %d: %w", offset, err)
 	}
-	if f.tracer != nil {
-		f.tracer.Event(obs.Event{Kind: obs.EvRecordRead, Src: obs.SrcData, Offset: offset, Bytes: int32(plen)})
+	return obj, int(plen), nil
+}
+
+// ReadBatch decodes the records at offsets, filling out[i] (and, when plens
+// is non-nil, plens[i]) from offsets[i]. Offsets are visited in ascending
+// order and records sharing a page are decoded from a single page fetch —
+// the coalescing that restores the paper's "nearby SFC keys touch nearby RAF
+// pages" locality when a batch of candidates from one leaf is verified
+// together. No tracer events fire; callers emit per-record events via
+// EmitRecordRead once a record's fate is decided.
+//
+// On the first failing record (first in ascending-offset order, which need
+// not be the first input index) ReadBatch stops and returns that record's
+// input index with the error; entries already decoded remain valid. Callers
+// needing input-order error semantics fall back to per-record reads — the
+// pages are warm by then.
+func (f *File) ReadBatch(offsets []uint64, out []metric.Object, plens []int) (int, error) {
+	if len(out) != len(offsets) || (plens != nil && len(plens) != len(offsets)) {
+		return -1, fmt.Errorf("raf: ReadBatch output length %d, want %d", len(out), len(offsets))
 	}
-	return obj, nil
+	order := make([]int, len(offsets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return offsets[order[a]] < offsets[order[b]] })
+	var pr pageReader
+	pr.f = f
+	for _, i := range order {
+		obj, plen, err := pr.readRecord(offsets[i])
+		if err != nil {
+			return i, err
+		}
+		out[i] = obj
+		if plens != nil {
+			plens[i] = plen
+		}
+	}
+	return -1, nil
 }
 
 // pageReader copies file bytes out of whole pages, keeping the last page
@@ -247,7 +303,15 @@ func (r *pageReader) read(offset uint64, b []byte) error {
 	for len(b) > 0 {
 		id := page.ID(offset / page.Size)
 		if !r.valid || id != r.id {
-			if err := r.f.store.Read(id, r.pg[:]); err != nil {
+			if r.f.dirty && id == r.f.curPage {
+				// The tail page still lives in the append buffer; serve it
+				// from memory. Bytes past the write position are stale, but
+				// every record lies within f.size, which ends at exactly
+				// that position, so reads never reach them. Serving the
+				// buffer (instead of flushing it) keeps Read free of
+				// mutation, which concurrent queries rely on.
+				copy(r.pg[:], r.f.buf[:])
+			} else if err := r.f.store.Read(id, r.pg[:]); err != nil {
 				return fmt.Errorf("raf: read page %d: %w", id, err)
 			}
 			r.id, r.valid = id, true
