@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"spbtree/internal/metric"
+	"spbtree/internal/sfc"
+)
+
+// TestBoundedMatchesExact is the kernel layer's end-to-end contract
+// (DESIGN.md §10): toggling threshold-aware kernels on the same tree changes
+// no observable output — byte-identical results and identical Verified /
+// Compdists / Discarded counters for range and kNN — while Abandoned stays
+// zero with kernels off and becomes positive on workloads where early
+// abandoning fires.
+func TestBoundedMatchesExact(t *testing.T) {
+	totalAbandoned := map[string]int64{}
+	for _, s := range setups() {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			tree := buildSetup(t, s)
+			defer tree.Close()
+			if !tree.BoundedKernels() {
+				t.Fatalf("%s: bounded kernels not enabled by Build for %T", s.name, s.dist)
+			}
+			maxD := s.dist.MaxDistance()
+			queries := s.objs[:8]
+
+			type outcome struct {
+				res []Result
+				qs  QueryStats
+			}
+			collect := func() []outcome {
+				var out []outcome
+				for _, q := range queries {
+					res, qs, err := tree.RangeSearchWithStats(q, 0.15*maxD)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, outcome{res, qs})
+					res, qs, err = tree.KNNWithStats(q, 6)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, outcome{res, qs})
+				}
+				return out
+			}
+
+			tree.SetBoundedKernels(false)
+			exact := collect()
+			for i, o := range exact {
+				if o.qs.Abandoned != 0 {
+					t.Fatalf("query %d: Abandoned = %d with kernels disabled", i, o.qs.Abandoned)
+				}
+			}
+			tree.SetBoundedKernels(true)
+			bounded := collect()
+
+			for i := range exact {
+				label := s.name + "/toggle"
+				sameResults(t, label, exact[i].res, bounded[i].res)
+				e, b := exact[i].qs, bounded[i].qs
+				if e.Verified != b.Verified || e.Compdists != b.Compdists || e.Discarded != b.Discarded {
+					t.Fatalf("query %d: counters diverge across toggle:\nexact:   verified=%d compdists=%d discarded=%d\nbounded: verified=%d compdists=%d discarded=%d",
+						i, e.Verified, e.Compdists, e.Discarded, b.Verified, b.Compdists, b.Discarded)
+				}
+				totalAbandoned[s.name] += b.Abandoned
+			}
+		})
+	}
+	// Edit distance over words abandons aggressively (band collapse on short
+	// thresholds); if this is ever zero the kernels are not actually wired in.
+	if totalAbandoned["words-edit"] == 0 {
+		t.Error("words-edit: no evaluation abandoned with bounded kernels on")
+	}
+}
+
+// TestBoundedParallelMatchesSerial re-runs the serial-vs-parallel identity
+// with bounded kernels explicitly enabled across K ∈ {1, 2, 4, 8}: the
+// ordered-commit replay must reproduce the serial bound evolution, so
+// results, Verified, Compdists and Abandoned are identical in every worker
+// mode.
+func TestBoundedParallelMatchesSerial(t *testing.T) {
+	for _, s := range setups() {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			tree := buildSetup(t, s)
+			defer tree.Close()
+			tree.SetBoundedKernels(true)
+			maxD := s.dist.MaxDistance()
+			queries := s.objs[:5]
+
+			type baseline struct {
+				res []Result
+				qs  QueryStats
+			}
+			run := func(q metric.Object, tag string) baseline {
+				var b baseline
+				var err error
+				switch tag {
+				case "range":
+					b.res, b.qs, err = tree.RangeSearchWithStats(q, 0.12*maxD)
+				case "knn":
+					b.res, b.qs, err = tree.KNNWithStats(q, 7)
+				}
+				if err != nil {
+					t.Fatalf("%s (workers=%d): %v", tag, tree.Workers(), err)
+				}
+				return b
+			}
+			tags := []string{"range", "knn"}
+
+			tree.SetWorkers(1)
+			var serial []baseline
+			for _, q := range queries {
+				for _, tag := range tags {
+					serial = append(serial, run(q, tag))
+				}
+			}
+			for _, workers := range []int{2, 4, 8} {
+				tree.SetWorkers(workers)
+				i := 0
+				for _, q := range queries {
+					for _, tag := range tags {
+						label := s.name + "/" + tag + "/bounded"
+						b := run(q, tag)
+						sameResults(t, label, serial[i].res, b.res)
+						sameVerification(t, label, serial[i].qs, b.qs)
+						i++
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBoundedJoinMatchesExact checks Algorithm 3 under bounded kernels: the
+// ε-bounded evaluation returns the same pairs and counters as exact
+// evaluation, serially and for every worker count, with Abandoned identical
+// across worker modes.
+func TestBoundedJoinMatchesExact(t *testing.T) {
+	const dim = 4
+	build := func(objs []metric.Object, seed int64, share *Tree) *Tree {
+		tree, err := Build(objs, Options{
+			Distance: metric.L2(dim), Codec: metric.VectorCodec{Dim: dim},
+			NumPivots: 3, Curve: sfc.ZOrder, Seed: seed, ShareMapping: share,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+	tq := build(vectorSet(300, dim, 71), 71, nil)
+	to := build(vectorSet(250, dim, 72), 72, tq)
+	defer tq.Close()
+	defer to.Close()
+	eps := 0.08 * metric.L2(dim).MaxDistance()
+
+	tq.SetWorkers(1)
+	to.SetWorkers(1)
+	tq.SetBoundedKernels(false)
+	to.SetBoundedKernels(false)
+	want, wantQS, err := JoinWithStats(tq, to, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("join baseline empty; widen eps")
+	}
+	if wantQS.Abandoned != 0 {
+		t.Fatalf("exact join Abandoned = %d, want 0", wantQS.Abandoned)
+	}
+
+	tq.SetBoundedKernels(true)
+	to.SetBoundedKernels(true)
+	var serialBounded QueryStats
+	for _, workers := range []int{1, 2, 4, 8} {
+		tq.SetWorkers(workers) // the Q side drives the join's worker pool
+		got, gotQS, err := JoinWithStats(tq, to, eps)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].Q.ID() != got[i].Q.ID() || want[i].O.ID() != got[i].O.ID() || want[i].Dist != got[i].Dist {
+				t.Fatalf("workers=%d: pair %d = (%d,%d,%v), want (%d,%d,%v)", workers, i,
+					got[i].Q.ID(), got[i].O.ID(), got[i].Dist, want[i].Q.ID(), want[i].O.ID(), want[i].Dist)
+			}
+		}
+		if gotQS.Verified != wantQS.Verified || gotQS.Compdists != wantQS.Compdists || gotQS.Results != wantQS.Results {
+			t.Fatalf("workers=%d: bounded join counters (verified=%d compdists=%d results=%d) != exact (%d, %d, %d)",
+				workers, gotQS.Verified, gotQS.Compdists, gotQS.Results, wantQS.Verified, wantQS.Compdists, wantQS.Results)
+		}
+		if workers == 1 {
+			serialBounded = gotQS
+		} else if gotQS.Abandoned != serialBounded.Abandoned {
+			t.Fatalf("workers=%d: Abandoned = %d, serial bounded = %d", workers, gotQS.Abandoned, serialBounded.Abandoned)
+		}
+	}
+}
+
+// TestNearestIterWithin pins the limited iterator: it emits exactly the
+// range-query answer set in ascending distance order (objects at the limit
+// included), and a +Inf limit degenerates to the full NearestIter scan.
+func TestNearestIterWithin(t *testing.T) {
+	s := setups()[0]
+	tree := buildSetup(t, s)
+	defer tree.Close()
+	q := s.objs[11]
+	limit := 0.2 * s.dist.MaxDistance()
+
+	want, err := tree.RangeQuery(q, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].Dist != want[j].Dist {
+			return want[i].Dist < want[j].Dist
+		}
+		return want[i].Object.ID() < want[j].Object.ID()
+	})
+	// Range answers proved by Lemma 2 carry upper bounds, not exact
+	// distances; recompute so the comparison is distance-exact.
+	for i := range want {
+		want[i].Dist = s.dist.Distance(q, want[i].Object)
+		want[i].Exact = true
+	}
+
+	it := tree.NearestIterWithin(q, limit)
+	var got []Result
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NearestIterWithin emitted %d objects, range query found %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Object.ID() != want[i].Object.ID() || got[i].Dist != want[i].Dist {
+			t.Fatalf("item %d: got (id=%d d=%v), want (id=%d d=%v)",
+				i, got[i].Object.ID(), got[i].Dist, want[i].Object.ID(), want[i].Dist)
+		}
+		if got[i].Dist > limit {
+			t.Fatalf("item %d at distance %v beyond limit %v", i, got[i].Dist, limit)
+		}
+	}
+
+	full := tree.NearestIterWithin(q, math.Inf(1))
+	n := 0
+	for {
+		if _, ok := full.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := full.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(s.objs) {
+		t.Fatalf("+Inf limit enumerated %d objects, want %d", n, len(s.objs))
+	}
+}
+
+// TestDisableBoundedKernelsOption pins the Options escape hatch: a tree
+// built with DisableBoundedKernels never abandons and reports
+// BoundedKernels() == false, and SetBoundedKernels(true) on a metric with no
+// kernel stays off.
+func TestDisableBoundedKernelsOption(t *testing.T) {
+	s := setups()[2] // words-edit: the workload where abandoning fires
+	opts := s.opts
+	opts.Distance = s.dist
+	opts.DisableBoundedKernels = true
+	tree, err := Build(s.objs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if tree.BoundedKernels() {
+		t.Fatal("DisableBoundedKernels did not disable kernels")
+	}
+	_, qs, err := tree.RangeSearchWithStats(s.objs[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Abandoned != 0 {
+		t.Fatalf("Abandoned = %d on a kernel-disabled tree", qs.Abandoned)
+	}
+	tree.SetBoundedKernels(true)
+	if !tree.BoundedKernels() {
+		t.Fatal("SetBoundedKernels(true) did not re-enable for a bounded metric")
+	}
+
+	// A metric with no kernel can never be switched on.
+	objs := make([]metric.Object, 64)
+	for i := range objs {
+		objs[i] = metric.NewSeq(uint64(i), wordSet(1, int64(i))[0].(*metric.Str).S+"ACGTACGT")
+	}
+	plain, err := Build(objs, Options{Distance: metric.TrigramAngular{}, Codec: metric.SeqCodec{}, NumPivots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.BoundedKernels() {
+		t.Fatal("TrigramAngular reported bounded kernels")
+	}
+	plain.SetBoundedKernels(true)
+	if plain.BoundedKernels() {
+		t.Fatal("SetBoundedKernels(true) enabled kernels for an unbounded metric")
+	}
+}

@@ -72,7 +72,7 @@ func (t *Tree) RangeCount(q metric.Object, r float64) (int, error) {
 			if err != nil {
 				return 0, err
 			}
-			if t.dist.Distance(q, obj) <= r {
+			if _, within := t.verifyDist(q, obj, r); within {
 				count++
 			}
 		}

@@ -102,8 +102,8 @@ func TestCtxAlreadyCanceled(t *testing.T) {
 	res, err := tree.RangeSearchCtx(ctx, q, 0.5)
 	checkErr("range", err)
 	for i := 1; i < len(res); i++ {
-		if res[i-1].Dist > res[i].Dist {
-			t.Fatal("range partials not sorted")
+		if res[i-1].Object.ID() >= res[i].Object.ID() {
+			t.Fatal("range partials not in id order")
 		}
 	}
 	if _, err := tree.KNNCtx(ctx, q, 5); !errors.Is(err, ErrCanceled) {
@@ -130,8 +130,12 @@ func TestCtxAlreadyCanceled(t *testing.T) {
 func TestCtxDeadlinePartials(t *testing.T) {
 	objs := vectorSet(800, 4, 43)
 	sd := &slowDist{DistanceFunc: metric.L2(4)}
+	// Lemma 2 would admit most of this wide scan computation-free, letting
+	// the query finish before the deadline; disable it so every candidate
+	// pays the throttled distance and mid-query expiry is guaranteed.
 	tree, err := Build(objs, Options{
 		Distance: sd, Codec: metric.VectorCodec{Dim: 4}, NumPivots: 3, Seed: 43,
+		DisableLemma2: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -154,8 +158,8 @@ func TestCtxDeadlinePartials(t *testing.T) {
 		if re.Dist > r {
 			t.Fatalf("partial result %d at distance %v > r %v", i, re.Dist, r)
 		}
-		if i > 0 && res[i-1].Dist > re.Dist {
-			t.Fatal("partials not sorted")
+		if i > 0 && res[i-1].Object.ID() >= re.Object.ID() {
+			t.Fatal("partials not in id order")
 		}
 	}
 }

@@ -25,6 +25,13 @@
 //     events fire at commit) and compute distances on the unwrapped metric
 //     (the lifetime compdists counter advances at commit), so observability
 //     sees exactly the serial execution.
+//
+// Threshold-aware kernels (DESIGN.md §10) compose with all three: workers
+// probe with metric.DistanceAtMost against the bound they can see (the fixed
+// r/ε, or the committed curND_k, which is only ever looser than the bound at
+// the verdict's commit slot), and kNN commits replay the bounded decision at
+// the commit-time bound — so results, Verified, Compdists and the new
+// Abandoned counter all remain byte-identical to serial execution.
 package core
 
 import (
@@ -174,14 +181,17 @@ func (s *rangeSerial) add(key, val uint64, cell sfc.Point) error {
 		qs.stageAdd(&qs.VerifyTime, st)
 		return err
 	}
-	d := t.dist.Distance(s.q, obj)
+	d, within := t.verifyDist(s.q, obj, s.r)
 	qs.stageAdd(&qs.VerifyTime, st)
 	qs.Verified++
 	qs.Compdists++
-	if d <= s.r {
+	if within {
 		s.results = append(s.results, Result{Object: obj, Dist: d, Exact: true})
 	} else {
 		qs.Discarded++
+		if t.bounded {
+			qs.Abandoned++
+		}
 	}
 	return nil
 }
@@ -224,6 +234,7 @@ type rangeWorker struct {
 	lemma2     int64
 	verified   int64
 	discarded  int64
+	abandoned  int64
 	compdists  int64
 	verifyTime time.Duration
 	errSeq     int64
@@ -280,6 +291,7 @@ func (e *rangeExec) finish() ([]Result, error) {
 		qs.Lemma2Included += w.lemma2
 		qs.Verified += w.verified
 		qs.Discarded += w.discarded
+		qs.Abandoned += w.abandoned
 		qs.Compdists += w.compdists
 		qs.VerifyTime += w.verifyTime
 		if w.err != nil && w.errSeq < errSeq {
@@ -358,14 +370,20 @@ func (e *rangeExec) verifyOne(w *rangeWorker, c rangeCand, obj metric.Object, pl
 			return
 		}
 	}
-	d := t.dist.Distance(e.q, obj)
+	// The radius is a fixed bound (no feedback), so every verification here
+	// commits: the counted metric is used directly, and the bounded kernel
+	// can abandon against r with no replay subtleties.
+	d, within := t.verifyDist(e.q, obj, e.r)
 	w.verified++
 	w.compdists++
 	t.raf.EmitRecordRead(c.val, plen)
-	if d <= e.r {
+	if within {
 		w.results = append(w.results, Result{Object: obj, Dist: d, Exact: true})
 	} else {
 		w.discarded++
+		if t.bounded {
+			w.abandoned++
+		}
 	}
 }
 
@@ -394,15 +412,19 @@ type knnJob struct {
 }
 
 // knnVerdict is a worker's speculative result for one candidate, awaiting
-// its commit slot.
+// its commit slot. Under bounded kernels, within reports whether the probe
+// completed (d is then the exact distance); a false within means the worker
+// proved d > its probe bound — and since the bound only tightens between
+// probe and commit, the commit-time evaluation would abandon too.
 type knnVerdict struct {
-	mind float64
-	val  uint64
-	obj  metric.Object
-	d    float64
-	plen int
-	dur  time.Duration
-	err  error
+	mind   float64
+	val    uint64
+	obj    metric.Object
+	d      float64
+	within bool
+	plen   int
+	dur    time.Duration
+	err    error
 }
 
 // knnExec runs Algorithm 2's verification stage as an ordered-commit
@@ -415,14 +437,15 @@ type knnVerdict struct {
 // Compdists, the emitted tracer events and the lifetime distance counter —
 // matches serial execution exactly.
 type knnExec struct {
-	t      *Tree
-	ctx    context.Context
-	q      metric.Object
-	raw    metric.DistanceFunc
-	greedy bool
-	budget int64 // max committed verifications; -1 = unlimited
-	qs     *QueryStats
-	timed  bool
+	t       *Tree
+	ctx     context.Context
+	q       metric.Object
+	raw     metric.DistanceFunc
+	bounded bool // probe with the bounded kernel against the committed bound
+	greedy  bool
+	budget  int64 // max committed verifications; -1 = unlimited
+	qs      *QueryStats
+	timed   bool
 
 	jobs  chan knnJob
 	wg    sync.WaitGroup
@@ -445,13 +468,14 @@ type knnExec struct {
 	err            error
 	verified       int64
 	compdists      int64
+	abandoned      int64
 	prunedAtCommit int64
 	verifyTime     time.Duration
 }
 
 func (t *Tree) newKNNExec(ctx context.Context, q metric.Object, k int, qs *QueryStats, slots int, budget int64, greedy bool) *knnExec {
 	ex := &knnExec{
-		t: t, ctx: ctx, q: q, raw: t.dist.Unwrap(), greedy: greedy,
+		t: t, ctx: ctx, q: q, raw: t.dist.Unwrap(), bounded: t.bounded, greedy: greedy,
 		budget: budget, qs: qs, timed: qs.timed,
 		jobs:    make(chan knnJob, 2*slots),
 		slots:   slots,
@@ -469,6 +493,18 @@ func (t *Tree) newKNNExec(ctx context.Context, q metric.Object, k int, qs *Query
 // bound returns the committed curND_k. It is never tighter than the serial
 // bound at the equivalent replay point, so pruning on it is always safe.
 func (ex *knnExec) bound() float64 { return math.Float64frombits(ex.boundBits.Load()) }
+
+// probe computes a worker's speculative distance for obj. With bounded
+// kernels it evaluates against the committed bound, which can only be looser
+// than the bound at this verdict's commit slot — so an abandoned probe
+// (within = false) implies the commit-time evaluation would abandon too, and
+// a completed probe carries the exact distance for the commit to re-check.
+func (ex *knnExec) probe(obj metric.Object) (float64, bool) {
+	if ex.bounded {
+		return metric.DistanceAtMost(ex.raw, ex.q, obj, ex.bound())
+	}
+	return ex.raw.Distance(ex.q, obj), true
+}
 
 // dispatch hands admitted entries (in traversal order) to the workers.
 func (ex *knnExec) dispatch(items ...knnCand) {
@@ -531,7 +567,7 @@ func (ex *knnExec) worker() {
 				v.err = err
 			} else {
 				v.obj, v.plen = obj, plen
-				v.d = ex.raw.Distance(ex.q, obj)
+				v.d, v.within = ex.probe(obj)
 			}
 			if ex.timed {
 				v.dur = time.Since(st)
@@ -558,7 +594,7 @@ func (ex *knnExec) worker() {
 					v.err = rerr
 				} else {
 					v.obj, v.plen = obj, plen
-					v.d = ex.raw.Distance(ex.q, obj)
+					v.d, v.within = ex.probe(obj)
 				}
 				if ex.timed && bi == 0 {
 					v.dur = time.Since(st)
@@ -570,7 +606,7 @@ func (ex *knnExec) worker() {
 		for bi, i := range live {
 			it := job.items[i]
 			v := knnVerdict{mind: it.mind, val: it.val, obj: objs[bi], plen: plens[bi]}
-			v.d = ex.raw.Distance(ex.q, objs[bi])
+			v.d, v.within = ex.probe(objs[bi])
 			if ex.timed && bi == len(live)-1 {
 				v.dur = time.Since(st)
 			}
@@ -638,7 +674,17 @@ func (ex *knnExec) commitLocked(v knnVerdict) {
 	ex.verifyTime += v.dur
 	ex.t.raf.EmitRecordRead(v.val, v.plen)
 	ex.committed++
-	ex.res.offer(Result{Object: v.obj, Dist: v.d, Exact: true})
+	// Replay the serial bounded decision at this slot's bound. A probe that
+	// completed but whose distance now exceeds the (possibly tighter) commit
+	// bound counts as abandoned, exactly as the serial evaluation at this
+	// point would have; a probe the worker abandoned is a fortiori beyond the
+	// commit bound. Without bounded kernels every verdict completed and is
+	// offered, as before.
+	if v.within && (!ex.bounded || v.d <= ex.res.bound()) {
+		ex.res.offer(Result{Object: v.obj, Dist: v.d, Exact: true})
+	} else {
+		ex.abandoned++
+	}
 	ex.boundBits.Store(math.Float64bits(ex.res.bound()))
 }
 
@@ -656,6 +702,7 @@ func (ex *knnExec) finish() ([]Result, error) {
 	qs := ex.qs
 	qs.Verified += ex.verified
 	qs.Compdists += ex.compdists
+	qs.Abandoned += ex.abandoned
 	qs.EntriesPruned += ex.prunedAtCommit
 	qs.VerifyTime += ex.verifyTime
 	out := ex.res.sorted()
@@ -787,11 +834,11 @@ func (s *joinSerial) pair(cur, other joinElem, flip bool) error {
 	}
 	qs := s.qs
 	st := qs.stageStart()
-	d := s.t.dist.Distance(cur.obj, other.obj)
+	d, within := s.t.verifyDist(cur.obj, other.obj, s.eps)
 	qs.stageAdd(&qs.VerifyTime, st)
 	qs.Verified++
 	qs.Compdists++
-	if d <= s.eps {
+	if within {
 		if flip {
 			s.pairs = append(s.pairs, JoinPair{Q: other.obj, O: cur.obj, Dist: d})
 		} else {
@@ -799,6 +846,9 @@ func (s *joinSerial) pair(cur, other joinElem, flip bool) error {
 		}
 	} else {
 		qs.Discarded++
+		if s.t.bounded {
+			qs.Abandoned++
+		}
 	}
 	return nil
 }
@@ -814,10 +864,11 @@ type joinJob struct {
 }
 
 type joinVerdict struct {
-	job joinJob
-	d   float64
-	dur time.Duration
-	err error
+	job    joinJob
+	d      float64
+	within bool
+	dur    time.Duration
+	err    error
 }
 
 // joinExec fans pair verification out to workers. The candidate set has no
@@ -848,6 +899,7 @@ type joinExec struct {
 	verified   int64
 	compdists  int64
 	discarded  int64
+	abandoned  int64
 	verifyTime time.Duration
 }
 
@@ -878,6 +930,7 @@ func (ex *joinExec) pair(cur, other joinElem, flip bool) error {
 func (ex *joinExec) worker() {
 	defer ex.wg.Done()
 	raw := ex.t.dist.Unwrap()
+	bounded := ex.t.bounded
 	for job := range ex.jobs {
 		v := joinVerdict{job: job}
 		if ex.done.Load() {
@@ -893,7 +946,14 @@ func (ex *joinExec) worker() {
 		if ex.timed {
 			st = time.Now()
 		}
-		v.d = raw.Distance(job.a, job.b)
+		// ε is a fixed bound (no feedback), so workers can evaluate the final
+		// bounded decision directly; the commit only re-orders and counts.
+		if bounded {
+			v.d, v.within = metric.DistanceAtMost(raw, job.a, job.b, ex.eps)
+		} else {
+			v.d = raw.Distance(job.a, job.b)
+			v.within = v.d <= ex.eps
+		}
 		if ex.timed {
 			v.dur = time.Since(st)
 		}
@@ -930,7 +990,7 @@ func (ex *joinExec) commitLocked(v joinVerdict) {
 	ex.compdists++
 	ex.t.dist.Add(1)
 	ex.verifyTime += v.dur
-	if v.d <= ex.eps {
+	if v.within {
 		if v.job.flip {
 			ex.pairs = append(ex.pairs, JoinPair{Q: v.job.b, O: v.job.a, Dist: v.d})
 		} else {
@@ -938,6 +998,9 @@ func (ex *joinExec) commitLocked(v joinVerdict) {
 		}
 	} else {
 		ex.discarded++
+		if ex.t.bounded {
+			ex.abandoned++
+		}
 	}
 }
 
@@ -949,6 +1012,7 @@ func (ex *joinExec) finish() ([]JoinPair, error) {
 	qs.Verified += ex.verified
 	qs.Compdists += ex.compdists
 	qs.Discarded += ex.discarded
+	qs.Abandoned += ex.abandoned
 	qs.VerifyTime += ex.verifyTime
 	return ex.pairs, ex.err
 }

@@ -36,11 +36,12 @@ func sameVerification(t *testing.T, label string, serial, parallel QueryStats) {
 		serial.Compdists != parallel.Compdists ||
 		serial.Lemma2Included != parallel.Lemma2Included ||
 		serial.Discarded != parallel.Discarded ||
+		serial.Abandoned != parallel.Abandoned ||
 		serial.Results != parallel.Results {
-		t.Fatalf("%s: verification counters diverge:\nserial:   verified=%d compdists=%d lemma2=%d discarded=%d results=%d\nparallel: verified=%d compdists=%d lemma2=%d discarded=%d results=%d",
+		t.Fatalf("%s: verification counters diverge:\nserial:   verified=%d compdists=%d lemma2=%d discarded=%d abandoned=%d results=%d\nparallel: verified=%d compdists=%d lemma2=%d discarded=%d abandoned=%d results=%d",
 			label,
-			serial.Verified, serial.Compdists, serial.Lemma2Included, serial.Discarded, serial.Results,
-			parallel.Verified, parallel.Compdists, parallel.Lemma2Included, parallel.Discarded, parallel.Results)
+			serial.Verified, serial.Compdists, serial.Lemma2Included, serial.Discarded, serial.Abandoned, serial.Results,
+			parallel.Verified, parallel.Compdists, parallel.Lemma2Included, parallel.Discarded, parallel.Abandoned, parallel.Results)
 	}
 }
 
@@ -164,8 +165,12 @@ func TestParallelJoinMatchesSerial(t *testing.T) {
 func TestParallelCancellationPartials(t *testing.T) {
 	objs := vectorSet(800, 4, 53)
 	sd := &slowDist{DistanceFunc: metric.L2(4)}
+	// DisableLemma2 keeps every candidate on the throttled verification
+	// path, so the deadline reliably expires mid-batch (see the matching
+	// note in TestCtxDeadlinePartials).
 	tree, err := Build(objs, Options{
 		Distance: sd, Codec: metric.VectorCodec{Dim: 4}, NumPivots: 3, Seed: 53,
+		DisableLemma2: true,
 	})
 	if err != nil {
 		t.Fatal(err)

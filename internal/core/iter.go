@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"math"
 
 	"spbtree/internal/metric"
 	"spbtree/internal/sfc"
@@ -18,8 +19,19 @@ import (
 // is emitted once its exact distance is no larger than the best unexplored
 // lower bound, which guarantees global ordering.
 func (t *Tree) NearestIter(q metric.Object) *NearestIter {
+	return t.NearestIterWithin(q, math.Inf(1))
+}
+
+// NearestIterWithin is NearestIter restricted to objects within distance
+// limit of q: the same ascending-distance scan, but entries whose mapped-
+// space lower bound exceeds the limit are never explored (the MIND heap pops
+// in nondecreasing order, so the scan stops outright), and with a
+// threshold-aware metric (DESIGN.md §10) each verification runs against the
+// limit so out-of-range objects abandon early. Objects at exactly the limit
+// are emitted. A +Inf limit is exactly NearestIter.
+func (t *Tree) NearestIterWithin(q metric.Object, limit float64) *NearestIter {
 	n := len(t.pivots)
-	it := &NearestIter{t: t, qvec: make([]float64, n)}
+	it := &NearestIter{t: t, qvec: make([]float64, n), limit: limit}
 	t.phi(q, it.qvec)
 	it.q = q
 	it.boxLo = make(sfc.Point, n)
@@ -36,9 +48,10 @@ func (t *Tree) NearestIter(q metric.Object) *NearestIter {
 // NearestIter yields objects in ascending distance order; see
 // Tree.NearestIter.
 type NearestIter struct {
-	t    *Tree
-	q    metric.Object
-	qvec []float64
+	t     *Tree
+	q     metric.Object
+	qvec  []float64
+	limit float64 // emit only objects with d ≤ limit; +Inf = unbounded
 
 	pq       mindHeap   // unexplored entries by lower bound
 	verified resultHeap // computed but not yet emitted results
@@ -62,14 +75,23 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 			return Result{}, false
 		}
 		item := it.pq.pop()
+		if item.mind > it.limit {
+			// MIND values pop in nondecreasing order (children's bounds are
+			// never below their parent's), so nothing unexplored can hold an
+			// object within the limit: drain the heap and emit what remains.
+			it.pq.items = it.pq.items[:0]
+			continue
+		}
 		if !item.isNode {
 			obj, err := it.t.raf.Read(item.val)
 			if err != nil {
 				it.err = err
 				return Result{}, false
 			}
-			d := it.t.dist.Distance(it.q, obj)
-			heap.Push(&it.verified, Result{Object: obj, Dist: d, Exact: true})
+			d, within := it.t.verifyDist(it.q, obj, it.limit)
+			if within {
+				heap.Push(&it.verified, Result{Object: obj, Dist: d, Exact: true})
+			}
 			continue
 		}
 		node, err := it.t.bpt.ReadNode(item.page)

@@ -132,8 +132,13 @@ func (r *knnResults) sorted() []Result {
 	return out
 }
 
-// verifyKNN reads the object at a RAF offset, computes its distance and
-// feeds the running top-k. The ctx check gives verification-batch
+// verifyKNN reads the object at a RAF offset, computes its distance against
+// the live curND_k bound and feeds the running top-k. With bounded kernels
+// the evaluation abandons once the distance provably exceeds the bound — an
+// offer would reject such a candidate anyway (its distance ranks after the
+// heap top regardless of ID), so skipping it changes nothing observable. A
+// candidate at exactly curND_k still completes (within ⇔ d ≤ bound), so the
+// heap's ID tie-break sees it. The ctx check gives verification-batch
 // granularity: a canceled query stops before the next RAF page read and
 // distance computation.
 func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, val uint64, qs *QueryStats) error {
@@ -146,11 +151,15 @@ func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, 
 		qs.stageAdd(&qs.VerifyTime, st)
 		return err
 	}
-	d := t.dist.Distance(q, obj)
+	d, within := t.verifyDist(q, obj, res.bound())
 	qs.stageAdd(&qs.VerifyTime, st)
 	qs.Verified++
 	qs.Compdists++
-	res.offer(Result{Object: obj, Dist: d, Exact: true})
+	if within {
+		res.offer(Result{Object: obj, Dist: d, Exact: true})
+	} else if t.bounded {
+		qs.Abandoned++
+	}
 	return nil
 }
 

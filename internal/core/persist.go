@@ -154,6 +154,9 @@ type OpenOptions struct {
 	// Workers is the per-query verifier pool size (see Options.Workers):
 	// 0 selects the default, 1 forces serial execution.
 	Workers int
+	// DisableBoundedKernels turns off threshold-aware distance evaluation
+	// (see Options.DisableBoundedKernels).
+	DisableBoundedKernels bool
 }
 
 // Open reopens a tree persisted with WriteMeta.
@@ -182,6 +185,7 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 		codec:     opts.Codec,
 		traversal: opts.Traversal,
 		workers:   resolveWorkers(opts.Workers),
+		bounded:   !opts.DisableBoundedKernels && metric.IsBounded(opts.Distance),
 	}
 	t.kind = sfc.Kind(r.u8())
 	t.bits = int(r.u8())

@@ -93,6 +93,9 @@ type LoadOptions struct {
 	// Workers is the per-query verifier pool size (see Options.Workers):
 	// 0 selects the default, 1 forces serial execution.
 	Workers int
+	// DisableBoundedKernels turns off threshold-aware distance evaluation
+	// (see Options.DisableBoundedKernels).
+	DisableBoundedKernels bool
 }
 
 // Load reopens an index directory written by SaveAtomic (or spbtool build):
@@ -120,7 +123,7 @@ func Load(dir string, opts LoadOptions) (*Tree, error) {
 		Distance: opts.Distance, Codec: opts.Codec,
 		IndexStore: idx, DataStore: data,
 		CacheSize: opts.CacheSize, Traversal: opts.Traversal,
-		Workers: opts.Workers,
+		Workers: opts.Workers, DisableBoundedKernels: opts.DisableBoundedKernels,
 	})
 	if err != nil {
 		idx.Close()

@@ -98,6 +98,15 @@ type Options struct {
 	// execution. Results and the Verified/Compdists counters are identical
 	// in every mode.
 	Workers int
+	// DisableBoundedKernels turns off threshold-aware distance evaluation
+	// (DESIGN.md §10): when the metric implements
+	// metric.BoundedDistanceFunc, verification normally passes its live
+	// bound (the range radius, join ε, or kNN curND_k) to DistanceAtMost so
+	// evaluations provably exceeding the bound can stop early. Results,
+	// Verified and Compdists are identical either way — only wall time and
+	// the QueryStats.Abandoned counter change. The flag exists for the
+	// exact-vs-bounded benchmarks (spbbench pr5).
+	DisableBoundedKernels bool
 }
 
 // Tree is a built SPB-tree. Queries may run concurrently with each other;
@@ -137,6 +146,11 @@ type Tree struct {
 
 	// workers is the resolved per-query verifier pool size (≥ 1; 1 = serial).
 	workers int
+
+	// bounded enables threshold-aware verification: true iff the metric
+	// implements metric.BoundedDistanceFunc and bounded kernels are not
+	// disabled. See verifyDist and DESIGN.md §10.
+	bounded bool
 
 	count int
 
@@ -188,6 +202,7 @@ func Build(objs []metric.Object, opts Options) (*Tree, error) {
 		noLemma2:   opts.DisableLemma2,
 		noSFCMerge: opts.DisableSFCMerge,
 		workers:    resolveWorkers(opts.Workers),
+		bounded:    !opts.DisableBoundedKernels && metric.IsBounded(opts.Distance),
 	}
 
 	// Pivot table: either shared with a partner tree (joins need a common
@@ -419,6 +434,38 @@ func (t *Tree) SetWorkers(w int) {
 	t.mu.Lock()
 	t.workers = resolveWorkers(w)
 	t.mu.Unlock()
+}
+
+// BoundedKernels reports whether verification uses threshold-aware distance
+// evaluation (the metric implements metric.BoundedDistanceFunc and kernels
+// were not disabled).
+func (t *Tree) BoundedKernels() bool { return t.bounded }
+
+// SetBoundedKernels toggles threshold-aware verification at runtime.
+// Enabling is a no-op when the metric has no bounded kernel. Results and the
+// Verified/Compdists counters are identical either way (DESIGN.md §10); the
+// toggle exists so benchmarks can compare exact and bounded evaluation on
+// the same tree. It takes effect for queries started afterwards.
+func (t *Tree) SetBoundedKernels(on bool) {
+	t.mu.Lock()
+	t.bounded = on && t.dist.Bounded()
+	t.mu.Unlock()
+}
+
+// verifyDist evaluates d(q, obj) against the caller's live bound: with
+// bounded kernels the evaluation may stop as soon as the distance provably
+// exceeds the bound (within = false, d unspecified), otherwise it is exact.
+// Either way within ⇔ d(q, obj) ≤ bound, and d is the exact distance when
+// within — so callers decide results purely on within and the decision is
+// identical in exact and bounded modes. The caller still counts the
+// evaluation (Verified/Compdists) and, when !within under bounded kernels,
+// one Abandoned.
+func (t *Tree) verifyDist(q, obj metric.Object, bound float64) (d float64, within bool) {
+	if t.bounded {
+		return t.dist.DistanceAtMost(q, obj, bound)
+	}
+	d = t.dist.Distance(q, obj)
+	return d, d <= bound
 }
 
 // Stats is a per-operation measurement in the paper's metrics.

@@ -34,9 +34,10 @@ const (
 //
 // Under the parallel execution engine (Options.Workers > 1, the default;
 // DESIGN.md §9) the verification counters — Lemma2Included, Verified,
-// Discarded, Compdists — and the result set are still identical to serial
-// execution: ranges and joins verify a bound-independent candidate set, and
-// kNN commits verdicts in dispatch order against the committed bound.
+// Discarded, Abandoned, Compdists — and the result set are still identical
+// to serial execution: ranges and joins verify a bound-independent candidate
+// set, and kNN commits verdicts in dispatch order against the committed
+// bound.
 // VerifyTime becomes the summed worker time (it can exceed Elapsed), and on
 // error or cancellation the traversal-side diagnostics may include work a
 // serial run would not have reached before stopping.
@@ -78,6 +79,13 @@ type QueryStats struct {
 	// Discarded counts verified objects that failed the predicate — the
 	// filter's false positives.
 	Discarded int64
+	// Abandoned counts verifications resolved by a threshold-aware kernel
+	// (DESIGN.md §10) without completing the exact distance: the evaluation
+	// proved d > bound and stopped. Always ≤ Verified, and each abandoned
+	// evaluation still counts one Compdists — the cost model charges
+	// evaluations, so exact and bounded runs report identical Compdists.
+	// Zero when the metric has no bounded kernel or kernels are disabled.
+	Abandoned int64
 	// Results is the number of answers returned.
 	Results int
 

@@ -175,6 +175,24 @@ func DNA(n int, seed int64) Dataset {
 	}
 }
 
+// DNAEdit generates the DNA reads of DNA but compares them under edit
+// distance instead of tri-gram angular distance — the workload that
+// exercises the blocked bit-parallel and banded edit-distance kernels
+// (DESIGN.md §10) on strings far past one machine word.
+func DNAEdit(n int, seed int64) Dataset {
+	d := DNA(n, seed)
+	objs := make([]metric.Object, len(d.Objects))
+	for i, o := range d.Objects {
+		objs[i] = metric.NewStr(o.ID(), o.(*metric.Seq).S)
+	}
+	return Dataset{
+		Name:     "DNAEdit",
+		Objects:  objs,
+		Distance: metric.EditDistance{MaxLen: 140},
+		Codec:    metric.StrCodec{},
+	}
+}
+
 // Signature generates 64-byte binary signatures as bit-flipped copies of
 // cluster seeds, compared under Hamming distance (the paper's Signature:
 // 49,740 signatures, intrinsic dimensionality ≈ 14.8 — the hardest
@@ -217,6 +235,8 @@ func ByName(name string, n int, seed int64) (Dataset, bool) {
 		return Color(n, seed), true
 	case "dna", "DNA":
 		return DNA(n, seed), true
+	case "dnaedit", "DNAEdit":
+		return DNAEdit(n, seed), true
 	case "signature", "Signature":
 		return Signature(n, seed), true
 	case "synthetic", "Synthetic":

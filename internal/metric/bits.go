@@ -74,6 +74,36 @@ func (h Hamming) Distance(a, b Object) float64 {
 	return float64(n)
 }
 
+// DistanceAtMost implements BoundedDistanceFunc. The popcount accumulator
+// only grows, so the scan abandons after the first 8-byte word that pushes
+// the count past ⌊t⌋; a completed scan returns the exact distance.
+func (h Hamming) DistanceAtMost(a, b Object, t float64) (float64, bool) {
+	ba, ok := a.(*BitString)
+	if !ok {
+		panic(badType("Hamming", "*BitString", a))
+	}
+	bb, ok := b.(*BitString)
+	if !ok {
+		panic(badType("Hamming", "*BitString", b))
+	}
+	if len(ba.Bits) != len(bb.Bits) {
+		panic(fmt.Sprintf("metric: Hamming on signatures of %d and %d bytes", len(ba.Bits), len(bb.Bits)))
+	}
+	n := 0
+	i := 0
+	for ; i+8 <= len(ba.Bits); i += 8 {
+		x := leUint64(ba.Bits[i:]) ^ leUint64(bb.Bits[i:])
+		n += bits.OnesCount64(x)
+		if float64(n) > t {
+			return float64(n), false
+		}
+	}
+	for ; i < len(ba.Bits); i++ {
+		n += bits.OnesCount8(ba.Bits[i] ^ bb.Bits[i])
+	}
+	return float64(n), float64(n) <= t
+}
+
 func leUint64(b []byte) uint64 {
 	_ = b[7]
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
@@ -90,6 +120,7 @@ func (h Hamming) Discrete() bool { return true }
 func (h Hamming) Name() string { return "hamming" }
 
 var (
-	_ DistanceFunc = Hamming{}
-	_ Codec        = BitStringCodec{}
+	_ DistanceFunc        = Hamming{}
+	_ BoundedDistanceFunc = Hamming{}
+	_ Codec               = BitStringCodec{}
 )

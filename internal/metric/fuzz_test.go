@@ -1,6 +1,7 @@
 package metric
 
 import (
+	"math"
 	"testing"
 )
 
@@ -37,6 +38,71 @@ func FuzzLevenshtein(f *testing.F) {
 		}
 		if got < lo || got > hi {
 			t.Fatalf("distance %d outside [%d, %d]", got, lo, hi)
+		}
+	})
+}
+
+// FuzzBoundedDistance asserts the BoundedDistanceFunc contract — within ⇔
+// Distance ≤ t, and a bit-identical distance when within — for arbitrary
+// strings, vectors, signatures, and thresholds. The threshold is also
+// derived from the exact distance itself (scaled and nudged) so the fuzzer
+// exercises the boundary cases that matter most.
+func FuzzBoundedDistance(f *testing.F) {
+	f.Add("kitten", "sitting", 2.0)
+	f.Add("", "abc", 3.0)
+	f.Add("same", "same", 0.0)
+	f.Add("a\x00b", "\xffxyz", -1.0)
+	f.Add("longer string with some shared words", "longer string with other shared words", 5.5)
+	f.Fuzz(func(t *testing.T, a, b string, thr float64) {
+		if len(a) > 256 || len(b) > 256 || math.IsNaN(thr) {
+			return
+		}
+		check := func(fn BoundedDistanceFunc, oa, ob Object, thr float64) {
+			exact := fn.Distance(oa, ob)
+			d, within := fn.DistanceAtMost(oa, ob, thr)
+			if want := exact <= thr; within != want {
+				t.Fatalf("%s: within=%v at t=%v, exact=%v", fn.Name(), within, thr, exact)
+			}
+			if within && math.Float64bits(d) != math.Float64bits(exact) {
+				t.Fatalf("%s: bounded d=%v != exact %v at t=%v", fn.Name(), d, exact, thr)
+			}
+		}
+
+		ed := EditDistance{MaxLen: 256}
+		sa, sb := NewStr(1, a), NewStr(2, b)
+		exact := ed.Distance(sa, sb)
+		for _, tt := range []float64{thr, exact, exact - 1, exact + 0.5, exact * 0.5} {
+			check(ed, sa, sb, tt)
+		}
+
+		// Reinterpret the strings as vector coordinates and bit signatures so
+		// one corpus drives every kernel.
+		dim := 8
+		ca, cb := make([]float64, dim), make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			if i < len(a) {
+				ca[i] = float64(a[i]) / 255
+			}
+			if i < len(b) {
+				cb[i] = float64(b[i]) / 255
+			}
+		}
+		va, vb := NewVector(1, ca), NewVector(2, cb)
+		for _, fn := range []BoundedDistanceFunc{L2(dim), L5(dim), LInf{Dim: dim, Scale: 1}} {
+			e := fn.Distance(va, vb)
+			for _, tt := range []float64{thr, e, e * (1 - 1e-9), e * (1 + 1e-9)} {
+				check(fn, va, vb, tt)
+			}
+		}
+
+		pa, pb := make([]byte, 12), make([]byte, 12)
+		copy(pa, a)
+		copy(pb, b)
+		ba, bb := NewBitString(1, pa), NewBitString(2, pb)
+		ham := Hamming{Bytes: 12}
+		he := ham.Distance(ba, bb)
+		for _, tt := range []float64{thr, he, he - 1, he + 0.5} {
+			check(ham, ba, bb, tt)
 		}
 	})
 }

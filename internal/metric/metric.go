@@ -85,6 +85,19 @@ func (c *Counter) Discrete() bool { return c.fn.Discrete() }
 // Name returns the wrapped function's name.
 func (c *Counter) Name() string { return c.fn.Name() }
 
+// DistanceAtMost evaluates d(a, b) against threshold t (see
+// BoundedDistanceFunc) and increments the counter by exactly one — an
+// abandoned evaluation still counts as one compdist, because the paper's
+// cost model charges distance evaluations, not the fraction of one that
+// completed. Early abandoning therefore changes wall time, never Compdists.
+func (c *Counter) DistanceAtMost(a, b Object, t float64) (float64, bool) {
+	c.n.Add(1)
+	return DistanceAtMost(c.fn, a, b, t)
+}
+
+// Bounded reports whether the wrapped function has a threshold-aware kernel.
+func (c *Counter) Bounded() bool { return IsBounded(c.fn) }
+
 // Count returns the number of distance computations since the last Reset.
 func (c *Counter) Count() int64 { return c.n.Load() }
 
@@ -102,7 +115,10 @@ func (c *Counter) Add(n int64) { c.n.Add(n) }
 // Unwrap returns the underlying DistanceFunc.
 func (c *Counter) Unwrap() DistanceFunc { return c.fn }
 
-var _ DistanceFunc = (*Counter)(nil)
+var (
+	_ DistanceFunc        = (*Counter)(nil)
+	_ BoundedDistanceFunc = (*Counter)(nil)
+)
 
 func badType(fn, want string, got Object) string {
 	return fmt.Sprintf("metric: %s applied to %T, want %s", fn, got, want)

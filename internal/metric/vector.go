@@ -98,12 +98,126 @@ func (l LpNorm) Distance(a, b Object) float64 {
 		}
 		return s
 	default:
+		if p, ok := l.intP(); ok {
+			// Integer orders (L5 for the Color workload) take the repeated
+			// multiplication path: intPow is ~5× cheaper than math.Pow per
+			// coordinate. See BenchmarkDistanceL5 in bench_test.go.
+			var s float64
+			for i, c := range va.Coords {
+				s += intPow(math.Abs(c-vb.Coords[i]), p)
+			}
+			return math.Pow(s, 1/l.P)
+		}
 		var s float64
 		for i, c := range va.Coords {
 			s += math.Pow(math.Abs(c-vb.Coords[i]), l.P)
 		}
 		return math.Pow(s, 1/l.P)
 	}
+}
+
+// DistanceAtMost implements BoundedDistanceFunc. The p-th root is deferred:
+// the partial sum of p-th-power coordinate deltas is compared against t^p
+// (the sum of non-negative terms only grows, so partial > budget proves the
+// final distance exceeds t), checked every strideCheck coordinates. A tiny
+// relative safety margin on the budget absorbs the rounding of the final
+// root, so a candidate whose rounded distance would land exactly on t is
+// never abandoned — the within ⇔ d ≤ t contract holds bit-exactly.
+func (l LpNorm) DistanceAtMost(a, b Object, t float64) (float64, bool) {
+	va, ok := a.(*Vector)
+	if !ok {
+		panic(badType("LpNorm", "*Vector", a))
+	}
+	vb, ok := b.(*Vector)
+	if !ok {
+		panic(badType("LpNorm", "*Vector", b))
+	}
+	if len(va.Coords) != len(vb.Coords) {
+		panic(fmt.Sprintf("metric: LpNorm on vectors of dim %d and %d", len(va.Coords), len(vb.Coords)))
+	}
+	if t < 0 {
+		return 0, false
+	}
+	switch {
+	case l.P == 2:
+		budget := t * t * rootSafetyMargin
+		var s float64
+		for i, c := range va.Coords {
+			d := c - vb.Coords[i]
+			s += d * d
+			if i&(strideCheck-1) == strideCheck-1 && s > budget {
+				return s, false
+			}
+		}
+		d := math.Sqrt(s)
+		return d, d <= t
+	case l.P == 1:
+		// The sum is the distance: no root, no margin needed.
+		var s float64
+		for i, c := range va.Coords {
+			s += math.Abs(c - vb.Coords[i])
+			if i&(strideCheck-1) == strideCheck-1 && s > t {
+				return s, false
+			}
+		}
+		return s, s <= t
+	default:
+		p, ok := l.intP()
+		if !ok {
+			// Non-integer order: no cheap power, evaluate exactly.
+			d := l.Distance(a, b)
+			return d, d <= t
+		}
+		budget := intPow(t, p) * rootSafetyMargin
+		var s float64
+		for i, c := range va.Coords {
+			s += intPow(math.Abs(c-vb.Coords[i]), p)
+			if i&(strideCheck-1) == strideCheck-1 && s > budget {
+				return s, false
+			}
+		}
+		d := math.Pow(s, 1/l.P)
+		return d, d <= t
+	}
+}
+
+// strideCheck is how often (in coordinates) the bounded Lp kernels test the
+// partial sum against the budget. A power of two: the test compiles to a
+// mask. Checking every coordinate would cost a branch per flop; every 4th
+// keeps the overhead negligible while abandoning nearly as early.
+const strideCheck = 4
+
+// rootSafetyMargin inflates the powered budget t^p by 1+1e-12 before the
+// abandon comparison. The final root (Sqrt or Pow) rounds to ~1 ulp (~1e-16
+// relative), so a partial sum within the margin of t^p could still round to
+// a distance exactly equal to t; the margin — orders of magnitude wider than
+// any rounding — forces such near-boundary candidates down the exact path
+// instead of abandoning them.
+const rootSafetyMargin = 1 + 1e-12
+
+// intP reports l.P as a small positive integer exponent, if it is one.
+func (l LpNorm) intP() (int, bool) {
+	p := int(l.P)
+	if float64(p) == l.P && p >= 1 && p <= 64 {
+		return p, true
+	}
+	return 0, false
+}
+
+// intPow raises x to the non-negative integer power p by binary
+// exponentiation — for L5, three multiplications instead of a math.Pow call.
+// Both the exact and bounded Lp paths use it, so their per-coordinate terms
+// are bit-identical.
+func intPow(x float64, p int) float64 {
+	r := 1.0
+	for p > 0 {
+		if p&1 == 1 {
+			r *= x
+		}
+		x *= x
+		p >>= 1
+	}
+	return r
 }
 
 // MaxDistance returns d+ = Scale * Dim^(1/P), the diameter of the cube.
@@ -151,6 +265,30 @@ func (l LInf) Distance(a, b Object) float64 {
 	return m
 }
 
+// DistanceAtMost implements BoundedDistanceFunc: the running maximum only
+// grows, so the first coordinate gap exceeding t proves the distance does
+// too and the scan stops.
+func (l LInf) DistanceAtMost(a, b Object, t float64) (float64, bool) {
+	va, ok := a.(*Vector)
+	if !ok {
+		panic(badType("LInf", "*Vector", a))
+	}
+	vb, ok := b.(*Vector)
+	if !ok {
+		panic(badType("LInf", "*Vector", b))
+	}
+	var m float64
+	for i, c := range va.Coords {
+		if d := math.Abs(c - vb.Coords[i]); d > m {
+			m = d
+			if m > t {
+				return m, false
+			}
+		}
+	}
+	return m, m <= t
+}
+
 // MaxDistance returns the cube's L∞ diameter, Scale.
 func (l LInf) MaxDistance() float64 { return l.Scale }
 
@@ -161,7 +299,9 @@ func (l LInf) Discrete() bool { return false }
 func (l LInf) Name() string { return "Linf" }
 
 var (
-	_ DistanceFunc = LpNorm{}
-	_ DistanceFunc = LInf{}
-	_ Codec        = VectorCodec{}
+	_ DistanceFunc        = LpNorm{}
+	_ BoundedDistanceFunc = LpNorm{}
+	_ DistanceFunc        = LInf{}
+	_ BoundedDistanceFunc = LInf{}
+	_ Codec               = VectorCodec{}
 )

@@ -172,6 +172,11 @@ type (
 	// DistanceFunc is a metric (symmetric, non-negative, identity,
 	// triangle inequality).
 	DistanceFunc = metric.DistanceFunc
+	// BoundedDistanceFunc is a DistanceFunc with a threshold-aware kernel
+	// (DistanceAtMost) that may abandon an evaluation once the distance
+	// provably exceeds the caller's bound; trees use it automatically
+	// throughout verification. See metric.BoundedDistanceFunc.
+	BoundedDistanceFunc = metric.BoundedDistanceFunc
 	// Codec decodes objects from their serialized payloads.
 	Codec = metric.Codec
 
@@ -209,6 +214,17 @@ type (
 	SeqCodec = metric.SeqCodec
 	// SetCodec decodes Set payloads.
 	SetCodec = metric.SetCodec
+)
+
+// Threshold-aware evaluation helpers.
+var (
+	// DistanceAtMost evaluates fn's distance under bound t, through the
+	// metric's threshold-aware kernel when it implements one and exactly
+	// otherwise. See metric.DistanceAtMost.
+	DistanceAtMost = metric.DistanceAtMost
+	// IsBounded reports whether a DistanceFunc implements a threshold-aware
+	// kernel. See metric.IsBounded.
+	IsBounded = metric.IsBounded
 )
 
 // Object constructors.
