@@ -10,7 +10,7 @@
 //	spbbench -n 20000 -q 100 all
 //
 // Experiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 all
+// fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 all
 //
 // pr4 compares serial and parallel verification (see DESIGN.md §9) and
 // enforces the engine's invariants; with -json FILE it writes the
@@ -20,6 +20,12 @@
 // pr5 compares the threshold-aware distance kernels (DESIGN.md §10) against
 // pre-kernel evaluation on the same persisted index and enforces the kernel
 // layer's byte-identity invariants; with -json FILE it writes BENCH_PR5.json.
+//
+// pr6 exercises the durable write path (DESIGN.md §11): mixed read/write
+// workloads (95/5 and 50/50) on Words and DNAEdit reporting acked-write
+// latency percentiles, read-latency degradation versus an all-read baseline,
+// the WAL's group-commit batching ratio, and acked writes/sec versus writer
+// fan-in with fsync on and off; with -json FILE it writes BENCH_PR6.json.
 package main
 
 import (
@@ -39,8 +45,8 @@ func main() {
 	flag.IntVar(&cfg.n, "n", 10000, "dataset cardinality (the paper uses 112K-1M)")
 	flag.IntVar(&cfg.queries, "q", 50, "measured queries per point (the paper uses 500)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "dataset and pivot-selection seed")
-	flag.IntVar(&cfg.workers, "workers", 0, "pr4/pr5: parallel-mode verifier pool size (0 = 8)")
-	flag.StringVar(&cfg.jsonPath, "json", "", "pr4/pr5: write a machine-readable report to this file")
+	flag.IntVar(&cfg.workers, "workers", 0, "pr4/pr5: parallel-mode verifier pool size; pr6: harness goroutines (0 = 8)")
+	flag.StringVar(&cfg.jsonPath, "json", "", "pr4/pr5/pr6: write a machine-readable report to this file")
 	flag.StringVar(&debugAddr, "debugaddr", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	flag.Parse()
 	cfg.out = os.Stdout
@@ -56,7 +62,7 @@ func main() {
 
 	if flag.NArg() == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nexperiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 all")
+		fmt.Fprintln(os.Stderr, "\nexperiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 all")
 		os.Exit(2)
 	}
 
@@ -80,9 +86,10 @@ func main() {
 		"forest":   forestExp,
 		"pr4":      pr4,
 		"pr5":      pr5,
+		"pr6":      pr6,
 	}
 	order := []string{"table2", "table4", "fig9", "fig10", "table5", "fig11",
-		"table6", "table7", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "forest", "pr4", "pr5"}
+		"table6", "table7", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "forest", "pr4", "pr5", "pr6"}
 
 	var names []string
 	for _, arg := range flag.Args() {

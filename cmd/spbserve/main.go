@@ -1,18 +1,23 @@
 // Command spbserve serves a persisted SPB-tree index over HTTP: range, kNN,
 // approximate kNN and similarity-join queries with per-request deadlines,
-// bounded concurrency with admission control, and per-endpoint metrics on
-// /debug/vars. See the README's "Serving" section for a curl walkthrough.
+// insert/delete on durable indexes, bounded concurrency with admission
+// control, and per-endpoint metrics on /debug/vars. See the README's
+// "Serving" section for a curl walkthrough.
 //
 // Usage:
 //
 //	spbserve -dir INDEXDIR [-addr :8080] [-workers N] [-queue N]
-//	         [-query-workers K] [-timeout 5s] [-max-timeout 60s]
+//	         [-query-workers K] [-timeout 5s] [-max-timeout 60s] [-nosync]
 //	spbserve -demo 50000 [-dim 8] [-addr :8080]
 //
 // -dir serves an index directory written by "spbtool build" (the directory's
-// config.json supplies the metric). -demo builds a transient in-memory index
-// over uniform random vectors on a Z-order curve (so /v1/join works) — handy
-// for trying the API without building an index first.
+// config.json supplies the metric). A durable directory (spbtool build
+// -durable) reopens through crash recovery — the WAL tail beyond the last
+// checkpoint is replayed, so every acknowledged write survives kill -9 — and
+// serves POST /v1/insert and /v1/delete; a plain directory is read-only
+// (writes answer 403). -demo builds a transient in-memory index over uniform
+// random vectors on a Z-order curve (so /v1/join works) — handy for trying
+// the API without building an index first.
 //
 // -workers bounds concurrent queries (admission control); -query-workers is
 // the per-query verifier pool of the parallel execution engine (0 = the
@@ -55,34 +60,49 @@ type serveConfig struct {
 	MaxLen int    `json:"maxlen,omitempty"`
 }
 
-// resolve returns the metric, codec and query parser for a persisted config.
-func (cfg serveConfig) resolve() (metric.DistanceFunc, metric.Codec, server.ParseQueryFunc, error) {
+// parsers bundles the request parsers derived from a persisted config: one
+// for query objects (reserved id) and one for insert/delete objects (caller
+// id).
+type parsers struct {
+	query server.ParseQueryFunc
+	obj   server.ParseObjectFunc
+}
+
+// lineParsers derives both parsers from one line-parsing function.
+func lineParsers(parse func(id uint64, line string) (metric.Object, error)) parsers {
+	return parsers{query: server.TextParser(parse), obj: server.TextObjects(parse)}
+}
+
+// resolve returns the metric, codec and request parsers for a persisted
+// config.
+func (cfg serveConfig) resolve() (metric.DistanceFunc, metric.Codec, parsers, error) {
 	switch cfg.Type {
 	case "vectors":
 		if cfg.Dim <= 0 {
-			return nil, nil, nil, fmt.Errorf("config.json: vectors need dim")
+			return nil, nil, parsers{}, fmt.Errorf("config.json: vectors need dim")
 		}
-		return metric.L2(cfg.Dim), metric.VectorCodec{Dim: cfg.Dim}, server.VectorParser(cfg.Dim), nil
+		return metric.L2(cfg.Dim), metric.VectorCodec{Dim: cfg.Dim},
+			parsers{query: server.VectorParser(cfg.Dim), obj: server.VectorObjects(cfg.Dim)}, nil
 	case "words":
 		maxLen := cfg.MaxLen
 		if maxLen == 0 {
 			maxLen = 64
 		}
 		return metric.EditDistance{MaxLen: maxLen}, metric.StrCodec{},
-			server.TextParser(func(id uint64, line string) (metric.Object, error) {
+			lineParsers(func(id uint64, line string) (metric.Object, error) {
 				return metric.NewStr(id, line), nil
 			}), nil
 	case "dna":
 		return metric.TrigramAngular{}, metric.SeqCodec{},
-			server.TextParser(func(id uint64, line string) (metric.Object, error) {
+			lineParsers(func(id uint64, line string) (metric.Object, error) {
 				return metric.NewSeq(id, line), nil
 			}), nil
 	case "signatures":
 		if cfg.Width <= 0 {
-			return nil, nil, nil, fmt.Errorf("config.json: signatures need width")
+			return nil, nil, parsers{}, fmt.Errorf("config.json: signatures need width")
 		}
 		return metric.Hamming{Bytes: cfg.Width}, metric.BitStringCodec{Bytes: cfg.Width},
-			server.TextParser(func(id uint64, line string) (metric.Object, error) {
+			lineParsers(func(id uint64, line string) (metric.Object, error) {
 				b, err := hex.DecodeString(strings.TrimSpace(line))
 				if err != nil {
 					return nil, err
@@ -93,32 +113,42 @@ func (cfg serveConfig) resolve() (metric.DistanceFunc, metric.Codec, server.Pars
 				return metric.NewBitString(id, b), nil
 			}), nil
 	}
-	return nil, nil, nil, fmt.Errorf("config.json: unknown type %q (words|vectors|dna|signatures)", cfg.Type)
+	return nil, nil, parsers{}, fmt.Errorf("config.json: unknown type %q (words|vectors|dna|signatures)", cfg.Type)
 }
 
-// openDir loads the persisted index at dir along with its query parser.
-func openDir(dir string, queryWorkers int) (*core.Tree, server.ParseQueryFunc, error) {
+// openDir loads the persisted index at dir along with its request parsers. A
+// directory with a CURRENT file is a durable index (spbtool build -durable):
+// it reopens through the recovery path — WAL tail replayed into the delta,
+// compactor restarted — and serves the write endpoints. A plain index
+// directory loads read-only.
+func openDir(dir string, queryWorkers int, nosync bool) (*core.Tree, parsers, error) {
 	cj, err := os.ReadFile(filepath.Join(dir, "config.json"))
 	if err != nil {
-		return nil, nil, err
+		return nil, parsers{}, err
 	}
 	var cfg serveConfig
 	if err := json.Unmarshal(cj, &cfg); err != nil {
-		return nil, nil, fmt.Errorf("parse config.json: %w", err)
+		return nil, parsers{}, fmt.Errorf("parse config.json: %w", err)
 	}
-	dist, codec, parse, err := cfg.resolve()
+	dist, codec, ps, err := cfg.resolve()
 	if err != nil {
-		return nil, nil, err
+		return nil, parsers{}, err
 	}
-	tree, err := core.Load(dir, core.LoadOptions{Distance: dist, Codec: codec, Workers: queryWorkers})
+	lopts := core.LoadOptions{Distance: dist, Codec: codec, Workers: queryWorkers}
+	var tree *core.Tree
+	if _, serr := os.Stat(filepath.Join(dir, core.CurrentFile)); serr == nil {
+		tree, err = core.OpenDurable(dir, lopts, core.DurableOptions{NoSync: nosync})
+	} else {
+		tree, err = core.Load(dir, lopts)
+	}
 	if err != nil {
-		return nil, nil, err
+		return nil, parsers{}, err
 	}
-	return tree, parse, nil
+	return tree, ps, nil
 }
 
 // buildDemo builds a transient Z-order index over n uniform random vectors.
-func buildDemo(n, dim, queryWorkers int) (*core.Tree, server.ParseQueryFunc, error) {
+func buildDemo(n, dim, queryWorkers int) (*core.Tree, parsers, error) {
 	rng := rand.New(rand.NewSource(1))
 	objs := make([]metric.Object, n)
 	for i := range objs {
@@ -135,9 +165,9 @@ func buildDemo(n, dim, queryWorkers int) (*core.Tree, server.ParseQueryFunc, err
 		Workers:  queryWorkers,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, parsers{}, err
 	}
-	return tree, server.VectorParser(dim), nil
+	return tree, parsers{query: server.VectorParser(dim), obj: server.VectorObjects(dim)}, nil
 }
 
 func run() error {
@@ -151,17 +181,18 @@ func run() error {
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on request-supplied deadlines")
 	drainWait := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	nosync := flag.Bool("nosync", false, "skip WAL fsyncs on durable indexes (crash-unsafe; benchmarks only)")
 	flag.Parse()
 
 	var tree *core.Tree
-	var parse server.ParseQueryFunc
+	var ps parsers
 	var err error
 	switch {
 	case *demo > 0:
 		fmt.Fprintf(os.Stderr, "building demo index: %d vectors, dim %d\n", *demo, *dim)
-		tree, parse, err = buildDemo(*demo, *dim, *queryWorkers)
+		tree, ps, err = buildDemo(*demo, *dim, *queryWorkers)
 	case *dir != "":
-		tree, parse, err = openDir(*dir, *queryWorkers)
+		tree, ps, err = openDir(*dir, *queryWorkers, *nosync)
 	default:
 		return errors.New("spbserve needs -dir or -demo (see -h)")
 	}
@@ -172,7 +203,8 @@ func run() error {
 
 	srv, err := server.New(server.Config{
 		Tree:           tree,
-		ParseQuery:     parse,
+		ParseQuery:     ps.query,
+		ParseObject:    ps.obj,
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
@@ -186,8 +218,16 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serving %d objects (%s curve) on %s\n",
-		tree.Len(), tree.CurveKind(), *addr)
+	mode := "read-only"
+	if tree.Durable() {
+		mode = "durable (writes enabled"
+		if *nosync {
+			mode += ", nosync"
+		}
+		mode += ")"
+	}
+	fmt.Fprintf(os.Stderr, "serving %d objects (%s curve, %s) on %s\n",
+		tree.Len(), tree.CurveKind(), mode, *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -10,6 +10,13 @@
 //	spbtool stats -dir idx -type words
 //	spbtool verify -dir idx
 //	spbtool repair -dir idx
+//	spbtool build -dir idx -type words -in words.txt -durable
+//	spbtool wal inspect -dir idx
+//	spbtool wal replay -dir idx -after 100
+//
+// -durable builds the generation/WAL layout (DESIGN.md §11) whose index
+// accepts crash-safe inserts and deletes when served by spbserve; the wal
+// subcommands examine such an index's write-ahead log.
 package main
 
 import (
@@ -35,6 +42,8 @@ func main() {
 		err = cmdVerify(os.Args[2:], os.Stdout)
 	case "repair":
 		err = cmdRepair(os.Args[2:], os.Stdout)
+	case "wal":
+		err = cmdWAL(os.Args[2:], os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
@@ -49,14 +58,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: spbtool <build|query|stats|verify|repair> [flags]
+	fmt.Fprintln(os.Stderr, `usage: spbtool <build|query|stats|verify|repair|wal> [flags]
 
   build  -dir DIR -type {words|vectors|dna|signatures} [-dim D] -in FILE
-         [-pivots N] [-curve {hilbert|zorder}]
+         [-pivots N] [-curve {hilbert|zorder}] [-durable]
   query  -dir DIR (-r RADIUS | -k K) -q QUERY [-stats] [-debugaddr ADDR]
   stats  -dir DIR [-probe] [-debugaddr ADDR]
   verify -dir DIR    audit every page, record and invariant; list corruptions
   repair -dir DIR    rebuild the index from the objects that survive
+  wal    inspect|replay -dir DIR   examine a durable index's write-ahead log
 
 -stats prints the query's per-stage breakdown (pruning counts, compdists,
 index/data page accesses, stage wall clocks — see DESIGN.md §7); -debugaddr

@@ -136,6 +136,7 @@ func cmdBuild(args []string, out io.Writer) error {
 	pivots := fs.Int("pivots", 0, "number of pivots (0 = default 5)")
 	curve := fs.String("curve", "hilbert", "SFC: hilbert|zorder")
 	maxObjects := fs.Int("max", 0, "cap the number of indexed lines (0 = all)")
+	durable := fs.Bool("durable", false, "build a durable index (WAL + generations) that accepts crash-safe inserts/deletes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -179,40 +180,57 @@ func cmdBuild(args []string, out io.Writer) error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	idx, err := page.NewFileStore(filepath.Join(*dir, indexFile))
-	if err != nil {
-		return err
-	}
-	data, err := page.NewFileStore(filepath.Join(*dir, dataFile))
-	if err != nil {
-		idx.Close()
-		return err
-	}
-
 	kindCurve := sfc.Hilbert
 	if *curve == "zorder" {
 		kindCurve = sfc.ZOrder
 	}
 	start := time.Now()
-	tree, err := core.Build(objs, core.Options{
-		Distance:   k.dist,
-		Codec:      k.codec,
-		NumPivots:  *pivots,
-		Curve:      kindCurve,
-		IndexStore: idx,
-		DataStore:  data,
-	})
-	if err != nil {
-		idx.Close()
-		data.Close()
-		return err
-	}
-	if err := tree.SaveAtomic(*dir); err != nil {
-		tree.Close()
-		return err
-	}
-	if err := tree.Close(); err != nil {
-		return err
+	var tree *core.Tree
+	if *durable {
+		// CreateDurable owns the generation layout and its page stores; the
+		// WAL is created empty next to generation 1.
+		tree, err = core.CreateDurable(*dir, objs, core.Options{
+			Distance:  k.dist,
+			Codec:     k.codec,
+			NumPivots: *pivots,
+			Curve:     kindCurve,
+		}, core.DurableOptions{})
+		if err != nil {
+			return err
+		}
+		if err := tree.Close(); err != nil {
+			return err
+		}
+	} else {
+		idx, err := page.NewFileStore(filepath.Join(*dir, indexFile))
+		if err != nil {
+			return err
+		}
+		data, err := page.NewFileStore(filepath.Join(*dir, dataFile))
+		if err != nil {
+			idx.Close()
+			return err
+		}
+		tree, err = core.Build(objs, core.Options{
+			Distance:   k.dist,
+			Codec:      k.codec,
+			NumPivots:  *pivots,
+			Curve:      kindCurve,
+			IndexStore: idx,
+			DataStore:  data,
+		})
+		if err != nil {
+			idx.Close()
+			data.Close()
+			return err
+		}
+		if err := tree.SaveAtomic(*dir); err != nil {
+			tree.Close()
+			return err
+		}
+		if err := tree.Close(); err != nil {
+			return err
+		}
 	}
 	cj, err := json.MarshalIndent(cfg, "", "  ")
 	if err != nil {
@@ -221,9 +239,13 @@ func cmdBuild(args []string, out io.Writer) error {
 	if err := os.WriteFile(filepath.Join(*dir, configFile), cj, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "indexed %d objects in %v: %d pivots, %s curve, %.1f KB\n",
+	layout := "static"
+	if *durable {
+		layout = "durable"
+	}
+	fmt.Fprintf(out, "indexed %d objects in %v: %d pivots, %s curve, %s layout, %.1f KB\n",
 		tree.Len(), time.Since(start).Round(time.Millisecond),
-		len(tree.Pivots()), tree.CurveKind(), float64(tree.StorageBytes())/1024)
+		len(tree.Pivots()), tree.CurveKind(), layout, float64(tree.StorageBytes())/1024)
 	return nil
 }
 
@@ -241,13 +263,21 @@ func dirKind(dir string) (kind, error) {
 }
 
 // openTree reopens a persisted index directory, validating the meta footer
-// and arming page checksums (core.Load).
+// and arming page checksums (core.Load). A durable directory (CURRENT file
+// present) reopens through core.OpenDurable, replaying the WAL tail so
+// queries see every acknowledged write.
 func openTree(dir string) (*core.Tree, kind, func(), error) {
 	k, err := dirKind(dir)
 	if err != nil {
 		return nil, kind{}, nil, err
 	}
-	tree, err := core.Load(dir, core.LoadOptions{Distance: k.dist, Codec: k.codec})
+	lopts := core.LoadOptions{Distance: k.dist, Codec: k.codec}
+	var tree *core.Tree
+	if _, serr := os.Stat(filepath.Join(dir, core.CurrentFile)); serr == nil {
+		tree, err = core.OpenDurable(dir, lopts, core.DurableOptions{})
+	} else {
+		tree, err = core.Load(dir, lopts)
+	}
 	if err != nil {
 		return nil, kind{}, nil, err
 	}

@@ -42,8 +42,8 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 	qs.Compdists += int64(n)
 	qs.stageAdd(&qs.PlanTime, st)
 
-	root, ok := t.bpt.Root()
-	if !ok {
+	root, rootOK := t.bpt.Root()
+	if !rootOK && !t.deltaActive() {
 		return nil, nil
 	}
 	if slots := t.workersFor(); slots > 0 {
@@ -58,10 +58,15 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 	boxHi := make(sfc.Point, n)
 	cell := make(sfc.Point, n)
 
-	t.curve.Decode(root.BoxLo, boxLo)
-	t.curve.Decode(root.BoxHi, boxHi)
-	pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
-	qs.HeapPushes++
+	if rootOK {
+		t.curve.Decode(root.BoxLo, boxLo)
+		t.curve.Decode(root.BoxHi, boxHi)
+		pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+		qs.HeapPushes++
+	}
+	if t.deltaActive() {
+		t.seedDeltaKNN(qvec, pq, cell, qs)
+	}
 
 	verified := 0
 	for pq.Len() > 0 && verified < maxVerify {
@@ -73,10 +78,15 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 			break
 		}
 		if !item.isNode {
-			if err := t.verifyKNN(ctx, q, res, item.val, qs); err != nil {
+			// A tombstone-shadowed base record verifies nothing and spends no
+			// budget; the serial and parallel budgeted searches agree on that.
+			counted, err := t.verifyKNN(ctx, q, res, item, qs)
+			if err != nil {
 				return res.sorted(), err
 			}
-			verified++
+			if counted {
+				verified++
+			}
 			continue
 		}
 		node, err := t.bpt.ReadNode(item.page)

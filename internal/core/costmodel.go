@@ -124,6 +124,25 @@ func (cm *costModel) observe(vec []float64, rng *rand.Rand) {
 
 func (cm *costModel) observeInsert(vec []float64) { cm.observe(vec, cm.rng) }
 
+// snapshot deep-copies the mutable distributions (the reservoir and the
+// histograms, which observeInsert mutates in place) so compaction can
+// serialize the model off-lock while mutators keep updating the original.
+// Build-time immutable fields (pairDists, precision) are shared.
+func (cm *costModel) snapshot() costModel {
+	cp := *cm
+	cp.rng = nil
+	cp.boxes = nil
+	cp.vecs = make([][]float64, len(cm.vecs))
+	for i, v := range cm.vecs {
+		cp.vecs[i] = append([]float64(nil), v...)
+	}
+	cp.hists = make([]histogram, len(cm.hists))
+	for i, h := range cm.hists {
+		cp.hists[i] = histogram{bins: append([]int(nil), h.bins...), width: h.width, total: h.total}
+	}
+	return cp
+}
+
 func (cm *costModel) markDirty() { cm.dirty = true }
 
 // snapshotBoxes walks the tree once and keeps every node's MBB as raw

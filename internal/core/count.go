@@ -14,7 +14,17 @@ import (
 // object bytes themselves are never needed — so both compdists *and* page
 // accesses drop. Aggregation pushdown, the way a DBMS integration would run
 // COUNT(*) ... WHERE d(q, o) <= r.
+//
+// On a durable tree with a live write buffer the read-free Lemma-2 shortcut
+// is suspended for base entries: whether a record is superseded (tombstoned
+// or re-inserted) is known only from its object ID, which lives in the RAF —
+// the count is exact either way, but those entries cost a page read.
 func (t *Tree) RangeCount(q metric.Object, r float64) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return 0, ErrClosed
+	}
 	if r < 0 {
 		return 0, nil
 	}
@@ -28,51 +38,83 @@ func (t *Tree) RangeCount(q metric.Object, r float64) (int, error) {
 	if sfc.BoxVolume(rrLo, rrHi) == 0 {
 		return 0, nil
 	}
-	root, ok := t.bpt.Root()
-	if !ok {
-		return 0, nil
-	}
 
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
 	cell := make(sfc.Point, n)
+	deltaLive := t.deltaActive()
 
 	count := 0
-	stack := []pageRef{{page: root.Page, boxLo: root.BoxLo, boxHi: root.BoxHi}}
-	for len(stack) > 0 {
-		ref := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		t.curve.Decode(ref.boxLo, boxLo)
-		t.curve.Decode(ref.boxHi, boxHi)
-		if !sfc.Intersects(rrLo, rrHi, boxLo, boxHi) {
-			continue
-		}
-		node, err := t.bpt.ReadNode(ref.page)
-		if err != nil {
-			return 0, err
-		}
-		if !node.Leaf {
-			for _, c := range node.Children {
-				stack = append(stack, pageRef{page: c.Page, boxLo: c.BoxLo, boxHi: c.BoxHi})
+	if root, ok := t.bpt.Root(); ok {
+		stack := []pageRef{{page: root.Page, boxLo: root.BoxLo, boxHi: root.BoxHi}}
+		for len(stack) > 0 {
+			ref := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			t.curve.Decode(ref.boxLo, boxLo)
+			t.curve.Decode(ref.boxHi, boxHi)
+			if !sfc.Intersects(rrLo, rrHi, boxLo, boxHi) {
+				continue
 			}
-			continue
+			node, err := t.bpt.ReadNode(ref.page)
+			if err != nil {
+				return 0, err
+			}
+			if !node.Leaf {
+				for _, c := range node.Children {
+					stack = append(stack, pageRef{page: c.Page, boxLo: c.BoxLo, boxHi: c.BoxHi})
+				}
+				continue
+			}
+			for i := range node.Keys {
+				t.curve.Decode(node.Keys[i], cell)
+				if !sfc.Contains(rrLo, rrHi, cell) {
+					continue // Lemma 1
+				}
+				var obj metric.Object
+				if deltaLive {
+					// The shadow check needs the ID, so the read is mandatory.
+					var err error
+					obj, err = t.raf.Read(node.Vals[i])
+					if err != nil {
+						return 0, err
+					}
+					if t.deltaShadowed(obj.ID()) {
+						continue
+					}
+				}
+				if !t.noLemma2 {
+					if _, ok := t.lemma2Bound(qvec, cell, r); ok {
+						count++ // Lemma 2: no distance computation needed
+						continue
+					}
+				}
+				if obj == nil {
+					var err error
+					obj, err = t.raf.Read(node.Vals[i])
+					if err != nil {
+						return 0, err
+					}
+				}
+				if _, within := t.verifyDist(q, obj, r); within {
+					count++
+				}
+			}
 		}
-		for i := range node.Keys {
-			t.curve.Decode(node.Keys[i], cell)
+	}
+	// Buffered inserts run the same per-entry pipeline.
+	if deltaLive {
+		for _, e := range t.deltaEntriesSorted() {
+			t.curve.Decode(e.key, cell)
 			if !sfc.Contains(rrLo, rrHi, cell) {
 				continue // Lemma 1
 			}
 			if !t.noLemma2 {
 				if _, ok := t.lemma2Bound(qvec, cell, r); ok {
-					count++ // Lemma 2: counted without any I/O
+					count++
 					continue
 				}
 			}
-			obj, err := t.raf.Read(node.Vals[i])
-			if err != nil {
-				return 0, err
-			}
-			if _, within := t.verifyDist(q, obj, r); within {
+			if _, within := t.verifyDist(q, e.obj, r); within {
 				count++
 			}
 		}

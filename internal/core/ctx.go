@@ -76,6 +76,9 @@ func (t *Tree) RangeSearchWithStatsCtx(ctx context.Context, q metric.Object, r f
 func (t *Tree) runRange(ctx context.Context, q metric.Object, r float64, qs *QueryStats) ([]Result, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
 	qt := t.beginQuery(qs)
 	res, err := t.rangeQuery(ctx, q, r, qs)
 	qt.finish(len(res), err)
@@ -102,6 +105,9 @@ func (t *Tree) KNNWithStatsCtx(ctx context.Context, q metric.Object, k int) ([]R
 func (t *Tree) runKNN(ctx context.Context, q metric.Object, k int, qs *QueryStats) ([]Result, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
 	qt := t.beginQuery(qs)
 	res, err := t.knn(ctx, q, k, qs)
 	qt.finish(len(res), err)
@@ -133,6 +139,9 @@ func (t *Tree) KNNApproxWithStatsCtx(ctx context.Context, q metric.Object, k, ma
 func (t *Tree) runKNNApprox(ctx context.Context, q metric.Object, k, maxVerify int, qs *QueryStats) ([]Result, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
 	qt := t.beginQuery(qs)
 	res, err := t.knnApprox(ctx, q, k, maxVerify, qs)
 	qt.finish(len(res), err)
@@ -159,6 +168,9 @@ func JoinWithStatsCtx(ctx context.Context, tq, to *Tree, eps float64) ([]JoinPai
 func runJoin(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats) ([]JoinPair, error) {
 	unlock := rlockPair(tq, to)
 	defer unlock()
+	if tq.closed || to.closed {
+		return nil, ErrClosed
+	}
 	var beforeTo ioSnapshot
 	if to != tq {
 		beforeTo = to.takeIOSnapshot()

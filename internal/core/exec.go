@@ -162,24 +162,27 @@ type rangeSerial struct {
 
 func (s *rangeSerial) add(key, val uint64, cell sfc.Point) error {
 	t, qs := s.t, s.qs
-	if !t.noLemma2 {
-		if ub, ok := t.lemma2Bound(s.qvec, cell, s.r); ok {
-			st := qs.stageStart()
-			obj, err := t.raf.Read(val)
-			qs.stageAdd(&qs.VerifyTime, st)
-			if err != nil {
-				return err
-			}
-			qs.Lemma2Included++
-			s.results = append(s.results, Result{Object: obj, Dist: ub, Exact: false})
-			return nil
-		}
-	}
 	st := qs.stageStart()
 	obj, err := t.raf.Read(val)
 	if err != nil {
 		qs.stageAdd(&qs.VerifyTime, st)
 		return err
+	}
+	if t.deltaShadowed(obj.ID()) {
+		// The write buffer supersedes this base record (tombstone or newer
+		// version); the delta pass reports the live one, if any. The page
+		// read already happened — what the skip saves is the distance work.
+		qs.stageAdd(&qs.VerifyTime, st)
+		qs.TombstonesSkipped++
+		return nil
+	}
+	if !t.noLemma2 {
+		if ub, ok := t.lemma2Bound(s.qvec, cell, s.r); ok {
+			qs.stageAdd(&qs.VerifyTime, st)
+			qs.Lemma2Included++
+			s.results = append(s.results, Result{Object: obj, Dist: ub, Exact: false})
+			return nil
+		}
 	}
 	d, within := t.verifyDist(s.q, obj, s.r)
 	qs.stageAdd(&qs.VerifyTime, st)
@@ -230,15 +233,16 @@ type rangeExec struct {
 
 // rangeWorker is one verifier's counter shard and result slice.
 type rangeWorker struct {
-	results    []Result
-	lemma2     int64
-	verified   int64
-	discarded  int64
-	abandoned  int64
-	compdists  int64
-	verifyTime time.Duration
-	errSeq     int64
-	err        error
+	results     []Result
+	lemma2      int64
+	verified    int64
+	discarded   int64
+	abandoned   int64
+	compdists   int64
+	tombSkipped int64
+	verifyTime  time.Duration
+	errSeq      int64
+	err         error
 }
 
 func (t *Tree) newRangeExec(ctx context.Context, q metric.Object, qvec []float64, r float64, qs *QueryStats, slots int) *rangeExec {
@@ -293,6 +297,7 @@ func (e *rangeExec) finish() ([]Result, error) {
 		qs.Discarded += w.discarded
 		qs.Abandoned += w.abandoned
 		qs.Compdists += w.compdists
+		qs.TombstonesSkipped += w.tombSkipped
 		qs.VerifyTime += w.verifyTime
 		if w.err != nil && w.errSeq < errSeq {
 			firstErr, errSeq = w.err, w.errSeq
@@ -361,6 +366,14 @@ func (e *rangeExec) runBatch(w *rangeWorker, cands []rangeCand, cell sfc.Point, 
 // Lemma 2 inclusion or a distance computation, into the worker's shard.
 func (e *rangeExec) verifyOne(w *rangeWorker, c rangeCand, obj metric.Object, plen int, cell sfc.Point) {
 	t := e.t
+	if t.deltaShadowed(obj.ID()) {
+		// Superseded by the write buffer; the serial sink skips it after the
+		// same read. Safe off the query goroutine: the buffer only mutates
+		// under the write lock, excluded for the query's whole lifetime.
+		t.raf.EmitRecordRead(c.val, plen)
+		w.tombSkipped++
+		return
+	}
 	t.curve.Decode(c.key, cell)
 	if !t.noLemma2 {
 		if ub, ok := t.lemma2Bound(e.qvec, cell, e.r); ok {
@@ -398,10 +411,13 @@ func (e *rangeExec) fail(w *rangeWorker, seq int64, err error) {
 // kNN queries (ordered-commit replay)
 // ---------------------------------------------------------------------------
 
-// knnCand is one admitted leaf entry: its MIND lower bound and RAF offset.
+// knnCand is one admitted candidate: its MIND lower bound and RAF offset. A
+// non-nil obj marks a buffered-insert candidate from the write buffer — the
+// object is already in memory, so verification skips the RAF read.
 type knnCand struct {
 	mind float64
 	val  uint64
+	obj  metric.Object
 }
 
 // knnJob carries consecutively sequenced candidates (a greedy leaf batch, or
@@ -422,7 +438,8 @@ type knnVerdict struct {
 	obj    metric.Object
 	d      float64
 	within bool
-	plen   int
+	tomb   bool // base record superseded by the write buffer: skip, no verify
+	plen   int  // -1 marks a write-buffer candidate (no RAF read happened)
 	dur    time.Duration
 	err    error
 }
@@ -470,6 +487,8 @@ type knnExec struct {
 	compdists      int64
 	abandoned      int64
 	prunedAtCommit int64
+	tombSkipped    int64
+	deltaCands     int64
 	verifyTime     time.Duration
 }
 
@@ -547,9 +566,23 @@ func (ex *knnExec) worker() {
 		live = live[:0]
 		bound := ex.bound()
 		for i, it := range job.items {
-			if it.mind >= bound {
+			switch {
+			case it.mind >= bound:
 				ex.submit(job.seq+int64(i), knnVerdict{mind: it.mind, val: it.val})
-			} else {
+			case it.obj != nil:
+				// Write-buffer candidate: the object is in memory, so the
+				// verdict is just the speculative distance.
+				v := knnVerdict{mind: it.mind, val: it.val, obj: it.obj, plen: -1}
+				var st time.Time
+				if ex.timed {
+					st = time.Now()
+				}
+				v.d, v.within = ex.probe(it.obj)
+				if ex.timed {
+					v.dur = time.Since(st)
+				}
+				ex.submit(job.seq+int64(i), v)
+			default:
 				live = append(live, i)
 			}
 		}
@@ -565,6 +598,8 @@ func (ex *knnExec) worker() {
 			v := knnVerdict{mind: it.mind, val: it.val}
 			if obj, plen, err := t.raf.ReadQuiet(it.val); err != nil {
 				v.err = err
+			} else if t.deltaShadowed(obj.ID()) {
+				v.obj, v.plen, v.tomb = obj, plen, true
 			} else {
 				v.obj, v.plen = obj, plen
 				v.d, v.within = ex.probe(obj)
@@ -592,6 +627,8 @@ func (ex *knnExec) worker() {
 				v := knnVerdict{mind: it.mind, val: it.val}
 				if obj, plen, rerr := t.raf.ReadQuiet(it.val); rerr != nil {
 					v.err = rerr
+				} else if t.deltaShadowed(obj.ID()) {
+					v.obj, v.plen, v.tomb = obj, plen, true
 				} else {
 					v.obj, v.plen = obj, plen
 					v.d, v.within = ex.probe(obj)
@@ -606,7 +643,11 @@ func (ex *knnExec) worker() {
 		for bi, i := range live {
 			it := job.items[i]
 			v := knnVerdict{mind: it.mind, val: it.val, obj: objs[bi], plen: plens[bi]}
-			v.d, v.within = ex.probe(objs[bi])
+			if t.deltaShadowed(objs[bi].ID()) {
+				v.tomb = true
+			} else {
+				v.d, v.within = ex.probe(objs[bi])
+			}
 			if ex.timed && bi == len(live)-1 {
 				v.dur = time.Since(st)
 			}
@@ -668,11 +709,23 @@ func (ex *knnExec) commitLocked(v knnVerdict) {
 		ex.terminate()
 		return
 	}
+	if v.tomb {
+		// Superseded base record: serial execution skips it right after the
+		// read, before any distance work — it consumes no verification (and
+		// no approximate-search budget), only the page read it already cost.
+		ex.t.raf.EmitRecordRead(v.val, v.plen)
+		ex.tombSkipped++
+		return
+	}
 	ex.verified++
 	ex.compdists++
 	ex.t.dist.Add(1)
 	ex.verifyTime += v.dur
-	ex.t.raf.EmitRecordRead(v.val, v.plen)
+	if v.plen >= 0 {
+		ex.t.raf.EmitRecordRead(v.val, v.plen)
+	} else {
+		ex.deltaCands++
+	}
 	ex.committed++
 	// Replay the serial bounded decision at this slot's bound. A probe that
 	// completed but whose distance now exceeds the (possibly tighter) commit
@@ -704,6 +757,8 @@ func (ex *knnExec) finish() ([]Result, error) {
 	qs.Compdists += ex.compdists
 	qs.Abandoned += ex.abandoned
 	qs.EntriesPruned += ex.prunedAtCommit
+	qs.TombstonesSkipped += ex.tombSkipped
+	qs.DeltaCandidates += ex.deltaCands
 	qs.VerifyTime += ex.verifyTime
 	out := ex.res.sorted()
 	qs.Discarded = qs.Verified - int64(len(out))
@@ -719,25 +774,36 @@ func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64,
 	greedy := t.traversal == Greedy && budget < 0
 	ex := t.newKNNExec(ctx, q, k, qs, slots, budget, greedy)
 
-	root, _ := t.bpt.Root()
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
 	cell := make(sfc.Point, n)
 	var leafBatch []knnCand
 
 	pq := &mindHeap{}
-	t.curve.Decode(root.BoxLo, boxLo)
-	t.curve.Decode(root.BoxHi, boxHi)
-	pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
-	qs.HeapPushes++
+	if root, ok := t.bpt.Root(); ok {
+		t.curve.Decode(root.BoxLo, boxLo)
+		t.curve.Decode(root.BoxHi, boxHi)
+		pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+		qs.HeapPushes++
+	}
+	deltaLive := t.deltaActive()
+	if deltaLive {
+		// Buffered inserts enter the same best-first frontier as base entries,
+		// carrying their objects so workers skip the RAF read.
+		t.seedDeltaKNN(qvec, pq, cell, qs)
+	}
 
 	var travErr error
 	for pq.Len() > 0 {
 		if ex.done.Load() {
 			break // committed termination, error, or exhausted budget
 		}
-		if budget >= 0 && ex.dispatched >= budget {
-			break // every remaining slot would exceed the budget
+		if budget >= 0 && ex.dispatched >= budget && !deltaLive {
+			// Every remaining slot would exceed the budget. With a live write
+			// buffer this shortcut is off: a dispatched candidate can turn out
+			// tombstoned and commit without consuming budget, so the committed
+			// check in commitLocked is the only exact gate.
+			break
 		}
 		if err := ctxDone(ctx); err != nil {
 			travErr = err
@@ -748,7 +814,7 @@ func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64,
 			break // Lemma 3 on the committed bound: never earlier than serial
 		}
 		if !item.isNode {
-			ex.dispatch(knnCand{mind: item.mind, val: item.val})
+			ex.dispatch(knnCand{mind: item.mind, val: item.val, obj: item.obj})
 			continue
 		}
 		node, err := t.bpt.ReadNode(item.page)

@@ -7,6 +7,7 @@ import (
 	"spbtree/internal/bptree"
 	"spbtree/internal/metric"
 	"spbtree/internal/sfc"
+	"spbtree/internal/wal"
 )
 
 // ErrNotFound is returned by Delete when the object is not indexed.
@@ -17,9 +18,21 @@ var ErrNotFound = errors.New("core: object not found")
 // (SFC, pointer) entry into the B+-tree. Inserted objects land at the RAF
 // tail rather than in SFC order; heavy churn therefore degrades clustering
 // until the index is rebuilt, the usual bulk-load-plus-deltas trade-off.
+//
+// On durable trees (CreateDurable/OpenDurable) Insert instead appends a WAL
+// record — returning only once the record is durable via group commit — and
+// buffers the object in memory until background compaction folds it into
+// the base; an insert with an already-live ID replaces that object
+// ("upsert"). Either way it returns ErrClosed after Close.
 func (t *Tree) Insert(o metric.Object) error {
+	if t.dur != nil {
+		return t.durableInsert(o)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
 	n := len(t.pivots)
 	vec := make([]float64, n)
 	t.phi(o, vec)
@@ -51,8 +64,14 @@ func (t *Tree) Insert(o metric.Object) error {
 // append-only, as in the paper's design where objects are compacted only on
 // rebuild).
 func (t *Tree) Delete(o metric.Object) error {
+	if t.dur != nil {
+		return t.durableDelete(o)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
 	n := len(t.pivots)
 	vec := make([]float64, n)
 	t.phi(o, vec)
@@ -84,16 +103,32 @@ func (t *Tree) Delete(o metric.Object) error {
 }
 
 // Get retrieves an indexed object by an exemplar with the same φ and ID, or
-// ErrNotFound. It exists mainly for tests and tools.
+// ErrNotFound. It exists mainly for tests and tools. On durable trees the
+// write buffer is consulted first, so Get sees buffered inserts and respects
+// tombstones.
 func (t *Tree) Get(o metric.Object) (metric.Object, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
 	n := len(t.pivots)
 	vec := make([]float64, n)
 	t.phi(o, vec)
 	cells := make(sfc.Point, n)
 	t.cells(vec, cells)
 	key := t.curve.Encode(cells)
+	if t.wbuf != nil {
+		if e, ok := t.wbuf.entries[o.ID()]; ok {
+			if e.key == key {
+				return e.obj, nil
+			}
+			return nil, fmt.Errorf("%w: id %d", ErrNotFound, o.ID())
+		}
+		if _, ok := t.wbuf.tombs[o.ID()]; ok {
+			return nil, fmt.Errorf("%w: id %d", ErrNotFound, o.ID())
+		}
+	}
 	for c := t.bpt.Seek(key); c.Valid() && c.Key() == key; c.Next() {
 		obj, err := t.raf.Read(c.Val())
 		if err != nil {
@@ -104,4 +139,123 @@ func (t *Tree) Get(o metric.Object) (metric.Object, error) {
 		}
 	}
 	return nil, fmt.Errorf("%w: id %d", ErrNotFound, o.ID())
+}
+
+// durableInsert is the WAL-backed Insert: validate and map the object under
+// the read lock (queries keep flowing), append the record and block for its
+// group commit, then fold it into the write buffer under the write lock.
+// The object is durable the moment Append acknowledges — a crash after that
+// point replays it on the next OpenDurable.
+func (t *Tree) durableInsert(o metric.Object) error {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return ErrClosed
+	}
+	n := len(t.pivots)
+	vec := make([]float64, n)
+	t.phi(o, vec)
+	if err := t.validateVec(o, vec); err != nil {
+		t.mu.RUnlock()
+		return err
+	}
+	cells := make(sfc.Point, n)
+	t.cells(vec, cells)
+	key := t.curve.Encode(cells)
+	d := t.dur
+	t.mu.RUnlock()
+
+	// The inflight fence spans LSN allocation through write-buffer apply, so
+	// a compaction snapshot never observes a gap below its watermark (see
+	// durableState.inflight).
+	d.inflight.RLock()
+	defer d.inflight.RUnlock()
+	lsn, err := d.log.Append(wal.RecInsert, encodeInsertPayload(o, key))
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		// The record is durable (Append succeeded before the log closed) but
+		// the in-memory tree is being torn down: report ErrClosed; replay
+		// applies the record on the next open.
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if err := t.applyInsertLocked(o, key, lsn); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.cm.observeInsert(vec)
+	t.cm.markDirty()
+	size := t.deltaSize()
+	t.mu.Unlock()
+	d.maybeCompact(size)
+	return nil
+}
+
+// durableDelete is the WAL-backed Delete: existence is checked up front so
+// deleting a missing object fails without a WAL record; racing deletes of
+// the same ID may both pass the check and log two tombstones, which apply
+// (and replay) idempotently.
+func (t *Tree) durableDelete(o metric.Object) error {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return ErrClosed
+	}
+	n := len(t.pivots)
+	vec := make([]float64, n)
+	t.phi(o, vec)
+	cells := make(sfc.Point, n)
+	t.cells(vec, cells)
+	key := t.curve.Encode(cells)
+	id := o.ID()
+	exists := false
+	if _, ok := t.wbuf.entries[id]; ok {
+		exists = true
+	} else if _, ok := t.wbuf.tombs[id]; !ok {
+		var err error
+		exists, err = t.baseHasLocked(key, id)
+		if err != nil {
+			t.mu.RUnlock()
+			return err
+		}
+	}
+	d := t.dur
+	t.mu.RUnlock()
+	if !exists {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+
+	// Same inflight fence as durableInsert: no unapplied LSN may sit below a
+	// compaction snapshot's watermark.
+	d.inflight.RLock()
+	defer d.inflight.RUnlock()
+	lsn, err := d.log.Append(wal.RecDelete, encodeDeletePayload(id, key))
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if err := t.applyDeleteLocked(id, key, lsn); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.cm.markDirty()
+	size := t.deltaSize()
+	t.mu.Unlock()
+	d.maybeCompact(size)
+	return nil
 }

@@ -29,18 +29,39 @@ func (t *Tree) NearestIter(q metric.Object) *NearestIter {
 // threshold-aware metric (DESIGN.md §10) each verification runs against the
 // limit so out-of-range objects abandon early. Objects at exactly the limit
 // are emitted. A +Inf limit is exactly NearestIter.
+//
+// On a durable tree the iterator pins the tree by holding its read lock from
+// creation until it is exhausted, fails, or is Closed — buffered inserts join
+// the scan and superseded base records are skipped, so the emitted sequence
+// matches a tree rebuilt over the live set. Consequently a goroutine may not
+// mutate the tree (Insert/Delete/CompactNow/Close) while it still holds an
+// unfinished durable iterator; call Close first. Iterators over non-durable
+// trees are lock-free, as before.
 func (t *Tree) NearestIterWithin(q metric.Object, limit float64) *NearestIter {
 	n := len(t.pivots)
 	it := &NearestIter{t: t, qvec: make([]float64, n), limit: limit}
-	t.phi(q, it.qvec)
 	it.q = q
 	it.boxLo = make(sfc.Point, n)
 	it.boxHi = make(sfc.Point, n)
 	it.cell = make(sfc.Point, n)
+	if t.dur != nil {
+		t.mu.RLock()
+		it.locked = true
+		if t.closed {
+			it.release()
+			it.err = ErrClosed
+			return it
+		}
+	}
+	t.phi(q, it.qvec)
 	if root, ok := t.bpt.Root(); ok {
 		t.curve.Decode(root.BoxLo, it.boxLo)
 		t.curve.Decode(root.BoxHi, it.boxHi)
 		it.pq.push(mindItem{mind: t.mindToBox(it.qvec, it.boxLo, it.boxHi), page: root.Page, isNode: true})
+	}
+	for _, e := range t.deltaEntriesSorted() {
+		t.curve.Decode(e.key, it.cell)
+		it.pq.push(mindItem{mind: t.mindToCell(it.qvec, it.cell), obj: e.obj})
 	}
 	return it
 }
@@ -57,11 +78,27 @@ type NearestIter struct {
 	verified resultHeap // computed but not yet emitted results
 
 	boxLo, boxHi, cell sfc.Point
+	locked             bool // holds t.mu.RLock (durable trees only)
 	err                error
 }
 
+// release drops the pinned read lock, once.
+func (it *NearestIter) release() {
+	if it.locked {
+		it.locked = false
+		it.t.mu.RUnlock()
+	}
+}
+
+// Close releases the tree read lock a durable-tree iterator holds, ending
+// the scan. It is idempotent, safe after exhaustion, and a no-op for
+// iterators over non-durable trees. Abandoning a durable iterator without
+// closing it blocks mutators and Close on the tree indefinitely.
+func (it *NearestIter) Close() { it.release() }
+
 // Next returns the next nearest object; ok is false when the index is
-// exhausted or an error occurred (check Err).
+// exhausted or an error occurred (check Err). Exhaustion and errors release
+// a durable iterator's lock automatically.
 func (it *NearestIter) Next() (res Result, ok bool) {
 	if it.err != nil {
 		return Result{}, false
@@ -72,6 +109,9 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 			return heap.Pop(&it.verified).(Result), true
 		}
 		if it.pq.Len() == 0 {
+			if len(it.verified) == 0 {
+				it.release()
+			}
 			return Result{}, false
 		}
 		item := it.pq.pop()
@@ -83,10 +123,18 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 			continue
 		}
 		if !item.isNode {
-			obj, err := it.t.raf.Read(item.val)
-			if err != nil {
-				it.err = err
-				return Result{}, false
+			obj := item.obj
+			if obj == nil {
+				var err error
+				obj, err = it.t.raf.Read(item.val)
+				if err != nil {
+					it.err = err
+					it.release()
+					return Result{}, false
+				}
+				if it.t.deltaShadowed(obj.ID()) {
+					continue // superseded by the write buffer
+				}
 			}
 			d, within := it.t.verifyDist(it.q, obj, it.limit)
 			if within {
@@ -97,6 +145,7 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 		node, err := it.t.bpt.ReadNode(item.page)
 		if err != nil {
 			it.err = err
+			it.release()
 			return Result{}, false
 		}
 		if !node.Leaf {

@@ -65,7 +65,61 @@ func joinImpl(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats) ([
 	if err == nil && travErr != nil && travErr != errStopTraversal {
 		err = travErr
 	}
+	if err == nil && (tq.deltaActive() || to.deltaActive()) {
+		pairs, err = joinDelta(ctx, tq, to, eps, qs, pairs)
+	}
 	return pairs, err
+}
+
+// joinDelta appends every join pair involving a buffered insert on either
+// side. The base merge above covered base-live × base-live (superseded
+// records were skipped at load); what remains decomposes without overlap as
+//
+//	rule 1:  tq.delta × live(to)            (live = base-live ∪ delta)
+//	rule 2:  base-live(tq) × to.delta
+//
+// each computed by running the buffered object as an internal range query
+// against the opposite tree — legal here because runJoin already holds both
+// trees' read locks — with rule 2 dropping hits that are themselves buffered
+// q-side inserts (already paired by rule 1). This covers self-joins too: both
+// orientations of a (buffered, base) pair appear, as in a full merge.
+//
+// Lemma-2 hits carry an upper bound, not a distance; join pairs always report
+// exact distances, so those are recomputed. The pairs are appended in
+// (buffered ID, hit ID) order after the merge pairs — JoinWithStats counters
+// for the delta portion reflect the internal range pipelines, not a merge.
+func joinDelta(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats, pairs []JoinPair) ([]JoinPair, error) {
+	exact := func(t *Tree, a, b metric.Object, r Result) float64 {
+		if r.Exact {
+			return r.Dist
+		}
+		qs.Compdists++
+		return t.dist.Distance(a, b)
+	}
+	for _, dq := range tq.deltaEntriesSorted() {
+		res, err := to.rangeQuery(ctx, dq.obj, eps, qs)
+		if err != nil {
+			return pairs, err
+		}
+		for _, r := range res {
+			pairs = append(pairs, JoinPair{Q: dq.obj, O: r.Object, Dist: exact(to, dq.obj, r.Object, r)})
+		}
+	}
+	for _, do := range to.deltaEntriesSorted() {
+		res, err := tq.rangeQuery(ctx, do.obj, eps, qs)
+		if err != nil {
+			return pairs, err
+		}
+		for _, r := range res {
+			if tq.wbuf != nil {
+				if _, buffered := tq.wbuf.entries[r.Object.ID()]; buffered {
+					continue // rule 1 already emitted ⟨buffered, do⟩
+				}
+			}
+			pairs = append(pairs, JoinPair{Q: r.Object, O: do.obj, Dist: exact(tq, r.Object, do.obj, r)})
+		}
+	}
+	return pairs, nil
 }
 
 // joinMerge is the merge pass of Algorithm 3, feeding candidate pairs to the
@@ -100,6 +154,13 @@ func joinMerge(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats, s
 			if err != nil {
 				return err
 			}
+			if tq.deltaShadowed(elem.obj.ID()) {
+				// Superseded by tq's write buffer: dead on this side, and its
+				// live replacement (if any) is paired by joinDelta.
+				qs.TombstonesSkipped++
+				cq.Next()
+				continue
+			}
 			if err := verifyJoin(ctx, elem, &listO, eps, qs, sink, false); err != nil {
 				return err
 			}
@@ -109,6 +170,11 @@ func joinMerge(ctx context.Context, tq, to *Tree, eps float64, qs *QueryStats, s
 			elem, err := to.loadJoinElem(co.Key(), co.Val(), eps, n, qs)
 			if err != nil {
 				return err
+			}
+			if to.deltaShadowed(elem.obj.ID()) {
+				qs.TombstonesSkipped++
+				co.Next()
+				continue
 			}
 			if err := verifyJoin(ctx, elem, &listQ, eps, qs, sink, true); err != nil {
 				return err

@@ -41,8 +41,8 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 	qs.Compdists += int64(n)
 	qs.stageAdd(&qs.PlanTime, st)
 
-	root, ok := t.bpt.Root()
-	if !ok {
+	root, rootOK := t.bpt.Root()
+	if !rootOK && !t.deltaActive() {
 		return nil, nil
 	}
 	if slots := t.workersFor(); slots > 0 {
@@ -57,10 +57,15 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 	boxHi := make(sfc.Point, n)
 	cell := make(sfc.Point, n)
 
-	t.curve.Decode(root.BoxLo, boxLo)
-	t.curve.Decode(root.BoxHi, boxHi)
-	pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
-	qs.HeapPushes++
+	if rootOK {
+		t.curve.Decode(root.BoxLo, boxLo)
+		t.curve.Decode(root.BoxHi, boxHi)
+		pq.push(mindItem{mind: t.mindToBox(qvec, boxLo, boxHi), page: root.Page, isNode: true})
+		qs.HeapPushes++
+	}
+	if t.deltaActive() {
+		t.seedDeltaKNN(qvec, pq, cell, qs)
+	}
 
 	for pq.Len() > 0 {
 		if err := ctxDone(ctx); err != nil {
@@ -71,8 +76,8 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 			break // Lemma 3 early termination
 		}
 		if !item.isNode {
-			// A leaf entry: fetch the object and verify.
-			if err := t.verifyKNN(ctx, q, res, item.val, qs); err != nil {
+			// A leaf entry (or buffered insert): fetch the object and verify.
+			if _, err := t.verifyKNN(ctx, q, res, item, qs); err != nil {
 				return res.sorted(), err
 			}
 			continue
@@ -104,7 +109,7 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 				continue
 			}
 			if t.traversal == Greedy {
-				if err := t.verifyKNN(ctx, q, res, node.Vals[i], qs); err != nil {
+				if _, err := t.verifyKNN(ctx, q, res, mindItem{mind: mind, val: node.Vals[i]}, qs); err != nil {
 					return res.sorted(), err
 				}
 			} else {
@@ -132,24 +137,39 @@ func (r *knnResults) sorted() []Result {
 	return out
 }
 
-// verifyKNN reads the object at a RAF offset, computes its distance against
-// the live curND_k bound and feeds the running top-k. With bounded kernels
-// the evaluation abandons once the distance provably exceeds the bound — an
-// offer would reject such a candidate anyway (its distance ranks after the
-// heap top regardless of ID), so skipping it changes nothing observable. A
-// candidate at exactly curND_k still completes (within ⇔ d ≤ bound), so the
-// heap's ID tie-break sees it. The ctx check gives verification-batch
-// granularity: a canceled query stops before the next RAF page read and
-// distance computation.
-func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, val uint64, qs *QueryStats) error {
+// verifyKNN resolves one admitted candidate — a base leaf entry (read from
+// the RAF) or a buffered insert (object in hand) — computes its distance
+// against the live curND_k bound and feeds the running top-k. With bounded
+// kernels the evaluation abandons once the distance provably exceeds the
+// bound — an offer would reject such a candidate anyway (its distance ranks
+// after the heap top regardless of ID), so skipping it changes nothing
+// observable. A candidate at exactly curND_k still completes (within ⇔ d ≤
+// bound), so the heap's ID tie-break sees it. The ctx check gives
+// verification-batch granularity: a canceled query stops before the next RAF
+// page read and distance computation.
+//
+// counted reports whether a verification actually happened: a base record
+// superseded by the write buffer is skipped after its read (it consumes no
+// distance computation and no approximate-search budget).
+func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, item mindItem, qs *QueryStats) (counted bool, err error) {
 	if err := ctxDone(ctx); err != nil {
-		return err
+		return false, err
 	}
 	st := qs.stageStart()
-	obj, err := t.raf.Read(val)
-	if err != nil {
-		qs.stageAdd(&qs.VerifyTime, st)
-		return err
+	obj := item.obj
+	if obj == nil {
+		obj, err = t.raf.Read(item.val)
+		if err != nil {
+			qs.stageAdd(&qs.VerifyTime, st)
+			return false, err
+		}
+		if t.deltaShadowed(obj.ID()) {
+			qs.stageAdd(&qs.VerifyTime, st)
+			qs.TombstonesSkipped++
+			return false, nil
+		}
+	} else {
+		qs.DeltaCandidates++
 	}
 	d, within := t.verifyDist(q, obj, res.bound())
 	qs.stageAdd(&qs.VerifyTime, st)
@@ -160,7 +180,20 @@ func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, 
 	} else if t.bounded {
 		qs.Abandoned++
 	}
-	return nil
+	return true, nil
+}
+
+// seedDeltaKNN pushes every buffered insert onto the kNN frontier with its
+// mapped-space MIND lower bound, exactly as if it were a leaf entry of the
+// base tree; the carried object lets verification skip the RAF read. Callers
+// hold the read lock; cell is caller scratch.
+func (t *Tree) seedDeltaKNN(qvec []float64, pq *mindHeap, cell sfc.Point, qs *QueryStats) {
+	for _, e := range t.deltaEntriesSorted() {
+		qs.EntriesScanned++
+		t.curve.Decode(e.key, cell)
+		pq.push(mindItem{mind: t.mindToCell(qvec, cell), obj: e.obj})
+		qs.HeapPushes++
+	}
 }
 
 // knnResults keeps the k best candidates in a max-heap so curND_k updates in
@@ -232,20 +265,23 @@ func (r *knnResults) down(i int) {
 	}
 }
 
-// mindItem is a heap element of Algorithm 2: a tree node (isNode) or a leaf
-// entry's object pointer.
+// mindItem is a heap element of Algorithm 2: a tree node (isNode), a leaf
+// entry's object pointer, or — with obj set — a buffered insert from the
+// write buffer carrying its object directly.
 type mindItem struct {
 	mind   float64
 	isNode bool
 	page   page.ID
 	val    uint64
+	obj    metric.Object
 }
 
 // mindLess is a total order on heap items: MIND first, then nodes before
-// entries, then page/offset. Totality matters twice — equal-MIND items pop
-// in the same relative order in every execution, so serial and parallel
-// traversals admit identical candidate sequences (and thus identical
-// Verified/Compdists), and results never depend on heap internals.
+// entries, then base entries before write-buffer entries, then page, offset
+// or object ID. Totality matters twice — equal-MIND items pop in the same
+// relative order in every execution, so serial and parallel traversals admit
+// identical candidate sequences (and thus identical Verified/Compdists), and
+// results never depend on heap internals.
 func mindLess(a, b mindItem) bool {
 	if a.mind != b.mind {
 		return a.mind < b.mind
@@ -255,6 +291,12 @@ func mindLess(a, b mindItem) bool {
 	}
 	if a.isNode {
 		return a.page < b.page
+	}
+	if (a.obj != nil) != (b.obj != nil) {
+		return b.obj != nil
+	}
+	if a.obj != nil {
+		return a.obj.ID() < b.obj.ID()
 	}
 	return a.val < b.val
 }

@@ -50,26 +50,84 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 	t.rangeRegion(qvec, r, rrLo, rrHi)
 	qs.stageAdd(&qs.PlanTime, st)
 	if sfc.BoxVolume(rrLo, rrHi) == 0 {
+		// An empty region excludes buffered inserts identically (their cells
+		// are region-tested like any entry), so the delta needs no pass.
 		return nil, nil
 	}
-	root, ok := t.bpt.Root()
-	if !ok {
-		return nil, nil
+	var results []Result
+	var err error
+	if root, ok := t.bpt.Root(); ok {
+		var sink rangeSink
+		if slots := t.workersFor(); slots > 0 {
+			sink = t.newRangeExec(ctx, q, qvec, r, qs, slots)
+		} else {
+			sink = &rangeSerial{t: t, q: q, qvec: qvec, r: r, qs: qs}
+		}
+		travErr := t.rangeTraverse(ctx, root, rrLo, rrHi, sink, qs)
+		results, err = sink.finish()
+		if err == nil && travErr != nil && travErr != errStopTraversal {
+			err = travErr
+		}
 	}
-
-	var sink rangeSink
-	if slots := t.workersFor(); slots > 0 {
-		sink = t.newRangeExec(ctx, q, qvec, r, qs, slots)
-	} else {
-		sink = &rangeSerial{t: t, q: q, qvec: qvec, r: r, qs: qs}
-	}
-	travErr := t.rangeTraverse(ctx, root, rrLo, rrHi, sink, qs)
-	results, err := sink.finish()
-	if err == nil && travErr != nil && travErr != errStopTraversal {
-		err = travErr
+	// Merge the durable write buffer: buffered inserts run the same
+	// region-test / Lemma 2 / verify pipeline, so the combined answer — and
+	// its compdists — is identical to a tree rebuilt over the live set
+	// (tombstoned base objects were already skipped at verification).
+	if err == nil && t.deltaActive() {
+		var dres []Result
+		dres, err = t.rangeDelta(ctx, q, qvec, r, rrLo, rrHi, qs)
+		results = append(results, dres...)
 	}
 	sortByID(results)
 	return results, err
+}
+
+// rangeDelta runs Algorithm 1's candidate pipeline over the buffered
+// inserts, in ascending ID order: per-entry Lemma 1 region test on the
+// quantized cell, Lemma 2 computation-free inclusion, exact verification
+// for the rest. Exactly what the entries would cost had they been in the
+// base tree — only the traversal-side diagnostics (node reads, merge skips)
+// differ.
+func (t *Tree) rangeDelta(ctx context.Context, q metric.Object, qvec []float64, r float64, rrLo, rrHi sfc.Point, qs *QueryStats) ([]Result, error) {
+	entries := t.deltaEntriesSorted()
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	cell := make(sfc.Point, len(t.pivots))
+	var out []Result
+	for _, e := range entries {
+		if err := ctxDone(ctx); err != nil {
+			return out, err
+		}
+		qs.EntriesScanned++
+		t.curve.Decode(e.key, cell)
+		if !sfc.Contains(rrLo, rrHi, cell) {
+			qs.EntriesPruned++
+			continue // Lemma 1
+		}
+		qs.DeltaCandidates++
+		if !t.noLemma2 {
+			if ub, ok := t.lemma2Bound(qvec, cell, r); ok {
+				qs.Lemma2Included++
+				out = append(out, Result{Object: e.obj, Dist: ub, Exact: false})
+				continue
+			}
+		}
+		st := qs.stageStart()
+		d, within := t.verifyDist(q, e.obj, r)
+		qs.Verified++
+		qs.Compdists++
+		if within {
+			out = append(out, Result{Object: e.obj, Dist: d, Exact: true})
+		} else {
+			qs.Discarded++
+			if t.bounded {
+				qs.Abandoned++
+			}
+		}
+		qs.stageAdd(&qs.VerifyTime, st)
+	}
+	return out, nil
 }
 
 // rangeTraverse walks the B+-tree, pruning with Lemma 1 and the SFC merge

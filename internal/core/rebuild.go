@@ -25,8 +25,16 @@ import (
 // tree — safe under concurrent read traffic (run the stress tests with
 // -race).
 func (t *Tree) Rebuild(indexStore, dataStore page.Store) error {
+	if t.dur != nil {
+		// Durable trees compact into their own generation layout; the store
+		// arguments do not apply there.
+		return t.dur.compactOnce(t)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
 	if indexStore == nil {
 		indexStore = page.NewMemStore()
 	}

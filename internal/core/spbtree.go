@@ -152,7 +152,23 @@ type Tree struct {
 	// disabled. See verifyDist and DESIGN.md §10.
 	bounded bool
 
+	// count is the live object total: base objects not shadowed by the write
+	// buffer, plus buffered inserts. Maintained incrementally by the apply
+	// helpers and re-derived from the snapshot at each compaction swap.
 	count int
+
+	// closed marks the tree shut down; every entry point checks it under the
+	// lock it already takes and fails with ErrClosed.
+	closed bool
+
+	// wbuf is the in-memory write buffer of a durable tree (inserts +
+	// tombstones absorbed ahead of compaction); nil on non-durable trees.
+	// Guarded by mu.
+	wbuf *deltaState
+
+	// dur is the durable write-path machinery (WAL, generations, compactor);
+	// nil on non-durable trees.
+	dur *durableState
 
 	cm costModel
 
@@ -406,8 +422,13 @@ func bitsFor(cells uint64) int {
 // Pivots returns the pivot table.
 func (t *Tree) Pivots() []metric.Object { return t.pivots }
 
-// Len returns the number of indexed objects.
-func (t *Tree) Len() int { return t.count }
+// Len returns the number of live objects: the base tree merged with any
+// buffered inserts and tombstones awaiting compaction.
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
 
 // CurveKind returns which SFC the tree uses.
 func (t *Tree) CurveKind() sfc.Kind { return t.kind }
@@ -553,14 +574,35 @@ func (t *Tree) syncLocked() error {
 }
 
 // Close syncs and closes both page stores, so a clean shutdown is durable.
-// The tree must not be used afterwards. Close waits for in-flight queries to
-// drain before touching the stores.
+// The tree must not be used afterwards: every later operation — and every
+// mutator still pending when Close ran — fails with ErrClosed instead of
+// racing the teardown. On durable trees Close first closes the WAL (failing
+// blocked Append callers) and waits for the compactor goroutine to exit, so
+// no background work outlives the tree.
 func (t *Tree) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.closed = true
+	t.mu.Unlock()
+	var walErr error
+	if t.dur != nil {
+		close(t.dur.done)
+		// Closing the log first unblocks mutators parked in Append; they see
+		// wal.ErrClosed and surface core.ErrClosed.
+		walErr = t.dur.log.Close()
+		t.dur.wg.Wait()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	syncErr := t.syncLocked()
 	idxErr := t.idxCache.Close()
 	dataErr := t.dataCache.Close()
+	if walErr != nil {
+		return walErr
+	}
 	if syncErr != nil {
 		return syncErr
 	}

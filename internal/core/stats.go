@@ -79,6 +79,15 @@ type QueryStats struct {
 	// Discarded counts verified objects that failed the predicate — the
 	// filter's false positives.
 	Discarded int64
+	// DeltaCandidates counts candidates drawn from the durable write buffer
+	// (buffered inserts merged into the search) rather than the base tree.
+	// Zero on non-durable trees and when the buffer is empty.
+	DeltaCandidates int64
+	// TombstonesSkipped counts base candidates discarded at verification
+	// because the write buffer shadows their ID (a tombstone or a newer
+	// buffered version). Their RAF read already happened — the skipped
+	// verification saves the distance computation, not the page access.
+	TombstonesSkipped int64
 	// Abandoned counts verifications resolved by a threshold-aware kernel
 	// (DESIGN.md §10) without completing the exact distance: the evaluation
 	// proved d > bound and stopped. Always ≤ Verified, and each abandoned

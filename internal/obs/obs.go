@@ -24,6 +24,7 @@ package obs
 import (
 	"expvar"
 	"sync"
+	"sync/atomic"
 )
 
 // Src identifies which half of the SPB-tree an event or counter belongs to:
@@ -121,6 +122,19 @@ type NopTracer struct{}
 
 // Event implements Tracer.
 func (NopTracer) Event(Event) {}
+
+// ioRetries counts transient-I/O retries (short writes, EINTR) absorbed by
+// the write path via internal/retry — one increment per retried attempt,
+// process-wide. A nonzero, slowly-growing value is normal on busy hosts; a
+// spike says the storage layer is fighting interruptions rather than latency.
+var ioRetries atomic.Int64
+
+// AddIORetry adds n to the process-wide transient-retry counter. Called by
+// internal/retry; exported so alternative retry sites can share the counter.
+func AddIORetry(n int) { ioRetries.Add(int64(n)) }
+
+// IORetries reads the process-wide transient-retry counter.
+func IORetries() int64 { return ioRetries.Load() }
 
 // publishMu serializes expvar publication checks (expvar.Publish panics on
 // duplicate names, so Publish must test-and-set atomically).

@@ -12,6 +12,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"spbtree/internal/retry"
 )
 
 // Size is the fixed page size in bytes. The paper's experiments use a 4 KB
@@ -223,7 +225,7 @@ func (s *FileStore) Write(id ID, buf []byte) error {
 		return fmt.Errorf("%w: write %d of %d", ErrOutOfRange, id, s.n)
 	}
 	s.stats.writes.Add(1)
-	if _, err := s.f.WriteAt(buf, int64(id)*Size); err != nil {
+	if err := retry.WriteAt(s.f, buf, int64(id)*Size); err != nil {
 		return fmt.Errorf("page: write %d: %w", id, err)
 	}
 	return nil
@@ -248,11 +250,12 @@ func (s *FileStore) NumPages() int {
 // Stats implements Store.
 func (s *FileStore) Stats() *Stats { return &s.stats }
 
-// Sync implements Store, fsyncing the backing file.
+// Sync implements Store, fsyncing the backing file. Interrupted fsyncs are
+// retried (internal/retry) rather than surfaced as spurious failures.
 func (s *FileStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.f.Sync(); err != nil {
+	if err := retry.Sync(s.f.Sync); err != nil {
 		return fmt.Errorf("page: sync store: %w", err)
 	}
 	return nil

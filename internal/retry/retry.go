@@ -1,0 +1,119 @@
+// Package retry hardens the write path against transient I/O failures:
+// short writes and EINTR-class interruptions are retried a bounded number of
+// times with exponential backoff before a typed error surfaces. The WAL and
+// the page stores route their writes and fsyncs through it, so a spurious
+// signal delivered mid-write does not fail a durable append that a simple
+// retry would have completed.
+//
+// Every retry increments the process-wide counter in internal/obs
+// (obs.IORetries), so operators can distinguish "the disk is slow" from "the
+// disk is being interrupted" at /debug/vars.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"syscall"
+	"time"
+
+	"spbtree/internal/obs"
+)
+
+// maxAttempts bounds how many times one logical operation is tried in total
+// (1 initial + maxAttempts-1 retries).
+const maxAttempts = 4
+
+// ErrExhausted matches (errors.Is) an operation that stayed transiently
+// broken through every retry. The final underlying error is wrapped too.
+var ErrExhausted = errors.New("retry: transient I/O error persisted")
+
+// Transient reports whether err is worth retrying: an interrupted syscall or
+// a short write (either reported as io.ErrShortWrite or observed as a short
+// count with a nil error, which callers normalize to io.ErrShortWrite).
+func Transient(err error) bool {
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, io.ErrShortWrite)
+}
+
+// backoff sleeps before retry attempt n (0-based): 1ms, 2ms, 4ms, … — long
+// enough to ride out a signal storm, short enough to be invisible next to an
+// fsync.
+func backoff(n int) {
+	time.Sleep(time.Millisecond << n)
+}
+
+// exhausted wraps the last transient error once the attempt cap is hit.
+func exhausted(err error) error {
+	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, maxAttempts, err)
+}
+
+// Write writes all of p to w, retrying transient failures from where the
+// last attempt left off. Non-transient errors return immediately, untouched.
+func Write(w io.Writer, p []byte) error {
+	written := 0
+	for attempt := 0; ; attempt++ {
+		n, err := w.Write(p[written:])
+		if n > 0 {
+			written += n
+		}
+		if written >= len(p) && err == nil {
+			return nil
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		if !Transient(err) {
+			return err
+		}
+		if attempt >= maxAttempts-1 {
+			return exhausted(err)
+		}
+		obs.AddIORetry(1)
+		backoff(attempt)
+	}
+}
+
+// WriteAt writes all of p at off, retrying transient failures from where the
+// last attempt left off.
+func WriteAt(w io.WriterAt, p []byte, off int64) error {
+	written := 0
+	for attempt := 0; ; attempt++ {
+		n, err := w.WriteAt(p[written:], off+int64(written))
+		if n > 0 {
+			written += n
+		}
+		if written >= len(p) && err == nil {
+			return nil
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		if !Transient(err) {
+			return err
+		}
+		if attempt >= maxAttempts-1 {
+			return exhausted(err)
+		}
+		obs.AddIORetry(1)
+		backoff(attempt)
+	}
+}
+
+// Sync calls fn (an fsync-like operation) until it succeeds, fails
+// non-transiently, or exhausts the attempt cap.
+func Sync(fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if !Transient(err) {
+			return err
+		}
+		if attempt >= maxAttempts-1 {
+			return exhausted(err)
+		}
+		obs.AddIORetry(1)
+		backoff(attempt)
+	}
+}

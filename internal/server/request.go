@@ -26,7 +26,15 @@ const (
 
 // QueryID is the object id given to query objects parsed from requests. It
 // sits above any plausible dataset id so results never collide with it.
+// Mutation requests must keep their ids below it.
 const QueryID = uint64(1) << 63
+
+// Mutation operation names, the write-path peers of the core.Op* query
+// constants. They key the server's per-endpoint metrics registry.
+const (
+	opInsert = "insert"
+	opDelete = "delete"
+)
 
 // Request is the JSON body accepted by the query endpoints. Exactly the
 // fields the endpoint needs must validate: /v1/range needs a query object and
@@ -39,6 +47,10 @@ type Request struct {
 	// Query is the textual query form for non-vector trees (same line format
 	// as spbtool input files).
 	Query string `json:"query,omitempty"`
+	// ID identifies the object for /v1/insert and /v1/delete (required there,
+	// must stay below QueryID). The object itself rides in Vector or Query —
+	// deletes need it too, because locating an object takes its pivot mapping.
+	ID *uint64 `json:"id,omitempty"`
 	// Radius is the range-query radius (required for /v1/range; 0 is legal).
 	Radius *float64 `json:"radius,omitempty"`
 	// K is the neighbor count for /v1/knn and /v1/knn/approx.
@@ -142,6 +154,13 @@ func (req *Request) validate(op string) error {
 		if !finiteNonNegative(*req.Eps) {
 			return badf("eps must be finite and non-negative")
 		}
+	case opInsert, opDelete:
+		if req.ID == nil {
+			return badf("%s needs id", op)
+		}
+		if *req.ID >= QueryID {
+			return badf("id %d is in the reserved query-id range (>= 2^63)", *req.ID)
+		}
 	default:
 		return badf("unknown operation %q", op)
 	}
@@ -183,6 +202,41 @@ func TextParser(parse func(id uint64, line string) (metric.Object, error)) Parse
 		obj, err := parse(QueryID, req.Query)
 		if err != nil {
 			return nil, badf("parse query: %v", err)
+		}
+		return obj, nil
+	}
+}
+
+// ParseObjectFunc turns a validated mutation request into the object to
+// insert or delete, carrying the request's id (unlike query parsing, which
+// pins the reserved QueryID). The server calls it only after validation, so
+// implementations see a non-nil id below QueryID and either a non-empty
+// Vector or a non-empty Query.
+type ParseObjectFunc func(id uint64, req Request) (metric.Object, error)
+
+// VectorObjects returns a ParseObjectFunc for dim-dimensional vector trees.
+func VectorObjects(dim int) ParseObjectFunc {
+	return func(id uint64, req Request) (metric.Object, error) {
+		if len(req.Vector) == 0 {
+			return nil, badf("this index stores vectors; use the vector field")
+		}
+		if len(req.Vector) != dim {
+			return nil, badf("vector has %d components, index dimensionality is %d", len(req.Vector), dim)
+		}
+		return metric.NewVector(id, req.Vector), nil
+	}
+}
+
+// TextObjects returns a ParseObjectFunc adapting a line parser (the spbtool
+// input format) for textual objects; it rejects the vector field.
+func TextObjects(parse func(id uint64, line string) (metric.Object, error)) ParseObjectFunc {
+	return func(id uint64, req Request) (metric.Object, error) {
+		if req.Query == "" {
+			return nil, badf("this index stores textual objects; use the query field")
+		}
+		obj, err := parse(id, req.Query)
+		if err != nil {
+			return nil, badf("parse object: %v", err)
 		}
 		return obj, nil
 	}

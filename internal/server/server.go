@@ -1,9 +1,10 @@
-// Package server exposes an SPB-tree as an HTTP query service on the
-// standard library: range, kNN, approximate kNN and similarity-join
-// endpoints with per-request deadlines, a bounded worker pool with admission
-// control (429 when the queue is full), graceful shutdown that drains
-// in-flight queries (503 for newcomers), and per-endpoint latency histograms
-// published on /debug/vars.
+// Package server exposes an SPB-tree as an HTTP query-and-write service on
+// the standard library: range, kNN, approximate kNN and similarity-join
+// endpoints with per-request deadlines, insert/delete endpoints backed by
+// the durable write path (group-committed WAL, in-memory delta, background
+// compaction), a bounded worker pool with admission control (429 when the
+// queue is full), graceful shutdown that drains in-flight requests (503 for
+// newcomers), and per-endpoint latency histograms published on /debug/vars.
 //
 // The service leans on the query engine's context plumbing: a request whose
 // deadline expires mid-scan stops doing page I/O and distance computations
@@ -39,6 +40,12 @@ type Config struct {
 	// the range/kNN endpoints (VectorParser and TextParser cover the common
 	// cases).
 	ParseQuery ParseQueryFunc
+	// ParseObject turns a validated mutation request into the object to
+	// insert or delete; required for the /v1/insert and /v1/delete endpoints
+	// (VectorObjects and TextObjects cover the common cases). Mutations also
+	// need a durable tree (core.CreateDurable/OpenDurable) — on a read-only
+	// tree the write endpoints answer 403.
+	ParseObject ParseObjectFunc
 	// Workers bounds concurrently executing queries; 0 selects GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds queries admitted but not yet executing; beyond it
@@ -60,8 +67,9 @@ type Config struct {
 // Server serves similarity queries over HTTP. Create it with New, mount
 // Handler on an http.Server, and call Shutdown to drain.
 type Server struct {
-	tree  *core.Tree
-	parse ParseQueryFunc
+	tree     *core.Tree
+	parse    ParseQueryFunc
+	parseObj ParseObjectFunc
 
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
@@ -82,6 +90,7 @@ type Server struct {
 	// admission counters, published alongside reg.
 	rejectedBusy     atomic.Int64
 	rejectedDraining atomic.Int64
+	rejectedReadOnly atomic.Int64
 	badRequests      atomic.Int64
 	canceledQueries  atomic.Int64
 }
@@ -123,6 +132,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		tree:           cfg.Tree,
 		parse:          cfg.ParseQuery,
+		parseObj:       cfg.ParseObject,
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     cfg.MaxTimeout,
 		maxBody:        cfg.MaxBodyBytes,
@@ -175,6 +185,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/knn", s.handleQuery(core.OpKNN))
 	s.mux.HandleFunc("POST /v1/knn/approx", s.handleQuery(core.OpKNNApprox))
 	s.mux.HandleFunc("POST /v1/join", s.handleQuery(core.OpJoin))
+	s.mux.HandleFunc("POST /v1/insert", s.handleMutate(opInsert))
+	s.mux.HandleFunc("POST /v1/delete", s.handleMutate(opDelete))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -249,6 +261,25 @@ type response struct {
 	Compdists    int64 `json:"compdists"`
 	PageAccesses int64 `json:"page_accesses"`
 	// ElapsedUS is the query's wall time in microseconds (queueing excluded).
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// mutateResponse is the JSON body of /v1/insert and /v1/delete.
+type mutateResponse struct {
+	// OK reports the mutation was acknowledged: on a durable tree its WAL
+	// record survived a group commit before this response was written.
+	OK bool `json:"ok"`
+	// Op echoes "insert" or "delete"; ID echoes the mutated object's id.
+	Op string `json:"op"`
+	ID uint64 `json:"id"`
+	// Objects is the live object count after the mutation; Delta is how many
+	// buffered mutations await background compaction.
+	Objects int `json:"objects"`
+	Delta   int `json:"delta"`
+	// Error carries the failure cause when OK is false.
+	Error string `json:"error,omitempty"`
+	// ElapsedUS is the request's wall time in microseconds (queueing
+	// included — for writes the queue wait is part of the acked latency).
 	ElapsedUS int64 `json:"elapsed_us"`
 }
 
@@ -362,6 +393,131 @@ func (s *Server) handleQuery(op string) http.HandlerFunc {
 	}
 }
 
+// handleMutate returns the handler for one mutation operation. Writes flow
+// through the same admission control as queries: the worker pool bounds
+// concurrent mutators (the WAL's group commit batches their fsyncs), the
+// queue bounds admitted-but-waiting requests at 429, and draining rejects
+// newcomers with 503 so Shutdown-then-Close leaves no write half done. The
+// request deadline governs only time spent queued — once a worker starts a
+// mutation it runs to its WAL acknowledgement, because a write that already
+// hit the log must not be reported as canceled.
+func (s *Server) handleMutate(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if s.draining.Load() {
+			s.rejectDraining(w)
+			return
+		}
+		if !s.tree.Durable() {
+			s.rejectedReadOnly.Add(1)
+			errorJSON(w, http.StatusForbidden,
+				"index is read-only: writes need a durable index (build with spbtool build -durable)")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		req, err := DecodeRequest(r.Body, op)
+		if err != nil {
+			s.badRequests.Add(1)
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				errorJSON(w, http.StatusRequestEntityTooLarge, err.Error())
+				return
+			}
+			errorJSON(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if s.parseObj == nil {
+			s.badRequests.Add(1)
+			errorJSON(w, http.StatusBadRequest, "server: no ParseObject configured")
+			return
+		}
+		obj, err := s.parseObj(*req.ID, req)
+		if err != nil {
+			s.badRequests.Add(1)
+			errorJSON(w, http.StatusBadRequest, err.Error())
+			return
+		}
+
+		timeout := s.defaultTimeout
+		if req.TimeoutMS > 0 {
+			timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		}
+		if timeout > s.maxTimeout {
+			timeout = s.maxTimeout
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		var merr error
+		t := &task{ctx: ctx, done: make(chan struct{})}
+		t.fn = func() {
+			if op == opInsert {
+				merr = s.tree.Insert(obj)
+			} else {
+				merr = s.tree.Delete(obj)
+			}
+		}
+
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		if s.draining.Load() {
+			s.rejectDraining(w)
+			return
+		}
+		select {
+		case s.tasks <- t:
+		default:
+			s.rejectedBusy.Add(1)
+			w.Header().Set("Retry-After", "1")
+			errorJSON(w, http.StatusTooManyRequests, "query queue is full")
+			return
+		}
+		select {
+		case <-t.done:
+		case <-ctx.Done():
+			if !t.state.CompareAndSwap(taskQueued, taskAbandoned) {
+				<-t.done
+			}
+		}
+		if !t.ran {
+			// Never reached the tree: nothing was logged, so "canceled" is an
+			// honest answer — the write is guaranteed absent.
+			merr = fmt.Errorf("%w: %w", core.ErrCanceled, context.Cause(ctx))
+		}
+
+		resp := mutateResponse{Op: op, ID: *req.ID}
+		status := http.StatusOK
+		switch {
+		case merr == nil:
+			resp.OK = true
+		case errors.Is(merr, core.ErrCanceled):
+			s.canceledQueries.Add(1)
+			status = http.StatusGatewayTimeout
+			resp.Error = merr.Error()
+		case errors.Is(merr, core.ErrNotFound):
+			status = http.StatusNotFound
+			resp.Error = merr.Error()
+		case errors.Is(merr, core.ErrClosed):
+			status = http.StatusServiceUnavailable
+			resp.Error = merr.Error()
+		default:
+			status = http.StatusInternalServerError
+			resp.Error = merr.Error()
+		}
+		resp.Objects = s.tree.Len()
+		resp.Delta = s.tree.DeltaLen()
+		resp.ElapsedUS = time.Since(start).Microseconds()
+		var acked int64
+		if resp.OK {
+			acked = 1
+		}
+		s.reg.Op(op).Observe(0, 0, 0, acked, time.Since(start), merr != nil)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
 // planQuery resolves a validated request into a closure executing the
 // operation, surfacing parse/config errors before admission.
 func (s *Server) planQuery(op string, req Request) (func(context.Context) (response, core.QueryStats, error), error) {
@@ -436,7 +592,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // metricsSnapshot is the JSON document served by /v1/stats and published on
 // /debug/vars under Config.MetricsName.
 func (s *Server) metricsSnapshot() map[string]interface{} {
-	return map[string]interface{}{
+	m := map[string]interface{}{
 		"objects":       s.tree.Len(),
 		"pivots":        len(s.tree.Pivots()),
 		"curve":         s.tree.CurveKind().String(),
@@ -447,8 +603,20 @@ func (s *Server) metricsSnapshot() map[string]interface{} {
 		"admission": map[string]int64{
 			"rejected_busy":     s.rejectedBusy.Load(),
 			"rejected_draining": s.rejectedDraining.Load(),
+			"rejected_readonly": s.rejectedReadOnly.Load(),
 			"bad_requests":      s.badRequests.Load(),
 			"canceled_queries":  s.canceledQueries.Load(),
 		},
 	}
+	if s.tree.Durable() {
+		m["delta"] = s.tree.DeltaLen()
+		if ws, ok := s.tree.WALStats(); ok {
+			m["wal"] = map[string]int64{
+				"appends": ws.Appends,
+				"batches": ws.Batches,
+				"syncs":   ws.Syncs,
+			}
+		}
+	}
+	return m
 }

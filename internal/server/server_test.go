@@ -514,6 +514,182 @@ func TestServerLoad(t *testing.T) {
 	t.Logf("goroutines: %d before, %d after (cleanup may still be pending)", before, runtime.NumGoroutine())
 }
 
+// newDurableTestService builds a durable Z-order vector tree (WAL + delta +
+// compactor armed) behind a Server, so the write endpoints work.
+func newDurableTestService(t *testing.T, n int, cfg Config) *testService {
+	t.Helper()
+	const dim = 4
+	rng := rand.New(rand.NewSource(7))
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		coords := make([]float64, dim)
+		for d := range coords {
+			coords[d] = rng.Float64()
+		}
+		objs[i] = metric.NewVector(uint64(i), coords)
+	}
+	dist := &throttleDist{
+		DistanceFunc: metric.L2(dim),
+		started:      make(chan struct{}, 1024),
+		release:      make(chan struct{}),
+	}
+	tree, err := core.CreateDurable(t.TempDir(), objs, core.Options{
+		Distance: dist, Codec: metric.VectorCodec{Dim: dim},
+		NumPivots: 3, Curve: sfc.ZOrder, Seed: 7,
+	}, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tree = tree
+	if cfg.ParseQuery == nil {
+		cfg.ParseQuery = VectorParser(dim)
+	}
+	if cfg.ParseObject == nil {
+		cfg.ParseObject = VectorObjects(dim)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		tree.Close()
+	})
+	return &testService{tree: tree, dist: dist, srv: srv, ts: ts}
+}
+
+// postMutate sends a JSON body to a write endpoint and decodes its envelope.
+func (s *testService) postMutate(t *testing.T, path, body string) (int, mutateResponse) {
+	t.Helper()
+	resp, err := http.Post(s.ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out mutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decode response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestE2EInsertDeleteRoundTrip(t *testing.T) {
+	s := newDurableTestService(t, 200, Config{})
+	base := s.tree.Len()
+
+	// Insert a new object and find it with a tight range query around it.
+	code, out := s.postMutate(t, "/v1/insert", `{"id":9000,"vector":[0.5,0.5,0.5,0.5]}`)
+	if code != http.StatusOK || !out.OK {
+		t.Fatalf("insert: status %d (%+v)", code, out)
+	}
+	if out.Op != "insert" || out.ID != 9000 || out.Objects != base+1 || out.Delta == 0 {
+		t.Fatalf("insert envelope: %+v", out)
+	}
+	qcode, qout := s.post(t, "/v1/range", `{"vector":[0.5,0.5,0.5,0.5],"radius":0.0001}`)
+	if qcode != http.StatusOK {
+		t.Fatalf("range after insert: status %d", qcode)
+	}
+	found := false
+	for _, r := range qout.Results {
+		if r.ID == 9000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted object missing from range results: %+v", qout.Results)
+	}
+
+	// Delete it; the query must stop seeing it and a second delete is 404.
+	code, out = s.postMutate(t, "/v1/delete", `{"id":9000,"vector":[0.5,0.5,0.5,0.5]}`)
+	if code != http.StatusOK || !out.OK || out.Objects != base {
+		t.Fatalf("delete: status %d (%+v)", code, out)
+	}
+	_, qout = s.post(t, "/v1/range", `{"vector":[0.5,0.5,0.5,0.5],"radius":0.0001}`)
+	for _, r := range qout.Results {
+		if r.ID == 9000 {
+			t.Fatal("deleted object still in range results")
+		}
+	}
+	code, out = s.postMutate(t, "/v1/delete", `{"id":9000,"vector":[0.5,0.5,0.5,0.5]}`)
+	if code != http.StatusNotFound || out.OK {
+		t.Fatalf("second delete: status %d (%+v), want 404", code, out)
+	}
+
+	// /v1/stats reports the write path: WAL counters and the delta size.
+	resp, err := http.Get(s.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Delta *int             `json:"delta"`
+		WAL   map[string]int64 `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Delta == nil || stats.WAL == nil {
+		t.Fatalf("stats lacks write-path fields: delta=%v wal=%v", stats.Delta, stats.WAL)
+	}
+	if stats.WAL["appends"] < 2 || stats.WAL["batches"] < 1 {
+		t.Fatalf("wal counters: %v", stats.WAL)
+	}
+}
+
+func TestE2EWriteReadOnlyTree(t *testing.T) {
+	// A non-durable tree rejects writes with 403 before touching the body.
+	s := newTestService(t, 50, Config{ParseObject: VectorObjects(4)})
+	for _, path := range []string{"/v1/insert", "/v1/delete"} {
+		code, out := s.postMutate(t, path, `{"id":1,"vector":[0.1,0.2,0.3,0.4]}`)
+		if code != http.StatusForbidden {
+			t.Fatalf("%s on read-only tree: status %d (%+v), want 403", path, code, out)
+		}
+	}
+}
+
+func TestE2EWriteBadInput(t *testing.T) {
+	s := newDurableTestService(t, 50, Config{})
+	cases := []struct {
+		name, path, body string
+	}{
+		{"missing id", "/v1/insert", `{"vector":[0.1,0.2,0.3,0.4]}`},
+		{"reserved id", "/v1/insert", `{"id":9223372036854775808,"vector":[0.1,0.2,0.3,0.4]}`},
+		{"no object", "/v1/insert", `{"id":5}`},
+		{"wrong dim", "/v1/insert", `{"id":5,"vector":[0.1,0.2]}`},
+		{"missing id", "/v1/delete", `{"vector":[0.1,0.2,0.3,0.4]}`},
+		{"text on vector index", "/v1/insert", `{"id":5,"query":"hello"}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(s.ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", tc.path, tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestE2EWriteDrain(t *testing.T) {
+	// Once Shutdown begins, new writes bounce with 503: nothing reaches the
+	// WAL after the drain starts, so Close leaves a clean log.
+	s := newDurableTestService(t, 50, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, _ := s.postMutate(t, "/v1/insert", `{"id":9000,"vector":[0.5,0.5,0.5,0.5]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("insert during drain: status %d, want 503", code)
+	}
+}
+
 // TestNewRequiresTree pins the constructor's validation.
 func TestNewRequiresTree(t *testing.T) {
 	if _, err := New(Config{}); err == nil {

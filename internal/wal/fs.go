@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the log needs. The default implementation is
+// the host filesystem (osFS); tests substitute fault-injecting
+// implementations to exercise torn writes, failed fsyncs and short writes
+// without touching a real disk's failure modes.
+type FS interface {
+	// OpenFile opens name with the given flags. Segment files are opened with
+	// O_APPEND for the active tail and plain O_RDWR for truncation.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadDir lists the file names (not full paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making completed creates/removes durable.
+	SyncDir(dir string) error
+}
+
+// File is the per-segment file surface: appending writes, positioned reads
+// for replay, truncation for torn-tail repair, and fsync.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	// Size returns the file's current length in bytes.
+	Size() (int64, error)
+}
+
+// OSFS is the host-filesystem implementation of FS.
+type OSFS struct{}
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// osFile adapts *os.File to File.
+type osFile struct{ *os.File }
+
+// Size implements File.
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

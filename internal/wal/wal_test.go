@@ -1,0 +1,729 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- fault-injecting FS -----------------------------------------------------
+
+// faultFS wraps OSFS with the failure knobs the crash tests need: delayed
+// fsyncs (to force group commits to batch), a countdown of fsyncs to fail,
+// and truncation failures (to exercise the poisoning path).
+type faultFS struct {
+	OSFS
+	syncDelay    time.Duration
+	failSyncs    atomic.Int32 // fail this many file Syncs, then succeed
+	failTruncate atomic.Bool
+}
+
+var errFault = errors.New("walfault: injected")
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.OSFS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.syncDelay > 0 {
+		time.Sleep(f.fs.syncDelay)
+	}
+	if n := f.fs.failSyncs.Load(); n > 0 && f.fs.failSyncs.CompareAndSwap(n, n-1) {
+		return errFault
+	}
+	return f.File.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if f.fs.failTruncate.Load() {
+		return errFault
+	}
+	return f.File.Truncate(size)
+}
+
+// --- helpers ----------------------------------------------------------------
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		typ := RecInsert
+		if i%3 == 2 {
+			typ = RecDelete
+		}
+		if _, err := l.Append(typ, []byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func collect(t *testing.T, dir string, after uint64) ([]Record, uint64) {
+	t.Helper()
+	var recs []Record
+	last, err := Replay(dir, nil, after, func(r Record) error {
+		cp := Record{LSN: r.LSN, Type: r.Type, Payload: append([]byte(nil), r.Payload...)}
+		recs = append(recs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs, last
+}
+
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := Segments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, have %d", len(segs))
+	}
+	return filepath.Join(dir, segs[0].Name)
+}
+
+// --- tests ------------------------------------------------------------------
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 10)
+	if got := l.NextLSN(); got != 11 {
+		t.Fatalf("NextLSN = %d, want 11", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	recs, last := collect(t, dir, 0)
+	if len(recs) != 10 || last != 10 {
+		t.Fatalf("replay: %d records, last %d; want 10, 10", len(recs), last)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+		wantType := RecInsert
+		if i%3 == 2 {
+			wantType = RecDelete
+		}
+		if r.Type != wantType {
+			t.Fatalf("record %d type = %v, want %v", i, r.Type, wantType)
+		}
+		if want := fmt.Sprintf("rec-%04d", i); string(r.Payload) != want {
+			t.Fatalf("record %d payload = %q, want %q", i, r.Payload, want)
+		}
+	}
+
+	// The after filter must be exclusive: after=7 yields exactly 8, 9, 10.
+	recs, last = collect(t, dir, 7)
+	if len(recs) != 3 || recs[0].LSN != 8 || last != 10 {
+		t.Fatalf("replay after 7: %d records starting at %d", len(recs), recs[0].LSN)
+	}
+	// after beyond the tail yields nothing and reports the tail it saw.
+	recs, last = collect(t, dir, 10)
+	if len(recs) != 0 || last != 10 {
+		t.Fatalf("replay after tail: %d records, last %d", len(recs), last)
+	}
+}
+
+func TestReopenContinuesLSNs(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l = mustOpen(t, dir, Options{})
+	if got := l.NextLSN(); got != 6 {
+		t.Fatalf("NextLSN after reopen = %d, want 6", got)
+	}
+	lsn, err := l.Append(RecInsert, []byte("resumed"))
+	if err != nil || lsn != 6 {
+		t.Fatalf("Append after reopen: lsn %d, err %v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 6 {
+		t.Fatalf("replay after reopen: %d records, want 6", len(recs))
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	dir := t.TempDir()
+	// A slow fsync guarantees callers pile up behind the in-flight commit, so
+	// batching is deterministic rather than a scheduling accident.
+	fs := &faultFS{syncDelay: 2 * time.Millisecond}
+	l := mustOpen(t, dir, Options{FS: fs})
+
+	const writers = 64
+	lsns := make([]uint64, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := l.Append(RecInsert, []byte(fmt.Sprintf("w%02d", i)))
+			if err != nil {
+				t.Errorf("writer %d: %v", i, err)
+				return
+			}
+			lsns[i] = lsn
+		}(i)
+	}
+	wg.Wait()
+
+	st := l.Stats()
+	if st.Appends != writers {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers)
+	}
+	if st.Batches >= writers {
+		t.Fatalf("no batching: %d batches for %d appends", st.Batches, writers)
+	}
+	if st.Syncs != st.Batches {
+		t.Fatalf("one fsync per batch expected: %d syncs, %d batches", st.Syncs, st.Batches)
+	}
+	// The LSNs must be a permutation of 1..writers: every ack durable and
+	// distinct.
+	seen := make(map[uint64]bool, writers)
+	for i, lsn := range lsns {
+		if lsn < 1 || lsn > writers || seen[lsn] {
+			t.Fatalf("writer %d got bad/duplicate LSN %d", i, lsn)
+		}
+		seen[lsn] = true
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != writers {
+		t.Fatalf("replay: %d records, want %d", len(recs), writers)
+	}
+}
+
+func TestRotationAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// ~33-byte frames against a 256-byte budget: rotation every few appends.
+	l := mustOpen(t, dir, Options{SegmentBytes: 256})
+	const n = 40
+	appendN(t, l, n)
+
+	segs, err := Segments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, have %d", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].FirstLSN <= segs[i-1].FirstLSN {
+			t.Fatalf("segment FirstLSNs not increasing: %+v", segs)
+		}
+	}
+
+	// A mid-log checkpoint must drop only fully-applied prefix segments and
+	// keep every record above the checkpoint replayable.
+	const upTo = 17
+	if err := l.Checkpoint(upTo); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	segs, err = Segments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("checkpoint removed every segment")
+	}
+	if segs[0].FirstLSN > upTo+1 {
+		t.Fatalf("oldest surviving segment starts at %d, past checkpoint %d", segs[0].FirstLSN, upTo)
+	}
+	var got []uint64
+	if _, err := Replay(dir, nil, upTo, func(r Record) error {
+		got = append(got, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay after checkpoint: %v", err)
+	}
+	if len(got) != n-upTo || got[0] != upTo+1 || got[len(got)-1] != n {
+		t.Fatalf("replay after checkpoint: lsns %v", got)
+	}
+
+	// Checkpointing everything rotates the active segment away and leaves an
+	// empty log whose LSN sequence still continues.
+	if err := l.Checkpoint(n); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 0 {
+		t.Fatalf("fully-checkpointed log still replays %d records", len(recs))
+	}
+	lsn, err := l.Append(RecInsert, []byte("after-gc"))
+	if err != nil || lsn != n+1 {
+		t.Fatalf("append after full checkpoint: lsn %d, err %v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l = mustOpen(t, dir, Options{SegmentBytes: 256})
+	if gotNext := l.NextLSN(); gotNext != n+2 {
+		t.Fatalf("NextLSN after reopen = %d, want %d", gotNext, n+2)
+	}
+	l.Close()
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cut  func(size int64) int64 // returns the new size
+		keep int                    // records expected to survive
+	}{
+		{"mid-frame", func(size int64) int64 { return size - 3 }, 9},
+		{"mid-payload", func(size int64) int64 { return size - int64(len("rec-0009")) - 2 }, 9},
+		{"frame-boundary-garbage", func(size int64) int64 { return -1 }, 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, dir, Options{})
+			appendN(t, l, 10)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			seg := onlySegment(t, dir)
+			st, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if newSize := tc.cut(st.Size()); newSize >= 0 {
+				if err := os.Truncate(seg, newSize); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Torn write that appended garbage past the last full frame.
+				f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+
+			l = mustOpen(t, dir, Options{})
+			if got := l.NextLSN(); got != uint64(tc.keep)+1 {
+				t.Fatalf("NextLSN after torn tail = %d, want %d", got, tc.keep+1)
+			}
+			// The log must keep accepting appends after the repair, and replay
+			// must see the surviving prefix plus the new record with no gap.
+			lsn, err := l.Append(RecInsert, []byte("post-repair"))
+			if err != nil || lsn != uint64(tc.keep)+1 {
+				t.Fatalf("append after repair: lsn %d, err %v", lsn, err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			recs, _ := collect(t, dir, 0)
+			if len(recs) != tc.keep+1 {
+				t.Fatalf("replay: %d records, want %d", len(recs), tc.keep+1)
+			}
+			for i, r := range recs {
+				if r.LSN != uint64(i+1) {
+					t.Fatalf("gap at record %d: LSN %d", i, r.LSN)
+				}
+			}
+		})
+	}
+}
+
+// frameStart returns the byte offset of the i-th (0-based) frame in a segment
+// whose records all carry payloadLen-byte payloads.
+func frameStart(i, payloadLen int) int64 {
+	return headerSize + int64(i)*int64(frameOverhead+payloadLen)
+}
+
+func TestBitFlipNewestSegmentStopsClean(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 10) // fixed 8-byte payloads
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := onlySegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of frame 6 (LSN 7): the newest segment's scan must
+	// stop cleanly before it, exposing LSNs 1..6 — indistinguishable from a
+	// crash before LSN 7 was acknowledged.
+	data[frameStart(6, 8)+17] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, last := collect(t, dir, 0)
+	if len(recs) != 6 || last != 6 {
+		t.Fatalf("replay over flipped newest segment: %d records, last %d; want 6, 6", len(recs), last)
+	}
+}
+
+func TestBitFlipEarlierSegmentIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 256})
+	appendN(t, l, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need ≥2 segments, have %d", len(segs))
+	}
+
+	// A bad frame below the newest segment cannot be crash damage — rotation
+	// sealed that file with an fsync — so replay must refuse, not truncate.
+	seg := filepath.Join(dir, segs[0].Name)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+20] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, nil, 0, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadHeaderNewestRepairedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 4)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlySegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("XXXX"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// A garbled header on the newest segment means none of its frames are
+	// trustworthy: Open starts the segment over at its named firstLSN.
+	l = mustOpen(t, dir, Options{})
+	if got := l.NextLSN(); got != 1 {
+		t.Fatalf("NextLSN after header repair = %d, want 1", got)
+	}
+	lsn, err := l.Append(RecInsert, []byte("fresh"))
+	if err != nil || lsn != 1 {
+		t.Fatalf("append after repair: lsn %d, err %v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 1 || string(recs[0].Payload) != "fresh" {
+		t.Fatalf("replay after header repair: %+v", recs)
+	}
+}
+
+func TestBadHeaderEarlierSegmentIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 256})
+	appendN(t, l, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Segments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need ≥2 segments, have %d", len(segs))
+	}
+	seg := filepath.Join(dir, segs[0].Name)
+	f, err := os.OpenFile(seg, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("JUNK"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Replay(dir, nil, 0, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCloseRejectsNewAndPendingAppends(t *testing.T) {
+	dir := t.TempDir()
+	fs := &faultFS{syncDelay: 5 * time.Millisecond}
+	l := mustOpen(t, dir, Options{FS: fs})
+
+	// Launch appends that will straddle Close: each must either be durably
+	// acknowledged with an LSN or fail with ErrClosed — never limbo.
+	const writers = 32
+	type outcome struct {
+		lsn uint64
+		err error
+	}
+	outcomes := make([]outcome, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := l.Append(RecInsert, []byte(fmt.Sprintf("c%02d", i)))
+			outcomes[i] = outcome{lsn, err}
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+
+	acked := make(map[uint64]bool)
+	for i, o := range outcomes {
+		switch {
+		case o.err == nil:
+			acked[o.lsn] = true
+		case errors.Is(o.err, ErrClosed):
+		default:
+			t.Fatalf("writer %d: unexpected error %v", i, o.err)
+		}
+	}
+	// Replay must agree exactly with the set of acknowledgements.
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != len(acked) {
+		t.Fatalf("replay has %d records, %d were acked", len(recs), len(acked))
+	}
+	for _, r := range recs {
+		if !acked[r.LSN] {
+			t.Fatalf("replayed LSN %d was never acknowledged", r.LSN)
+		}
+	}
+
+	if _, err := l.Append(RecInsert, []byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestSyncFailureRollsBackUnackedRecords(t *testing.T) {
+	dir := t.TempDir()
+	fs := &faultFS{}
+	l := mustOpen(t, dir, Options{FS: fs})
+	appendN(t, l, 3)
+
+	// errFault is non-transient, so retry.Sync surfaces it on the first call;
+	// exactly one injected failure hits the commit fsync and leaves the
+	// rollback's own fsync healthy.
+	fs.failSyncs.Store(1)
+	if _, err := l.Append(RecInsert, []byte("doomed")); err == nil {
+		t.Fatal("Append survived a failed fsync")
+	}
+	if got := l.NextLSN(); got != 4 {
+		t.Fatalf("NextLSN after failed batch = %d, want 4", got)
+	}
+
+	// The failed record's LSN is reused: the log has no holes.
+	lsn, err := l.Append(RecInsert, []byte("retried"))
+	if err != nil || lsn != 4 {
+		t.Fatalf("append after rollback: lsn %d, err %v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 4 {
+		t.Fatalf("replay: %d records, want 4", len(recs))
+	}
+	if string(recs[3].Payload) != "retried" {
+		t.Fatalf("LSN 4 replays %q, want the acked record", recs[3].Payload)
+	}
+}
+
+func TestPoisonedLogFailsEverything(t *testing.T) {
+	dir := t.TempDir()
+	fs := &faultFS{}
+	l := mustOpen(t, dir, Options{FS: fs})
+	appendN(t, l, 2)
+
+	// Fail the fsync AND the rollback truncation: the on-disk tail is now
+	// unknowable, so the log must refuse all further work.
+	fs.failSyncs.Store(8)
+	fs.failTruncate.Store(true)
+	if _, err := l.Append(RecInsert, []byte("x")); err == nil {
+		t.Fatal("Append survived fsync+rollback failure")
+	}
+	fs.failSyncs.Store(0)
+	fs.failTruncate.Store(false)
+
+	if _, err := l.Append(RecInsert, []byte("y")); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	if err := l.Checkpoint(2); err == nil {
+		t.Fatal("poisoned log accepted a checkpoint")
+	}
+	l.Close()
+}
+
+func TestNoSyncAndManualSync(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{NoSync: true})
+	appendN(t, l, 5)
+	if st := l.Stats(); st.Syncs != 0 {
+		t.Fatalf("NoSync log performed %d syncs", st.Syncs)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Syncs != 1 {
+		t.Fatalf("manual Sync not counted: %d", st.Syncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir, 0)
+	if len(recs) != 5 {
+		t.Fatalf("replay: %d records, want 5", len(recs))
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	defer l.Close()
+	if _, err := l.Append(RecInsert, make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if got := l.NextLSN(); got != 1 {
+		t.Fatalf("rejected payload consumed LSN: next = %d", got)
+	}
+}
+
+func TestReplayMissingDir(t *testing.T) {
+	last, err := Replay(filepath.Join(t.TempDir(), "nope"), nil, 7, func(Record) error {
+		return errors.New("must not be called")
+	})
+	if err != nil || last != 7 {
+		t.Fatalf("Replay on missing dir: last %d, err %v", last, err)
+	}
+}
+
+func TestReplayCallbackErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendN(t, l, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop here")
+	_, err := Replay(dir, nil, 0, func(r Record) error {
+		if r.LSN == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Replay err = %v, want the callback's error", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("callback error misclassified as corruption")
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes to Replay as the sole (therefore
+// newest) segment: whatever the bytes, replay must not panic and must either
+// succeed with monotonically increasing LSNs from the segment's firstLSN or
+// fail with ErrCorrupt.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a genuine two-record segment, plus mutations of it.
+	valid := func() []byte {
+		b := make([]byte, 0, 64)
+		b = append(b, "SPBW"...)
+		b = binary.LittleEndian.AppendUint32(b, 1) // version
+		b = binary.LittleEndian.AppendUint64(b, 1) // firstLSN
+		for lsn := uint64(1); lsn <= 2; lsn++ {
+			payload := []byte{byte(lsn), 0xaa}
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+			body := binary.LittleEndian.AppendUint64(nil, lsn)
+			body = append(body, byte(RecInsert))
+			body = append(body, payload...)
+			b = append(b, body...)
+			b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)))
+		}
+		return b
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:headerSize])
+	f.Add([]byte("SPBWgarbage"))
+	f.Add([]byte{})
+	flipped := append([]byte(nil), valid...)
+	flipped[headerSize+9] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		prev := uint64(0)
+		last, err := Replay(dir, nil, 0, func(r Record) error {
+			if r.LSN != prev+1 {
+				t.Fatalf("non-contiguous LSN %d after %d", r.LSN, prev)
+			}
+			if len(r.Payload) > MaxPayload {
+				t.Fatalf("oversized payload survived replay: %d", len(r.Payload))
+			}
+			prev = r.LSN
+			return nil
+		})
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Replay returned a non-corruption error: %v", err)
+		}
+		if err == nil && last != prev {
+			t.Fatalf("Replay reported last %d but delivered through %d", last, prev)
+		}
+	})
+}
