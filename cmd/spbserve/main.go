@@ -9,6 +9,7 @@
 //	spbserve -dir INDEXDIR [-addr :8080] [-workers N] [-queue N]
 //	         [-query-workers K] [-timeout 5s] [-max-timeout 60s] [-nosync]
 //	spbserve -demo 50000 [-dim 8] [-addr :8080]
+//	spbserve -cluster cluster.json -placement ROOT/placement.json [-addr :8080]
 //
 // -dir serves an index directory written by "spbtool build" (the directory's
 // config.json supplies the metric). A durable directory (spbtool build
@@ -24,6 +25,15 @@
 // min(GOMAXPROCS, 8) default, 1 = serial verification). The two compose: all
 // verifiers come from one process-wide pool, so saturated queries degrade to
 // serial verification instead of multiplying goroutines.
+//
+// -cluster runs the same HTTP API as a cluster router: queries scatter to
+// the nodes owning the relevant shards (see cmd/spbcluster and DESIGN.md
+// §12) and gather-merge into answers byte-identical to a single-process
+// index; a down node yields the healthy nodes' partial results plus a
+// per-node error marker instead of a failure. Router mode adds two admin
+// endpoints: GET/POST /admin/placement (inspect or hot-swap the shard
+// placement) and POST /admin/handoff {"shard":N,"to":"node"} (move a shard
+// live). OPERATIONS.md is the runbook.
 //
 // SIGINT/SIGTERM trigger a graceful drain: new queries get 503, in-flight
 // ones finish under their own deadlines, then the process exits.
@@ -182,27 +192,30 @@ func run() error {
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on request-supplied deadlines")
 	drainWait := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 	nosync := flag.Bool("nosync", false, "skip WAL fsyncs on durable indexes (crash-unsafe; benchmarks only)")
+	clusterCfg := flag.String("cluster", "", "cluster config file: run as the cluster's router instead of serving -dir")
+	placementFile := flag.String("placement", "", "persisted placement.json (router mode; default derives the bootstrap placement from -cluster)")
 	flag.Parse()
 
 	var tree *core.Tree
 	var ps parsers
+	var router *routerState
 	var err error
 	switch {
+	case *clusterCfg != "":
+		router, ps, err = openCluster(*clusterCfg, *placementFile)
 	case *demo > 0:
 		fmt.Fprintf(os.Stderr, "building demo index: %d vectors, dim %d\n", *demo, *dim)
 		tree, ps, err = buildDemo(*demo, *dim, *queryWorkers)
 	case *dir != "":
 		tree, ps, err = openDir(*dir, *queryWorkers, *nosync)
 	default:
-		return errors.New("spbserve needs -dir or -demo (see -h)")
+		return errors.New("spbserve needs -dir, -demo or -cluster (see -h)")
 	}
 	if err != nil {
 		return err
 	}
-	defer tree.Close()
 
-	srv, err := server.New(server.Config{
-		Tree:           tree,
+	cfg := server.Config{
 		ParseQuery:     ps.query,
 		ParseObject:    ps.obj,
 		Workers:        *workers,
@@ -210,24 +223,42 @@ func run() error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MetricsName:    "spbserve",
-	})
+	}
+	if router != nil {
+		defer router.r.Close()
+		cfg.Backend = router.backend
+	} else {
+		defer tree.Close()
+		cfg.Tree = tree
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if router != nil {
+		handler = router.adminMux(handler)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	mode := "read-only"
-	if tree.Durable() {
-		mode = "durable (writes enabled"
-		if *nosync {
-			mode += ", nosync"
+	if router != nil {
+		p := router.r.Placement()
+		fmt.Fprintf(os.Stderr, "routing %d shards across %d nodes (placement v%d) on %s\n",
+			p.Shards, len(p.Nodes), p.Version, *addr)
+	} else {
+		mode := "read-only"
+		if tree.Durable() {
+			mode = "durable (writes enabled"
+			if *nosync {
+				mode += ", nosync"
+			}
+			mode += ")"
 		}
-		mode += ")"
+		fmt.Fprintf(os.Stderr, "serving %d objects (%s curve, %s) on %s\n",
+			tree.Len(), tree.CurveKind(), mode, *addr)
 	}
-	fmt.Fprintf(os.Stderr, "serving %d objects (%s curve, %s) on %s\n",
-		tree.Len(), tree.CurveKind(), mode, *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spbtree/internal/core"
+	"spbtree/internal/forest"
+	"spbtree/internal/metric"
+)
+
+// BootstrapOptions configures Bootstrap.
+type BootstrapOptions struct {
+	// Dir is the root under which each node's data directory is created
+	// (Dir/<node-name>/shard-NNN); required.
+	Dir string
+	// Tree configures the shard trees (Distance and Codec required; leave
+	// ShareMapping nil — Bootstrap fills it).
+	Tree core.Options
+	// Durable configures the shard trees' write path.
+	Durable core.DurableOptions
+}
+
+// NodeDir is the data directory Bootstrap lays out for one node.
+func NodeDir(root, node string) string { return filepath.Join(root, node) }
+
+// Bootstrap builds a cluster's on-disk state from scratch: objs are
+// hash-partitioned exactly like forest.Build (shard = id mod Shards), each
+// partition becomes a durable shard tree in its ring-assigned owner's data
+// directory, and — the invariant everything else rests on — every shard
+// shares ONE pivot mapping, selected deterministically from partition 0
+// exactly as the single-process forest selects it. A bootstrapped cluster
+// therefore answers byte-identically to forest.Build over the same objects
+// (same pivots, same quantization, same per-shard trees), which the
+// equivalence tests assert dataset by dataset.
+//
+// Bootstrap runs in one process before any node starts; it returns the
+// bootstrap placement for the caller to persist.
+func Bootstrap(cfg *Config, objs []metric.Object, opts BootstrapOptions) (*Placement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Tree.ShareMapping != nil {
+		return nil, fmt.Errorf("cluster: Bootstrap selects the shared mapping itself; leave ShareMapping nil")
+	}
+	parts := forest.Partition(objs, cfg.Shards)
+	for i, p := range parts {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d is empty; fewer shards than distinct objects required", i)
+		}
+	}
+
+	// Select the shared pivot mapping the way forest.Build does: from
+	// partition 0, deterministically in Options.Seed. The throwaway tree
+	// exists only to carry the mapping into ShareMapping.
+	t0, err := core.Build(parts[0], opts.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bootstrap mapping: %w", err)
+	}
+	defer t0.Close()
+
+	placement := cfg.Placement()
+	for shard, part := range parts {
+		owner := placement.Owners[shard]
+		dir := filepath.Join(NodeDir(opts.Dir, owner), fmt.Sprintf("shard-%03d", shard))
+		if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
+			return nil, err
+		}
+		shOpts := opts.Tree
+		shOpts.ShareMapping = t0
+		t, err := core.CreateDurable(dir, part, shOpts, opts.Durable)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bootstrap shard %d on %s: %w", shard, owner, err)
+		}
+		if err := t.Close(); err != nil {
+			return nil, fmt.Errorf("cluster: bootstrap shard %d on %s: close: %w", shard, owner, err)
+		}
+	}
+	return placement, nil
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// ErrNotOwner matches (errors.Is) a request that reached a node for a shard
+// it does not own — the normal signal that the caller's placement is stale
+// (a handoff completed since it was fetched). The router reacts by
+// refreshing its placement and retrying once; other callers should refetch
+// placement and re-route.
+var ErrNotOwner = errors.New("cluster: node does not own shard")
+
+// ErrShardFrozen matches (errors.Is) a mutation rejected because the shard
+// is quiesced for handoff. Queries and exports keep working on a frozen
+// shard; only writes and compaction pause. Writers should retry after the
+// handoff's placement flip (against the new owner).
+var ErrShardFrozen = errors.New("cluster: shard is frozen for handoff")
+
+// NodeError is the typed per-node failure the scatter layer attaches to
+// partial results: when a cluster query returns with some nodes failed, the
+// answer contains everything the healthy nodes produced and the error is
+// one NodeError per failed node (joined with errors.Join), each naming the
+// node and wrapping its underlying cause — so errors.Is still recognizes
+// core.ErrCanceled, ErrNotOwner, connection failures, and friends.
+type NodeError struct {
+	// Node is the placement name of the failed node.
+	Node string
+	// Addr is the address the failure occurred against.
+	Addr string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("cluster: node %s (%s): %v", e.Node, e.Addr, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// AsNodeErrors unpacks an error returned by a router scatter into its
+// per-node failures (via errors.As over an errors.Join chain). A nil error
+// yields nil.
+func AsNodeErrors(err error) []*NodeError {
+	if err == nil {
+		return nil
+	}
+	var out []*NodeError
+	collect(err, &out)
+	return out
+}
+
+// collect walks Unwrap trees (including errors.Join's Unwrap() []error)
+// gathering NodeErrors. It checks each tree node's own type rather than
+// using errors.As, which would find only the first NodeError in a joined
+// tree and hide its siblings.
+func collect(err error, out *[]*NodeError) {
+	switch e := err.(type) {
+	case nil:
+	case *NodeError:
+		*out = append(*out, e)
+	case interface{ Unwrap() []error }:
+		for _, sub := range e.Unwrap() {
+			collect(sub, out)
+		}
+	case interface{ Unwrap() error }:
+		collect(e.Unwrap(), out)
+	}
+}
+
+// transientRPC reports whether an RPC failure is worth a redial-and-retry:
+// connection-level failures that a node restart or a transient network blip
+// explains. Application-level errors (typed wire errors, cancellations)
+// are never transient — they came from a healthy conversation.
+func transientRPC(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"spbtree/internal/retry"
+)
+
+// handoffChunk is the file-copy granularity. 1 MiB keeps frames far below
+// the wire limit while amortizing per-chunk round trips.
+const handoffChunk = 1 << 20
+
+// Handoff moves shard to the named target node and flips the placement —
+// the rebalance primitive (DESIGN.md §12.4 has the state machine;
+// OPERATIONS.md the runbook). The sequence:
+//
+//  1. freeze the shard on its current owner — mutations start answering
+//     ErrShardFrozen, compaction pauses, the file set quiesces; queries
+//     keep being served by the old owner throughout the copy;
+//  2. copy the shard's files (base generation, WAL tail, CURRENT) to the
+//     target's staging directory, chunked, and fsync them there;
+//  3. activate on the target (rename into place + open durable);
+//  4. flip the router's placement atomically — new queries route to the
+//     target from here on;
+//  5. drop the shard from the old owner (close + delete files).
+//
+// Any failure before activation unwinds: the target's staging directory is
+// abandoned (a future Begin clears it) and the source unfreezes, leaving
+// the cluster exactly as before. After activation the flip is committed —
+// a failure during drop leaves only garbage files on the old owner, never
+// two live owners, because the placement names the target already.
+//
+// Other routers discover the move lazily: their next query to the old
+// owner answers ErrNotOwner, which triggers their placement refresh.
+func (r *Router) Handoff(ctx context.Context, shard int, target string) error {
+	p := r.placement.Load()
+	if shard < 0 || shard >= p.Shards {
+		return fmt.Errorf("cluster: handoff: no shard %d", shard)
+	}
+	source := p.Owners[shard]
+	if source == target {
+		return fmt.Errorf("cluster: handoff: %s already owns shard %d", target, shard)
+	}
+	tgtAddr, ok := p.Nodes[target]
+	if !ok {
+		return fmt.Errorf("cluster: handoff: unknown node %q", target)
+	}
+	srcAddr := p.Nodes[source]
+	src, tgt := r.client(srcAddr), r.client(tgtAddr)
+
+	// 1. Quiesce the source shard.
+	if err := freezeRPC(ctx, src, shard, true); err != nil {
+		return fmt.Errorf("cluster: handoff: freeze on %s: %w", source, err)
+	}
+	unwind := func(err error) error {
+		if uerr := freezeRPC(context.WithoutCancel(ctx), src, shard, false); uerr != nil {
+			err = errors.Join(err, fmt.Errorf("cluster: handoff: unfreeze on %s: %w", source, uerr))
+		}
+		return err
+	}
+
+	// 2. Copy the quiesced file set into the target's staging directory.
+	var manifest rpcListFilesResp
+	err := retry.Do(ctx, transientRPC, func() error {
+		manifest = rpcListFilesResp{}
+		return src.Call(ctx, kListFiles, rpcListFilesReq{Shard: shard}, &manifest)
+	})
+	if err == nil {
+		err = fromWireErr(manifest.Err)
+	}
+	if err != nil {
+		return unwind(fmt.Errorf("cluster: handoff: manifest from %s: %w", source, err))
+	}
+	if err := installRPC(ctx, tgt, kBeginInstall, rpcInstallReq{Shard: shard}); err != nil {
+		return unwind(fmt.Errorf("cluster: handoff: begin install on %s: %w", target, err))
+	}
+	for _, path := range manifest.Paths {
+		if err := r.copyFile(ctx, src, tgt, shard, path); err != nil {
+			return unwind(fmt.Errorf("cluster: handoff: copy %s: %w", path, err))
+		}
+	}
+	if err := installRPC(ctx, tgt, kFinishInstall, rpcInstallReq{Shard: shard}); err != nil {
+		return unwind(fmt.Errorf("cluster: handoff: finish install on %s: %w", target, err))
+	}
+
+	// 3. Activate on the target. From here the move is committed.
+	if err := installRPC(ctx, tgt, kActivate, rpcInstallReq{Shard: shard}); err != nil {
+		return unwind(fmt.Errorf("cluster: handoff: activate on %s: %w", target, err))
+	}
+
+	// 4. Flip placement: one shard's owner changes, version bumps.
+	np := p.Clone()
+	np.Version++
+	np.Owners[shard] = target
+	if err := r.SetPlacement(np); err != nil {
+		return err
+	}
+
+	// 5. Retire the source copy. Failures here are advisory: ownership
+	// already moved, the old files are garbage at worst.
+	if err := installRPC(context.WithoutCancel(ctx), src, kDrop, rpcInstallReq{Shard: shard}); err != nil {
+		return fmt.Errorf("cluster: handoff complete, but dropping shard %d from %s failed (stale files remain): %w",
+			shard, source, err)
+	}
+	return nil
+}
+
+// copyFile streams one shard file source→target in order, chunked.
+func (r *Router) copyFile(ctx context.Context, src, tgt *Client, shard int, path string) error {
+	off := int64(0)
+	first := true
+	for {
+		var chunk rpcReadFileResp
+		err := retry.Do(ctx, transientRPC, func() error {
+			chunk = rpcReadFileResp{}
+			return src.Call(ctx, kReadFile,
+				rpcReadFileReq{Shard: shard, Path: path, Off: off, Len: handoffChunk}, &chunk)
+		})
+		if err == nil {
+			err = fromWireErr(chunk.Err)
+		}
+		if err != nil {
+			return err
+		}
+		if len(chunk.Data) > 0 || first {
+			if err := installRPC(ctx, tgt, kInstallChunk,
+				rpcInstallReq{Shard: shard, Path: path, Data: chunk.Data, First: first}); err != nil {
+				return err
+			}
+		}
+		first = false
+		off += int64(len(chunk.Data))
+		if chunk.EOF || len(chunk.Data) == 0 {
+			return nil
+		}
+	}
+}
+
+// freezeRPC toggles a shard's frozen state on one node.
+func freezeRPC(ctx context.Context, c *Client, shard int, on bool) error {
+	var resp rpcFreezeResp
+	err := retry.Do(ctx, transientRPC, func() error {
+		resp = rpcFreezeResp{}
+		return c.Call(ctx, kFreeze, rpcFreezeReq{Shard: shard, On: on}, &resp)
+	})
+	if err == nil {
+		err = fromWireErr(resp.Err)
+	}
+	return err
+}
+
+// installRPC performs one install-step RPC. Install steps are not blindly
+// retried on transport failure (a replayed chunk would corrupt the staged
+// file), except Begin/Finish/Drop which are idempotent.
+func installRPC(ctx context.Context, c *Client, kind byte, req rpcInstallReq) error {
+	var resp rpcInstallResp
+	call := func() error {
+		resp = rpcInstallResp{}
+		return c.Call(ctx, kind, req, &resp)
+	}
+	var err error
+	if kind == kInstallChunk || kind == kActivate {
+		err = call()
+	} else {
+		err = retry.Do(ctx, transientRPC, call)
+	}
+	if err == nil {
+		err = fromWireErr(resp.Err)
+	}
+	return err
+}

@@ -390,6 +390,23 @@ func (t *Tree) DeltaLen() int {
 // Durable reports whether the tree runs the WAL-backed write path.
 func (t *Tree) Durable() bool { return t.dur != nil }
 
+// HoldCompaction blocks background and explicit compaction until the
+// returned release function is called. While held, the generation directory
+// and WAL segment set are frozen on disk (appends still go to the newest WAL
+// segment unless the caller also stops mutations), which is what shard
+// handoff needs to copy a consistent durable directory out from under a live
+// tree. The release function is idempotent, and it MUST be called before
+// Close — the compactor goroutine Close joins could otherwise be parked on
+// the held lock. Errors on non-durable trees.
+func (t *Tree) HoldCompaction() (release func(), err error) {
+	if t.dur == nil {
+		return nil, fmt.Errorf("core: HoldCompaction: not a durable tree")
+	}
+	t.dur.compactMu.Lock()
+	var once sync.Once
+	return func() { once.Do(t.dur.compactMu.Unlock) }, nil
+}
+
 // compactOnce folds the write buffer into a fresh base generation. The
 // state machine (DESIGN.md §11):
 //

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"sort"
+
+	"spbtree/internal/metric"
+)
+
+// ExportObjects snapshots the tree's live object set — the base tree minus
+// delta-shadowed records plus buffered inserts — sorted by ascending ID. It
+// is the data-shipping primitive of the cluster layer (DESIGN.md §12): shard
+// handoff verification and cross-node join partners both rebuild a tree from
+// an exported snapshot, so the result must be exactly the object set a
+// freshly compacted tree would index. The snapshot is taken under the read
+// lock and is consistent: no concurrent mutation is half-visible.
+func (t *Tree) ExportObjects() ([]metric.Object, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	out := make([]metric.Object, 0, t.count)
+	c := t.bpt.SeekFirst()
+	for ; c.Valid(); c.Next() {
+		obj, err := t.raf.Read(c.Val())
+		if err != nil {
+			return nil, err
+		}
+		if t.deltaShadowed(obj.ID()) {
+			continue
+		}
+		out = append(out, obj)
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	for _, e := range t.deltaEntriesSorted() {
+		out = append(out, e.obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out, nil
+}

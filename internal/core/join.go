@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"spbtree/internal/metric"
 	"spbtree/internal/sfc"
@@ -13,6 +15,41 @@ import (
 type JoinPair struct {
 	Q, O metric.Object
 	Dist float64
+}
+
+// IDPair is the remote-safe form of a join answer: the two object IDs and
+// their distance, with no object payloads attached. Cluster nodes return
+// join results in this form (shipping every matched object back through the
+// gather would multiply the wire traffic for no consumer — the serving layer
+// only renders IDs and distances), and it is what a scatter-gather join
+// ultimately sorts and deduplicates by.
+type IDPair struct {
+	// QID and OID identify the joined objects.
+	QID, OID uint64
+	// Dist is d(q, o) ≤ ε.
+	Dist float64
+}
+
+// IDPairs projects join answers onto their remote-safe form, preserving
+// order.
+func IDPairs(pairs []JoinPair) []IDPair {
+	out := make([]IDPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = IDPair{QID: p.Q.ID(), OID: p.O.ID(), Dist: p.Dist}
+	}
+	return out
+}
+
+// SortIDPairs orders pairs by (QID, OID), the canonical result order every
+// join entry point returns — applying it after a gather makes the merged
+// answer byte-identical to a single-tree join.
+func SortIDPairs(pairs []IDPair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].QID != pairs[j].QID {
+			return pairs[i].QID < pairs[j].QID
+		}
+		return pairs[i].OID < pairs[j].OID
+	})
 }
 
 // Join computes SJ(Q, O, ε) with the paper's Algorithm 3 (SJA): a single
@@ -198,7 +235,14 @@ func joinCompatible(tq, to *Tree) error {
 		return fmt.Errorf("core: join trees have incompatible mappings; build one with ShareMapping")
 	}
 	for i := range tq.pivots {
-		if tq.pivots[i] != to.pivots[i] {
+		a, b := tq.pivots[i], to.pivots[i]
+		if a == b {
+			continue // shared mapping: same object
+		}
+		// Trees loaded independently (e.g. two cluster shards reopened from
+		// disk) carry distinct pivot objects with identical content; compare
+		// by identity and encoding, not interface equality.
+		if a.ID() != b.ID() || !bytes.Equal(a.AppendBinary(nil), b.AppendBinary(nil)) {
 			return fmt.Errorf("core: join trees use different pivot tables; build one with ShareMapping")
 		}
 	}

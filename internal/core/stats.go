@@ -138,6 +138,51 @@ type QueryStats struct {
 // PageAccesses returns IndexPA+DataPA, the paper's PA metric.
 func (s *QueryStats) PageAccesses() int64 { return s.IndexPA + s.DataPA }
 
+// Merge folds another query's stats into s — the gather-side aggregation of
+// a scatter-gather query (forest shards, cluster nodes). Work counters and
+// cost totals add, so Compdists/PA reconcile with the total work across all
+// branches exactly as on a single tree; wall clocks take the maximum, the
+// honest elapsed figure for branches that ran in parallel. Merge only reads
+// exported fields, so it works identically on stats decoded from a wire
+// payload (gob drops the unexported timing flag, which only gates clock
+// collection, not reporting).
+func (s *QueryStats) Merge(o QueryStats) {
+	if s.Op == "" {
+		s.Op = o.Op
+	}
+	s.NodesRead += o.NodesRead
+	s.NodesPruned += o.NodesPruned
+	s.EntriesScanned += o.EntriesScanned
+	s.EntriesPruned += o.EntriesPruned
+	s.EntriesSkipped += o.EntriesSkipped
+	s.HeapPushes += o.HeapPushes
+	s.ListEvictions += o.ListEvictions
+	s.Lemma2Included += o.Lemma2Included
+	s.Verified += o.Verified
+	s.Discarded += o.Discarded
+	s.DeltaCandidates += o.DeltaCandidates
+	s.TombstonesSkipped += o.TombstonesSkipped
+	s.Abandoned += o.Abandoned
+	s.Results += o.Results
+	s.Compdists += o.Compdists
+	s.IndexPA += o.IndexPA
+	s.DataPA += o.DataPA
+	s.IndexCacheHits += o.IndexCacheHits
+	s.DataCacheHits += o.DataCacheHits
+	if o.PlanTime > s.PlanTime {
+		s.PlanTime = o.PlanTime
+	}
+	if o.VerifyTime > s.VerifyTime {
+		s.VerifyTime = o.VerifyTime
+	}
+	if o.FilterTime > s.FilterTime {
+		s.FilterTime = o.FilterTime
+	}
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+}
+
 // stageStart returns a stage start time, or the zero time when per-stage
 // timing is off.
 func (s *QueryStats) stageStart() time.Time {

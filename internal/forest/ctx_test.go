@@ -27,7 +27,7 @@ func TestScatterStopsOnCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	var launched atomic.Int32
-	err = f.scatter(ctx, func(i int, tr *core.Tree) error {
+	err = f.scatter(ctx, func(i int, s Shard) error {
 		if launched.Add(1) == 1 {
 			cancel() // cancel while the first shard is still running
 		}
@@ -38,6 +38,43 @@ func TestScatterStopsOnCancel(t *testing.T) {
 	}
 	if n := launched.Load(); n > 2 {
 		t.Fatalf("%d shards launched after cancellation (dispatch did not stop)", n)
+	}
+}
+
+// TestScatterNoDispatchAfterCancelObserved: once cancellation is observable,
+// not one more shard may be dispatched. With Parallel=1 and shard 0 canceling
+// before it returns, ctx.Done() is ready strictly before the slot frees; the
+// dispatcher waiting in its select then has both cases ready, and Go picks
+// between ready cases at random — the old loop would dispatch shard 1 on the
+// sem-win half of those races. The fixed loop re-checks ctx after winning the
+// slot, so shard 0 must remain the only shard that ever ran, every iteration.
+func TestScatterNoDispatchAfterCancelObserved(t *testing.T) {
+	objs := vectors(800, 3, 17, 0)
+	f, err := Build(objs, Options{
+		Tree: core.Options{
+			Distance: metric.L2(3), Codec: metric.VectorCodec{Dim: 3}, NumPivots: 2,
+		},
+		Shards:   8,
+		Parallel: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 50; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var launched atomic.Int32
+		err := f.scatter(ctx, func(i int, s Shard) error {
+			launched.Add(1)
+			cancel() // observable before this shard's slot frees
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("iter %d: err = %v, want ErrCanceled", iter, err)
+		}
+		if n := launched.Load(); n != 1 {
+			t.Fatalf("iter %d: %d shards ran after cancellation was observable, want exactly 1", iter, n)
+		}
 	}
 }
 
@@ -57,7 +94,7 @@ func TestScatterStopsOnError(t *testing.T) {
 	}
 	boom := errors.New("shard exploded")
 	var launched atomic.Int32
-	err = f.scatter(context.Background(), func(i int, tr *core.Tree) error {
+	err = f.scatter(context.Background(), func(i int, s Shard) error {
 		launched.Add(1)
 		if i == 0 {
 			return boom

@@ -5,9 +5,14 @@
 // monolithic index), and queries scatter to all shards in parallel and
 // gather-merge the answers.
 //
-// Each shard owns its page stores, caches and counters, exactly as separate
-// nodes would; the scatter-gather layer is the part a networked deployment
-// would replace with RPCs.
+// Shards are addressed through the Shard interface, so a Forest can span
+// local trees, RPC-backed remote trees (internal/cluster), or a mix: Build
+// produces the all-local form (each shard owning its page stores, caches
+// and counters, exactly as separate nodes would), and FromShards assembles
+// a Forest over any shard set sharing one pivot mapping. The scatter-gather
+// here is exactly what a cluster node runs over its locally-owned shards;
+// the cluster router repeats the same merge one level up, across nodes
+// (DESIGN.md §12).
 package forest
 
 import (
@@ -40,8 +45,27 @@ type Options struct {
 
 // Forest is a partitioned SPB-tree.
 type Forest struct {
-	shards   []*core.Tree
+	shards []Shard
+	// trees mirrors shards with the concrete local tree where there is one
+	// (nil for remote shards); the tree-only operations — joins, partner
+	// builds, stats — require it.
+	trees    []*core.Tree
 	parallel int
+}
+
+// PartitionOf returns the shard index objects with this ID hash-partition
+// to, given the shard count — the one partitioning rule shared by Build,
+// the cluster bootstrap, and the cluster's insert/delete routing.
+func PartitionOf(id uint64, shards int) int { return int(id % uint64(shards)) }
+
+// Partition splits objs into shard object sets by PartitionOf.
+func Partition(objs []metric.Object, shards int) [][]metric.Object {
+	parts := make([][]metric.Object, shards)
+	for _, o := range objs {
+		s := PartitionOf(o.ID(), shards)
+		parts[s] = append(parts[s], o)
+	}
+	return parts
 }
 
 // Build hash-partitions objs by id and builds one SPB-tree per shard. Shard
@@ -57,11 +81,7 @@ func Build(objs []metric.Object, opts Options) (*Forest, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("forest: Shards must be positive")
 	}
-	parts := make([][]metric.Object, n)
-	for _, o := range objs {
-		s := int(o.ID() % uint64(n))
-		parts[s] = append(parts[s], o)
-	}
+	parts := Partition(objs, n)
 	for i, p := range parts {
 		if len(p) == 0 {
 			return nil, fmt.Errorf("forest: shard %d is empty; fewer shards than distinct objects required", i)
@@ -73,7 +93,7 @@ func Build(objs []metric.Object, opts Options) (*Forest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("forest: shard 0: %w", err)
 	}
-	f.shards = append(f.shards, t0)
+	f.addTree(t0)
 	for i := 1; i < n; i++ {
 		shOpts := opts.Tree
 		shOpts.ShareMapping = t0
@@ -81,13 +101,53 @@ func Build(objs []metric.Object, opts Options) (*Forest, error) {
 		if err != nil {
 			return nil, fmt.Errorf("forest: shard %d: %w", i, err)
 		}
-		f.shards = append(f.shards, t)
+		f.addTree(t)
 	}
 	return f, nil
 }
 
-// Shards returns the per-shard trees (read-only use).
-func (f *Forest) Shards() []*core.Tree { return f.shards }
+// addTree appends a local tree as the next shard.
+func (f *Forest) addTree(t *core.Tree) {
+	f.shards = append(f.shards, t)
+	f.trees = append(f.trees, t)
+}
+
+// FromShards assembles a Forest over an existing shard set — local trees,
+// remote handles, or a mix. All shards must share one pivot mapping (the
+// caller's responsibility; remote shards cannot be checked from here).
+// parallel bounds concurrent shard queries as in Options.Parallel. The
+// tree-only operations (Join, BuildPartner, TakeStats) require every shard
+// to be a local *core.Tree and error or no-op otherwise.
+func FromShards(shards []Shard, parallel int) (*Forest, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("forest: FromShards needs at least one shard")
+	}
+	f := &Forest{parallel: parallel}
+	for _, s := range shards {
+		f.shards = append(f.shards, s)
+		t, _ := s.(*core.Tree)
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// Shards returns the per-shard local trees (read-only use). Entries are nil
+// for shards that are not local *core.Trees (a Forest assembled by
+// FromShards over remote handles).
+func (f *Forest) Shards() []*core.Tree { return f.trees }
+
+// NumShards returns the shard count.
+func (f *Forest) NumShards() int { return len(f.shards) }
+
+// localTrees returns the concrete trees when every shard is local.
+func (f *Forest) localTrees() ([]*core.Tree, error) {
+	for i, t := range f.trees {
+		if t == nil {
+			return nil, fmt.Errorf("forest: shard %d is not a local tree", i)
+		}
+	}
+	return f.trees, nil
+}
 
 // Len returns the total object count.
 func (f *Forest) Len() int {
@@ -102,9 +162,13 @@ func (f *Forest) Len() int {
 // returns the first error (in shard order). Dispatch is admission-controlled:
 // once ctx is canceled or any shard has recorded an error, no further shard
 // work is issued — already-running shards wind down through their own ctx
-// checks, but queued ones never start. On cancellation with no shard error
+// checks, but queued ones never start. Cancellation is re-checked after every
+// slot acquisition: a dispatcher that waited for a slot can wake to find both
+// the slot and the cancellation ready, and Go's select picks between ready
+// cases at random, so without the re-check a canceled query could still
+// issue one more shard's worth of work. On cancellation with no shard error
 // the returned error matches core.ErrCanceled.
-func (f *Forest) scatter(ctx context.Context, fn func(i int, t *core.Tree) error) error {
+func (f *Forest) scatter(ctx context.Context, fn func(i int, s Shard) error) error {
 	limit := f.parallel
 	if limit <= 0 || limit > len(f.shards) {
 		limit = len(f.shards)
@@ -114,7 +178,7 @@ func (f *Forest) scatter(ctx context.Context, fn func(i int, t *core.Tree) error
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 dispatch:
-	for i, t := range f.shards {
+	for i, s := range f.shards {
 		if failed.Load() || ctx.Err() != nil {
 			break // stop issuing work; un-dispatched shards never run
 		}
@@ -123,18 +187,21 @@ dispatch:
 		// waiting abandons the remaining shards outright.
 		select {
 		case sem <- struct{}{}:
+			if ctx.Err() != nil {
+				break dispatch // canceled while waiting; the slot won the race
+			}
 		case <-ctx.Done():
 			break dispatch
 		}
 		wg.Add(1)
-		go func(i int, t *core.Tree) {
+		go func(i int, s Shard) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := fn(i, t); err != nil {
+			if err := fn(i, s); err != nil {
 				errs[i] = err
 				failed.Store(true)
 			}
-		}(i, t)
+		}(i, s)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -159,17 +226,27 @@ func (f *Forest) RangeQuery(q metric.Object, r float64) ([]core.Result, error) {
 // error matching core.ErrCanceled.
 func (f *Forest) RangeQueryCtx(ctx context.Context, q metric.Object, r float64) ([]core.Result, error) {
 	per := make([][]core.Result, len(f.shards))
-	err := f.scatter(ctx, func(i int, t *core.Tree) error {
-		res, err := t.RangeSearchCtx(ctx, q, r)
+	err := f.scatter(ctx, func(i int, s Shard) error {
+		res, err := s.RangeSearchCtx(ctx, q, r)
 		per[i] = res
 		return err
 	})
-	var out []core.Result
-	for _, res := range per {
-		out = append(out, res...)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Object.ID() < out[j].Object.ID() })
-	return out, err
+	return mergeRange(per), err
+}
+
+// RangeQueryWithStatsCtx is RangeQueryCtx, additionally gathering the
+// per-shard QueryStats merged with core.QueryStats.Merge: work counters add
+// across shards, wall clocks take the parallel maximum.
+func (f *Forest) RangeQueryWithStatsCtx(ctx context.Context, q metric.Object, r float64) ([]core.Result, core.QueryStats, error) {
+	per := make([][]core.Result, len(f.shards))
+	stats := make([]core.QueryStats, len(f.shards))
+	err := f.scatter(ctx, func(i int, s Shard) error {
+		res, qs, err := s.RangeSearchWithStatsCtx(ctx, q, r)
+		per[i], stats[i] = res, qs
+		return err
+	})
+	out := mergeRange(per)
+	return out, gatherStats(stats, len(out)), err
 }
 
 // KNN scatters kNN(q, k) to every shard and merges the per-shard top-k sets
@@ -183,11 +260,78 @@ func (f *Forest) KNN(q metric.Object, k int) ([]core.Result, error) {
 // plus an error matching core.ErrCanceled.
 func (f *Forest) KNNCtx(ctx context.Context, q metric.Object, k int) ([]core.Result, error) {
 	per := make([][]core.Result, len(f.shards))
-	err := f.scatter(ctx, func(i int, t *core.Tree) error {
-		res, err := t.KNNCtx(ctx, q, k)
+	err := f.scatter(ctx, func(i int, s Shard) error {
+		res, err := s.KNNCtx(ctx, q, k)
 		per[i] = res
 		return err
 	})
+	return MergeKNN(per, k), err
+}
+
+// KNNWithStatsCtx is KNNCtx, additionally gathering the merged per-shard
+// QueryStats.
+func (f *Forest) KNNWithStatsCtx(ctx context.Context, q metric.Object, k int) ([]core.Result, core.QueryStats, error) {
+	per := make([][]core.Result, len(f.shards))
+	stats := make([]core.QueryStats, len(f.shards))
+	err := f.scatter(ctx, func(i int, s Shard) error {
+		res, qs, err := s.KNNWithStatsCtx(ctx, q, k)
+		per[i], stats[i] = res, qs
+		return err
+	})
+	out := MergeKNN(per, k)
+	return out, gatherStats(stats, len(out)), err
+}
+
+// KNNApprox scatters budgeted approximate kNN: every shard verifies at most
+// maxVerify candidates, so the forest-wide verification budget is
+// shards×maxVerify. The per-shard answers merge like exact kNN.
+func (f *Forest) KNNApprox(q metric.Object, k, maxVerify int) ([]core.Result, error) {
+	return f.KNNApproxCtx(context.Background(), q, k, maxVerify)
+}
+
+// KNNApproxCtx is KNNApprox honoring ctx, with the usual partial-result
+// contract.
+func (f *Forest) KNNApproxCtx(ctx context.Context, q metric.Object, k, maxVerify int) ([]core.Result, error) {
+	per := make([][]core.Result, len(f.shards))
+	err := f.scatter(ctx, func(i int, s Shard) error {
+		res, err := s.KNNApproxCtx(ctx, q, k, maxVerify)
+		per[i] = res
+		return err
+	})
+	return MergeKNN(per, k), err
+}
+
+// KNNApproxWithStatsCtx is KNNApproxCtx, additionally gathering the merged
+// per-shard QueryStats.
+func (f *Forest) KNNApproxWithStatsCtx(ctx context.Context, q metric.Object, k, maxVerify int) ([]core.Result, core.QueryStats, error) {
+	per := make([][]core.Result, len(f.shards))
+	stats := make([]core.QueryStats, len(f.shards))
+	err := f.scatter(ctx, func(i int, s Shard) error {
+		res, qs, err := s.KNNApproxWithStatsCtx(ctx, q, k, maxVerify)
+		per[i], stats[i] = res, qs
+		return err
+	})
+	out := MergeKNN(per, k)
+	return out, gatherStats(stats, len(out)), err
+}
+
+// mergeRange concatenates per-shard range answers into the canonical
+// ascending-ID order.
+func mergeRange(per [][]core.Result) []core.Result {
+	var out []core.Result
+	for _, res := range per {
+		out = append(out, res...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.ID() < out[j].Object.ID() })
+	return out
+}
+
+// MergeKNN merges per-shard top-k result sets into the global top-k under
+// the total (dist, ID) order — the standard distributed-kNN reduction.
+// Because the order is total, the reduction is associative: merging
+// per-shard answers per node and then per cluster yields exactly the merge
+// of all shards at once, which is what makes node-local pre-merging safe.
+func MergeKNN(per [][]core.Result, k int) []core.Result {
 	var all []core.Result
 	for _, res := range per {
 		all = append(all, res...)
@@ -201,12 +345,24 @@ func (f *Forest) KNNCtx(ctx context.Context, q metric.Object, k int) ([]core.Res
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all, err
+	return all
+}
+
+// gatherStats merges per-shard stats and pins Results to the merged result
+// count (per-shard Results sum to more than the global top-k keeps).
+func gatherStats(stats []core.QueryStats, results int) core.QueryStats {
+	var total core.QueryStats
+	for _, qs := range stats {
+		total.Merge(qs)
+	}
+	total.Results = results
+	return total
 }
 
 // Join computes SJ(Q, O, ε) between two forests sharing one mapped space:
 // every (Q-shard, O-shard) pair runs an independent SJA merge, all pairs in
 // parallel — the shuffle-free join plan a shared-pivot partitioning allows.
+// Both forests must consist of local trees (see JoinCtx).
 func Join(fq, fo *Forest, eps float64) ([]core.JoinPair, error) {
 	return JoinCtx(context.Background(), fq, fo, eps)
 }
@@ -215,12 +371,22 @@ func Join(fq, fo *Forest, eps float64) ([]core.JoinPair, error) {
 // context is canceled (or an earlier pair failed) never run, running pairs
 // stop at the core join's cancellation checks, and the pairs gathered so far
 // are returned with the first error (matching core.ErrCanceled on
-// cancellation).
+// cancellation). Remote shards are not joinable from here — the cluster
+// router decomposes a cluster-wide join into node-local pair joins instead
+// (DESIGN.md §12).
 func JoinCtx(ctx context.Context, fq, fo *Forest, eps float64) ([]core.JoinPair, error) {
+	qTrees, err := fq.localTrees()
+	if err != nil {
+		return nil, fmt.Errorf("forest: join: %w", err)
+	}
+	oTrees, err := fo.localTrees()
+	if err != nil {
+		return nil, fmt.Errorf("forest: join: %w", err)
+	}
 	type task struct{ qi, oi int }
 	var tasks []task
-	for qi := range fq.shards {
-		for oi := range fo.shards {
+	for qi := range qTrees {
+		for oi := range oTrees {
 			tasks = append(tasks, task{qi, oi})
 		}
 	}
@@ -240,6 +406,9 @@ dispatch:
 		}
 		select {
 		case sem <- struct{}{}:
+			if ctx.Err() != nil {
+				break dispatch // canceled while waiting; the slot won the race
+			}
 		case <-ctx.Done():
 			break dispatch
 		}
@@ -247,7 +416,7 @@ dispatch:
 		go func(ti int, tk task) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			per[ti], errs[ti] = core.JoinCtx(ctx, fq.shards[tk.qi], fo.shards[tk.oi], eps)
+			per[ti], errs[ti] = core.JoinCtx(ctx, qTrees[tk.qi], oTrees[tk.oi], eps)
 			if errs[ti] != nil {
 				failed.Store(true)
 			}
@@ -278,38 +447,51 @@ dispatch:
 }
 
 // BuildPartner builds a second forest over objs sharing f's pivot mapping
-// and shard count, the precondition for Join. The curve must be Z-order.
+// and shard count, the precondition for Join. The curve must be Z-order,
+// and f's shards must be local trees.
 func (f *Forest) BuildPartner(objs []metric.Object, opts Options) (*Forest, error) {
+	if f.trees[0] == nil {
+		return nil, fmt.Errorf("forest: BuildPartner needs local shards")
+	}
 	if opts.Shards == 0 {
 		opts.Shards = len(f.shards)
 	}
-	opts.Tree.ShareMapping = f.shards[0]
+	opts.Tree.ShareMapping = f.trees[0]
 	opts.Tree.Curve = sfc.ZOrder
 	return Build(objs, opts)
 }
 
 // SetBoundedKernels toggles threshold-aware distance evaluation (see
-// core.Tree.SetBoundedKernels) on every shard. Enabling is a no-op when the
-// metric implements no bounded kernel.
+// core.Tree.SetBoundedKernels) on every local shard. Enabling is a no-op
+// when the metric implements no bounded kernel; remote shards are governed
+// by their owning node's configuration and are skipped.
 func (f *Forest) SetBoundedKernels(on bool) {
-	for _, s := range f.shards {
-		s.SetBoundedKernels(on)
+	for _, t := range f.trees {
+		if t != nil {
+			t.SetBoundedKernels(on)
+		}
 	}
 }
 
-// ResetStats resets every shard.
+// ResetStats resets every local shard.
 func (f *Forest) ResetStats() {
-	for _, s := range f.shards {
-		s.ResetStats()
+	for _, t := range f.trees {
+		if t != nil {
+			t.ResetStats()
+		}
 	}
 }
 
 // TakeStats aggregates per-shard counters — the total work across the
-// "cluster".
+// "cluster". Remote shards contribute nothing here; their counters live
+// with their owning node (see the cluster stats RPC).
 func (f *Forest) TakeStats() core.Stats {
 	var total core.Stats
-	for _, s := range f.shards {
-		st := s.TakeStats()
+	for _, t := range f.trees {
+		if t == nil {
+			continue
+		}
+		st := t.TakeStats()
 		total.PageAccesses += st.PageAccesses
 		total.DistanceComputations += st.DistanceComputations
 	}

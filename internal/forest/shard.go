@@ -1,0 +1,55 @@
+package forest
+
+import (
+	"context"
+
+	"spbtree/internal/core"
+	"spbtree/internal/metric"
+)
+
+// Shard is one partition of a partitioned SPB-tree — the seam at which
+// local and remote shards are interchangeable. A *core.Tree is a Shard; so
+// is an RPC-backed handle to a tree owned by another process (see
+// internal/cluster), which is how the same scatter-gather and merge code
+// serves both a single-process Forest and a networked cluster node.
+//
+// The contract every implementation must honor, because the gather layer
+// builds on it:
+//
+//   - Results are in the canonical per-tree order (ascending ID for range,
+//     ascending (dist, ID) for kNN) with exact per-tree semantics — the
+//     merge step is then associative, so any grouping of shards (per
+//     process, per node, per cluster) yields byte-identical answers.
+//   - Cancellation follows the library's partial-results contract: on a
+//     deadline or storage failure the results gathered so far come back
+//     alongside a non-nil error, with cancellation matching
+//     core.ErrCanceled via errors.Is. Remote implementations additionally
+//     wrap failures in their typed per-node error.
+//   - The WithStats variants report the shard's own work in a
+//     core.QueryStats; callers aggregate with core.QueryStats.Merge.
+//
+// All Shards of one Forest must share a single pivot mapping (see
+// core.Options.ShareMapping) so pruning quality matches the monolithic
+// index.
+type Shard interface {
+	// RangeSearchCtx answers RQ(q, r) on this shard, honoring ctx.
+	RangeSearchCtx(ctx context.Context, q metric.Object, r float64) ([]core.Result, error)
+	// RangeSearchWithStatsCtx is RangeSearchCtx, also reporting the shard's
+	// QueryStats.
+	RangeSearchWithStatsCtx(ctx context.Context, q metric.Object, r float64) ([]core.Result, core.QueryStats, error)
+	// KNNCtx answers kNN(q, k) on this shard, honoring ctx.
+	KNNCtx(ctx context.Context, q metric.Object, k int) ([]core.Result, error)
+	// KNNWithStatsCtx is KNNCtx, also reporting the shard's QueryStats.
+	KNNWithStatsCtx(ctx context.Context, q metric.Object, k int) ([]core.Result, core.QueryStats, error)
+	// KNNApproxCtx answers budgeted approximate kNN on this shard: at most
+	// maxVerify candidates are verified.
+	KNNApproxCtx(ctx context.Context, q metric.Object, k, maxVerify int) ([]core.Result, error)
+	// KNNApproxWithStatsCtx is KNNApproxCtx, also reporting the shard's
+	// QueryStats.
+	KNNApproxWithStatsCtx(ctx context.Context, q metric.Object, k, maxVerify int) ([]core.Result, core.QueryStats, error)
+	// Len reports the shard's live object count.
+	Len() int
+}
+
+// A local tree is the canonical Shard.
+var _ Shard = (*core.Tree)(nil)

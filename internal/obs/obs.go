@@ -136,6 +136,18 @@ func AddIORetry(n int) { ioRetries.Add(int64(n)) }
 // IORetries reads the process-wide transient-retry counter.
 func IORetries() int64 { return ioRetries.Load() }
 
+// rpcRetries counts transient-RPC retries (reset connections, refused dials
+// to a node mid-restart) absorbed by the cluster layer via retry.Do — one
+// increment per retried attempt, process-wide. A spike with healthy disks
+// points at the network or at flapping nodes.
+var rpcRetries atomic.Int64
+
+// AddRPCRetry adds n to the process-wide transient-RPC-retry counter.
+func AddRPCRetry(n int) { rpcRetries.Add(int64(n)) }
+
+// RPCRetries reads the process-wide transient-RPC-retry counter.
+func RPCRetries() int64 { return rpcRetries.Load() }
+
 // publishMu serializes expvar publication checks (expvar.Publish panics on
 // duplicate names, so Publish must test-and-set atomically).
 var publishMu sync.Mutex

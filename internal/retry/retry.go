@@ -11,6 +11,7 @@
 package retry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -96,6 +97,38 @@ func WriteAt(w io.WriterAt, p []byte, off int64) error {
 		}
 		obs.AddIORetry(1)
 		backoff(attempt)
+	}
+}
+
+// Do runs fn until it succeeds, fails with an error transient does not
+// recognize, exhausts the attempt cap, or ctx is canceled — the generic form
+// of the write-path retries above, used by the cluster layer for transient
+// RPC failures (a reset connection, a node mid-restart). Between attempts it
+// backs off exponentially while honoring ctx, so a query deadline is never
+// overshot by a sleeping retry; on cancellation the context's error is
+// returned so callers' partial-result plumbing sees the usual cause. Every
+// retry increments obs.RPCRetries.
+func Do(ctx context.Context, transient func(error) bool, fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if !transient(err) {
+			return err
+		}
+		if attempt >= maxAttempts-1 {
+			return exhausted(err)
+		}
+		obs.AddRPCRetry(1)
+		select {
+		case <-time.After(time.Millisecond << attempt):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 }
 

@@ -29,13 +29,16 @@ import (
 
 	"spbtree/internal/core"
 	"spbtree/internal/obs"
-	"spbtree/internal/sfc"
 )
 
 // Config configures New.
 type Config struct {
-	// Tree is the index to serve; required.
+	// Tree is the index to serve. Exactly one of Tree and Backend is
+	// required; a Tree is shorthand for Backend: NewTreeBackend(Tree).
 	Tree *core.Tree
+	// Backend is the index to serve when it is not a single local tree —
+	// e.g. a cluster router (spbserve's -cluster mode mounts one here).
+	Backend Backend
 	// ParseQuery turns a validated request into a query object; required for
 	// the range/kNN endpoints (VectorParser and TextParser cover the common
 	// cases).
@@ -67,7 +70,7 @@ type Config struct {
 // Server serves similarity queries over HTTP. Create it with New, mount
 // Handler on an http.Server, and call Shutdown to drain.
 type Server struct {
-	tree     *core.Tree
+	tree     Backend
 	parse    ParseQueryFunc
 	parseObj ParseObjectFunc
 
@@ -118,8 +121,14 @@ const (
 // New builds a Server and starts its worker pool. The caller owns the
 // lifecycle: serve Handler, then Shutdown.
 func New(cfg Config) (*Server, error) {
-	if cfg.Tree == nil {
-		return nil, fmt.Errorf("server: Config.Tree is required")
+	backend := cfg.Backend
+	if backend == nil {
+		if cfg.Tree == nil {
+			return nil, fmt.Errorf("server: one of Config.Tree and Config.Backend is required")
+		}
+		backend = NewTreeBackend(cfg.Tree)
+	} else if cfg.Tree != nil {
+		return nil, fmt.Errorf("server: Config.Tree and Config.Backend are mutually exclusive")
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -130,7 +139,7 @@ func New(cfg Config) (*Server, error) {
 		queue = 2 * workers
 	}
 	s := &Server{
-		tree:           cfg.Tree,
+		tree:           backend,
 		parse:          cfg.ParseQuery,
 		parseObj:       cfg.ParseObject,
 		defaultTimeout: cfg.DefaultTimeout,
@@ -408,7 +417,7 @@ func (s *Server) handleMutate(op string) http.HandlerFunc {
 			s.rejectDraining(w)
 			return
 		}
-		if !s.tree.Durable() {
+		if !s.tree.Writable() {
 			s.rejectedReadOnly.Add(1)
 			errorJSON(w, http.StatusForbidden,
 				"index is read-only: writes need a durable index (build with spbtool build -durable)")
@@ -452,9 +461,9 @@ func (s *Server) handleMutate(op string) http.HandlerFunc {
 		t := &task{ctx: ctx, done: make(chan struct{})}
 		t.fn = func() {
 			if op == opInsert {
-				merr = s.tree.Insert(obj)
+				merr = s.tree.Insert(ctx, obj)
 			} else {
-				merr = s.tree.Delete(obj)
+				merr = s.tree.Delete(ctx, obj)
 			}
 		}
 
@@ -505,7 +514,7 @@ func (s *Server) handleMutate(op string) http.HandlerFunc {
 			resp.Error = merr.Error()
 		}
 		resp.Objects = s.tree.Len()
-		resp.Delta = s.tree.DeltaLen()
+		resp.Delta = s.tree.Delta()
 		resp.ElapsedUS = time.Since(start).Microseconds()
 		var acked int64
 		if resp.OK {
@@ -522,16 +531,16 @@ func (s *Server) handleMutate(op string) http.HandlerFunc {
 // operation, surfacing parse/config errors before admission.
 func (s *Server) planQuery(op string, req Request) (func(context.Context) (response, core.QueryStats, error), error) {
 	if op == core.OpJoin {
-		if s.tree.CurveKind() != sfc.ZOrder {
-			return nil, badf("similarity joins need a Z-order index (this index uses %v)", s.tree.CurveKind())
+		if err := s.tree.CanJoin(); err != nil {
+			return nil, badf("%s", err)
 		}
 		eps := *req.Eps
 		return func(ctx context.Context) (response, core.QueryStats, error) {
-			pairs, qs, err := core.JoinWithStatsCtx(ctx, s.tree, s.tree, eps)
+			pairs, qs, err := s.tree.SelfJoinWithStatsCtx(ctx, eps)
 			var resp response
 			resp.Pairs = make([]pairJSON, len(pairs))
 			for i, p := range pairs {
-				resp.Pairs[i] = pairJSON{QID: p.Q.ID(), OID: p.O.ID(), Dist: p.Dist}
+				resp.Pairs[i] = pairJSON{QID: p.QID, OID: p.OID, Dist: p.Dist}
 			}
 			return resp, qs, err
 		}, nil
@@ -593,13 +602,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // /debug/vars under Config.MetricsName.
 func (s *Server) metricsSnapshot() map[string]interface{} {
 	m := map[string]interface{}{
-		"objects":       s.tree.Len(),
-		"pivots":        len(s.tree.Pivots()),
-		"curve":         s.tree.CurveKind().String(),
-		"storage_bytes": s.tree.StorageBytes(),
-		"draining":      s.draining.Load(),
-		"endpoints":     s.reg.Snapshot(),
-		"tree":          s.tree.Metrics().Snapshot(),
+		"draining":  s.draining.Load(),
+		"endpoints": s.reg.Snapshot(),
 		"admission": map[string]int64{
 			"rejected_busy":     s.rejectedBusy.Load(),
 			"rejected_draining": s.rejectedDraining.Load(),
@@ -608,15 +612,8 @@ func (s *Server) metricsSnapshot() map[string]interface{} {
 			"canceled_queries":  s.canceledQueries.Load(),
 		},
 	}
-	if s.tree.Durable() {
-		m["delta"] = s.tree.DeltaLen()
-		if ws, ok := s.tree.WALStats(); ok {
-			m["wal"] = map[string]int64{
-				"appends": ws.Appends,
-				"batches": ws.Batches,
-				"syncs":   ws.Syncs,
-			}
-		}
+	for k, v := range s.tree.StatsFields() {
+		m[k] = v
 	}
 	return m
 }

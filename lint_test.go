@@ -71,12 +71,21 @@ func TestPackageDocs(t *testing.T) {
 	}
 }
 
-// TestExportedDocs fails for any exported top-level declaration of the root
-// package (the public API) without a doc comment.
+// TestExportedDocs fails for any exported top-level declaration without a
+// doc comment — in the root package (the public API) and in the packages
+// whose exported surface other layers program against (the forest's Shard
+// seam and the whole cluster layer).
 func TestExportedDocs(t *testing.T) {
 	files, err := filepath.Glob("*.go")
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, dir := range []string{"internal/forest", "internal/cluster", "internal/server", "internal/retry"} {
+		extra, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, extra...)
 	}
 	fset := token.NewFileSet()
 	for _, file := range files {
@@ -201,6 +210,85 @@ func TestMarkdownLinks(t *testing.T) {
 			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: link target %q does not exist (resolved %s)", file, m[1], resolved)
 			}
+		}
+	}
+}
+
+// designSection matches DESIGN.md's numbered section headings ("## 12. ..."
+// and "### 12.4 ..."), capturing the section number.
+var designSection = regexp.MustCompile(`(?m)^#{2,3} (\d+[a-z]?(?:\.\d+)?)[. ]`)
+
+// designRef matches citations of DESIGN.md sections anywhere in the repo
+// ("DESIGN.md §12.4", possibly wrapped across a line).
+var designRef = regexp.MustCompile(`DESIGN\.md[\s(]+§(\d+[a-z]?(?:\.\d+)?)`)
+
+// TestDesignSectionRefs verifies that every "DESIGN.md §N" citation — in Go
+// doc comments and in the other markdown files — names a section that
+// actually exists in DESIGN.md, so code comments can't drift as the design
+// doc grows.
+func TestDesignSectionRefs(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections := make(map[string]bool)
+	for _, m := range designSection.FindAllStringSubmatch(string(design), -1) {
+		sections[m[1]] = true
+	}
+	if len(sections) == 0 {
+		t.Fatal("no numbered sections found in DESIGN.md")
+	}
+	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range designRef.FindAllStringSubmatch(string(data), -1) {
+			if !sections[m[1]] {
+				t.Errorf("%s cites DESIGN.md §%s, which does not exist", path, m[1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOperationsRunbook keeps OPERATIONS.md an actual runbook: the required
+// operational topics are present, and every `spbcluster <sub>` invocation it
+// shows names a real subcommand.
+func TestOperationsRunbook(t *testing.T) {
+	data, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, topic := range []string{
+		"3-node cluster", "/debug/vars", "rebalanc", "Crash recovery",
+		"placement.json", "AsNodeErrors",
+	} {
+		if !strings.Contains(doc, topic) {
+			t.Errorf("OPERATIONS.md no longer covers %q", topic)
+		}
+	}
+	sub := regexp.MustCompile(`spbcluster\s+([a-z]+)\b`)
+	known := map[string]bool{"init": true, "node": true, "rebalance": true}
+	for _, m := range sub.FindAllStringSubmatch(doc, -1) {
+		if !known[m[1]] {
+			t.Errorf("OPERATIONS.md shows `spbcluster %s`, not a real subcommand", m[1])
 		}
 	}
 }
