@@ -10,7 +10,7 @@
 //	spbbench -n 20000 -q 100 all
 //
 // Experiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 all
+// fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 all
 //
 // pr4 compares serial and parallel verification (see DESIGN.md §9) and
 // enforces the engine's invariants; with -json FILE it writes the
@@ -26,6 +26,11 @@
 // latency percentiles, read-latency degradation versus an all-read baseline,
 // the WAL's group-commit batching ratio, and acked writes/sec versus writer
 // fan-in with fsync on and off; with -json FILE it writes BENCH_PR6.json.
+//
+// pr8 compares blocked batch verification (DESIGN.md §13) against the scalar
+// bounded path on the same trees, including the float32 Color32 workload, and
+// enforces the batch layer's byte-identity invariants; with -json FILE it
+// writes BENCH_PR8.json.
 package main
 
 import (
@@ -46,7 +51,7 @@ func main() {
 	flag.IntVar(&cfg.queries, "q", 50, "measured queries per point (the paper uses 500)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "dataset and pivot-selection seed")
 	flag.IntVar(&cfg.workers, "workers", 0, "pr4/pr5: parallel-mode verifier pool size; pr6: harness goroutines (0 = 8)")
-	flag.StringVar(&cfg.jsonPath, "json", "", "pr4/pr5/pr6: write a machine-readable report to this file")
+	flag.StringVar(&cfg.jsonPath, "json", "", "pr4/pr5/pr6/pr8: write a machine-readable report to this file")
 	flag.StringVar(&debugAddr, "debugaddr", "", "serve /debug/vars and /debug/pprof on this address while experiments run")
 	flag.Parse()
 	cfg.out = os.Stdout
@@ -62,7 +67,7 @@ func main() {
 
 	if flag.NArg() == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nexperiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 all")
+		fmt.Fprintln(os.Stderr, "\nexperiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 all")
 		os.Exit(2)
 	}
 
@@ -87,9 +92,10 @@ func main() {
 		"pr4":      pr4,
 		"pr5":      pr5,
 		"pr6":      pr6,
+		"pr8":      pr8,
 	}
 	order := []string{"table2", "table4", "fig9", "fig10", "table5", "fig11",
-		"table6", "table7", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "forest", "pr4", "pr5", "pr6"}
+		"table6", "table7", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "forest", "pr4", "pr5", "pr6", "pr8"}
 
 	var names []string
 	for _, arg := range flag.Args() {

@@ -56,6 +56,16 @@ func wordSet(n int, seed int64) []metric.Object {
 	return objs
 }
 
+// vector32Set is vectorSet with every coordinate rounded to float32, the
+// object kind the 8-wide kernels and Vector32Codec pages operate on.
+func vector32Set(n, dim int, seed int64) []metric.Object {
+	objs := vectorSet(n, dim, seed)
+	for i, o := range objs {
+		objs[i] = metric.NewVector32From64(o.ID(), o.(*metric.Vector).Coords)
+	}
+	return objs
+}
+
 func sigSet(n int, seed int64) []metric.Object {
 	rng := rand.New(rand.NewSource(seed))
 	objs := make([]metric.Object, n)
@@ -127,6 +137,12 @@ func setups() []setup {
 			objs: vectorSet(300, 4, 2),
 			dist: metric.L5(4),
 			opts: Options{Codec: metric.VectorCodec{Dim: 4}, NumPivots: 4, Curve: sfc.ZOrder},
+		},
+		{
+			name: "vectors32-L5-hilbert",
+			objs: vector32Set(300, 12, 5),
+			dist: metric.L5(12),
+			opts: Options{Codec: metric.Vector32Codec{Dim: 12}, NumPivots: 3},
 		},
 		{
 			name: "words-edit",

@@ -150,7 +150,13 @@ type rangeSink interface {
 }
 
 // rangeSerial verifies candidates inline — the exact serial tail of the
-// paper's VerifyRQ: Lemma 2 inclusion, then fetch + distance.
+// paper's VerifyRQ: Lemma 2 inclusion, then fetch + distance. With batch
+// kernels (DESIGN.md §13) it instead buffers candidates into leaf-sized
+// blocks, coalesces their RAF reads and evaluates the survivors of the
+// tombstone/Lemma 2 pre-filter through one verifyBatch call; the radius is a
+// fixed bound, so block evaluation returns exactly the per-candidate
+// decisions of the inline path, and every counter except BatchedCandidates
+// is unchanged.
 type rangeSerial struct {
 	t       *Tree
 	q       metric.Object
@@ -158,9 +164,126 @@ type rangeSerial struct {
 	r       float64
 	qs      *QueryStats
 	results []Result
+
+	// batch-mode scratch, allocated on first use (t.batch only).
+	buf  []rangeCand
+	cell sfc.Point
+	bs   rangeBatchScratch
+}
+
+// rangeBatchScratch holds one block's reusable verification slices.
+type rangeBatchScratch struct {
+	offsets  []uint64
+	objs     []metric.Object
+	plens    []int
+	liveIdx  []int
+	liveObjs []metric.Object
+	d        []float64
+	within   []bool
+}
+
+// grow sizes every slice for a block of n candidates.
+func (b *rangeBatchScratch) grow(n int) {
+	if cap(b.offsets) < n {
+		b.offsets = make([]uint64, n)
+		b.objs = make([]metric.Object, n)
+		b.plens = make([]int, n)
+		b.liveIdx = make([]int, n)
+		b.liveObjs = make([]metric.Object, n)
+		b.d = make([]float64, n)
+		b.within = make([]bool, n)
+	}
 }
 
 func (s *rangeSerial) add(key, val uint64, cell sfc.Point) error {
+	if s.t.batch {
+		s.buf = append(s.buf, rangeCand{key: key, val: val})
+		if len(s.buf) >= rangeBatchSize {
+			return s.flush()
+		}
+		return nil
+	}
+	return s.addScalar(key, val, cell)
+}
+
+// flush verifies the buffered block. A failed coalesced read falls back to
+// the inline scalar path (counted reads), so the error surfaces at the same
+// scan position with the same counters as unbatched execution.
+func (s *rangeSerial) flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	t, qs := s.t, s.qs
+	cands := s.buf
+	s.buf = s.buf[:0]
+	if s.cell == nil {
+		s.cell = make(sfc.Point, len(t.pivots))
+	}
+	n := len(cands)
+	s.bs.grow(n)
+	offsets, objs, plens := s.bs.offsets[:n], s.bs.objs[:n], s.bs.plens[:n]
+	for i, c := range cands {
+		offsets[i] = c.val
+	}
+	st := qs.stageStart()
+	if idx, err := t.raf.ReadBatch(offsets, objs, plens); idx >= 0 || err != nil {
+		qs.stageAdd(&qs.VerifyTime, st)
+		for _, c := range cands {
+			t.curve.Decode(c.key, s.cell)
+			if err := s.addScalar(c.key, c.val, s.cell); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Pre-filter: tombstone skips and Lemma 2 inclusions peel off exactly as
+	// inline; the remainder is one batch distance evaluation.
+	liveIdx, liveObjs := s.bs.liveIdx[:0], s.bs.liveObjs[:0]
+	for i, c := range cands {
+		obj := objs[i]
+		if t.deltaShadowed(obj.ID()) {
+			t.raf.EmitRecordRead(c.val, plens[i])
+			qs.TombstonesSkipped++
+			continue
+		}
+		t.curve.Decode(c.key, s.cell)
+		if !t.noLemma2 {
+			if ub, ok := t.lemma2Bound(s.qvec, s.cell, s.r); ok {
+				qs.Lemma2Included++
+				t.raf.EmitRecordRead(c.val, plens[i])
+				s.results = append(s.results, Result{Object: obj, Dist: ub, Exact: false})
+				continue
+			}
+		}
+		liveIdx = append(liveIdx, i)
+		liveObjs = append(liveObjs, obj)
+	}
+	if len(liveObjs) > 0 {
+		m := len(liveObjs)
+		d, within := s.bs.d[:m], s.bs.within[:m]
+		t.verifyBatch(s.q, liveObjs, s.r, d, within)
+		qs.BatchedCandidates += int64(m)
+		for j, i := range liveIdx {
+			qs.Verified++
+			qs.Compdists++
+			t.raf.EmitRecordRead(cands[i].val, plens[i])
+			if within[j] {
+				s.results = append(s.results, Result{Object: liveObjs[j], Dist: d[j], Exact: true})
+			} else {
+				qs.Discarded++
+				if t.bounded {
+					qs.Abandoned++
+				}
+			}
+		}
+	}
+	qs.stageAdd(&qs.VerifyTime, st)
+	return nil
+}
+
+// addScalar is the inline verification tail (the only path when batch
+// kernels are off).
+func (s *rangeSerial) addScalar(key, val uint64, cell sfc.Point) error {
 	t, qs := s.t, s.qs
 	st := qs.stageStart()
 	obj, err := t.raf.Read(val)
@@ -199,7 +322,12 @@ func (s *rangeSerial) add(key, val uint64, cell sfc.Point) error {
 	return nil
 }
 
-func (s *rangeSerial) finish() ([]Result, error) { return s.results, nil }
+func (s *rangeSerial) finish() ([]Result, error) {
+	if err := s.flush(); err != nil {
+		return s.results, err
+	}
+	return s.results, nil
+}
 
 // rangeCand is one dispatched candidate; seq is its position in scan order,
 // used to report the scan-earliest error when several workers fail.
@@ -238,11 +366,13 @@ type rangeWorker struct {
 	verified    int64
 	discarded   int64
 	abandoned   int64
+	batched     int64
 	compdists   int64
 	tombSkipped int64
 	verifyTime  time.Duration
 	errSeq      int64
 	err         error
+	bs          rangeBatchScratch
 }
 
 func (t *Tree) newRangeExec(ctx context.Context, q metric.Object, qvec []float64, r float64, qs *QueryStats, slots int) *rangeExec {
@@ -296,6 +426,7 @@ func (e *rangeExec) finish() ([]Result, error) {
 		qs.Verified += w.verified
 		qs.Discarded += w.discarded
 		qs.Abandoned += w.abandoned
+		qs.BatchedCandidates += w.batched
 		qs.Compdists += w.compdists
 		qs.TombstonesSkipped += w.tombSkipped
 		qs.VerifyTime += w.verifyTime
@@ -352,6 +483,8 @@ func (e *rangeExec) runBatch(w *rangeWorker, cands []rangeCand, cell sfc.Point, 
 			}
 			e.verifyOne(w, c, obj, plen, cell)
 		}
+	} else if e.t.batch {
+		e.verifyBlock(w, cands, objs, plens, cell)
 	} else {
 		for i, c := range cands {
 			e.verifyOne(w, c, objs[i], plens[i], cell)
@@ -359,6 +492,57 @@ func (e *rangeExec) runBatch(w *rangeWorker, cands []rangeCand, cell sfc.Point, 
 	}
 	if e.timed {
 		w.verifyTime += time.Since(st)
+	}
+}
+
+// verifyBlock is verifyOne over a coalesced block: the tombstone and Lemma 2
+// pre-filters peel candidates off per candidate exactly as verifyOne, and the
+// survivors run one verifyBatch call (DESIGN.md §13). The radius is a fixed
+// bound, so each batched (d, within) pair is bit-identical to the scalar
+// decision and every shard counter except batched is unchanged.
+func (e *rangeExec) verifyBlock(w *rangeWorker, cands []rangeCand, objs []metric.Object, plens []int, cell sfc.Point) {
+	t := e.t
+	n := len(cands)
+	w.bs.grow(n)
+	liveIdx, liveObjs := w.bs.liveIdx[:0], w.bs.liveObjs[:0]
+	for i, c := range cands {
+		obj := objs[i]
+		if t.deltaShadowed(obj.ID()) {
+			t.raf.EmitRecordRead(c.val, plens[i])
+			w.tombSkipped++
+			continue
+		}
+		t.curve.Decode(c.key, cell)
+		if !t.noLemma2 {
+			if ub, ok := t.lemma2Bound(e.qvec, cell, e.r); ok {
+				w.lemma2++
+				t.raf.EmitRecordRead(c.val, plens[i])
+				w.results = append(w.results, Result{Object: obj, Dist: ub, Exact: false})
+				continue
+			}
+		}
+		liveIdx = append(liveIdx, i)
+		liveObjs = append(liveObjs, obj)
+	}
+	if len(liveObjs) == 0 {
+		return
+	}
+	m := len(liveObjs)
+	d, within := w.bs.d[:m], w.bs.within[:m]
+	t.verifyBatch(e.q, liveObjs, e.r, d, within)
+	w.batched += int64(m)
+	for j, i := range liveIdx {
+		w.verified++
+		w.compdists++
+		t.raf.EmitRecordRead(cands[i].val, plens[i])
+		if within[j] {
+			w.results = append(w.results, Result{Object: liveObjs[j], Dist: d[j], Exact: true})
+		} else {
+			w.discarded++
+			if t.bounded {
+				w.abandoned++
+			}
+		}
 	}
 }
 
@@ -459,6 +643,7 @@ type knnExec struct {
 	q       metric.Object
 	raw     metric.DistanceFunc
 	bounded bool // probe with the bounded kernel against the committed bound
+	batch   bool // probe greedy leaf blocks through the batch kernel
 	greedy  bool
 	budget  int64 // max committed verifications; -1 = unlimited
 	qs      *QueryStats
@@ -473,6 +658,10 @@ type knnExec struct {
 	// workers stop early.
 	boundBits atomic.Uint64
 	done      atomic.Bool
+
+	// batched counts candidates probed through the batch kernel, across all
+	// workers (atomic: probes race).
+	batched atomic.Int64
 
 	dispatched int64 // traversal-side sequence counter
 
@@ -494,7 +683,7 @@ type knnExec struct {
 
 func (t *Tree) newKNNExec(ctx context.Context, q metric.Object, k int, qs *QueryStats, slots int, budget int64, greedy bool) *knnExec {
 	ex := &knnExec{
-		t: t, ctx: ctx, q: q, raw: t.dist.Unwrap(), bounded: t.bounded, greedy: greedy,
+		t: t, ctx: ctx, q: q, raw: t.dist.Unwrap(), bounded: t.bounded, batch: t.batch, greedy: greedy,
 		budget: budget, qs: qs, timed: qs.timed,
 		jobs:    make(chan knnJob, 2*slots),
 		slots:   slots,
@@ -541,6 +730,10 @@ func (ex *knnExec) worker() {
 	var objs []metric.Object
 	var plens []int
 	var live []int
+	var probeIdx []int
+	var probeObjs []metric.Object
+	var pd []float64
+	var pw []bool
 	for job := range ex.jobs {
 		if ex.done.Load() {
 			// Terminated: nothing can commit, but the replay sequence must
@@ -634,6 +827,50 @@ func (ex *knnExec) worker() {
 					v.d, v.within = ex.probe(obj)
 				}
 				if ex.timed && bi == 0 {
+					v.dur = time.Since(st)
+				}
+				ex.submit(job.seq+int64(i), v)
+			}
+			continue
+		}
+		if ex.batch {
+			// Batch probe (DESIGN.md §13): one committed-bound snapshot for
+			// the whole block. The snapshot can only be looser than the bound
+			// at each verdict's commit slot, so — exactly as for a scalar
+			// probe — an abandoned batch entry would abandon at commit too,
+			// and a completed one carries the exact distance for the commit to
+			// re-check. Results and every commit-side counter are identical to
+			// scalar probing.
+			probeIdx, probeObjs = probeIdx[:0], probeObjs[:0]
+			for bi := range live {
+				if !t.deltaShadowed(objs[bi].ID()) {
+					probeIdx = append(probeIdx, bi)
+					probeObjs = append(probeObjs, objs[bi])
+				}
+			}
+			if cap(pd) < len(live) {
+				pd = make([]float64, len(live))
+				pw = make([]bool, len(live))
+			}
+			if len(probeObjs) > 0 {
+				eff := math.Inf(1)
+				if ex.bounded {
+					eff = ex.bound()
+				}
+				metric.BatchDistanceAtMost(ex.raw, ex.q, probeObjs, eff, pd[:len(probeObjs)], pw[:len(probeObjs)])
+				ex.batched.Add(int64(len(probeObjs)))
+			}
+			j := 0
+			for bi, i := range live {
+				it := job.items[i]
+				v := knnVerdict{mind: it.mind, val: it.val, obj: objs[bi], plen: plens[bi]}
+				if j < len(probeIdx) && probeIdx[j] == bi {
+					v.d, v.within = pd[j], pw[j]
+					j++
+				} else {
+					v.tomb = true
+				}
+				if ex.timed && bi == len(live)-1 {
 					v.dur = time.Since(st)
 				}
 				ex.submit(job.seq+int64(i), v)
@@ -756,6 +993,7 @@ func (ex *knnExec) finish() ([]Result, error) {
 	qs.Verified += ex.verified
 	qs.Compdists += ex.compdists
 	qs.Abandoned += ex.abandoned
+	qs.BatchedCandidates += ex.batched.Load()
 	qs.EntriesPruned += ex.prunedAtCommit
 	qs.TombstonesSkipped += ex.tombSkipped
 	qs.DeltaCandidates += ex.deltaCands

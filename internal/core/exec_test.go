@@ -43,6 +43,15 @@ func sameVerification(t *testing.T, label string, serial, parallel QueryStats) {
 			serial.Verified, serial.Compdists, serial.Lemma2Included, serial.Discarded, serial.Abandoned, serial.Results,
 			parallel.Verified, parallel.Compdists, parallel.Lemma2Included, parallel.Discarded, parallel.Abandoned, parallel.Results)
 	}
+	// Range queries form identical candidate blocks in every worker mode, so
+	// BatchedCandidates is part of the §9 identity there; kNN block shapes
+	// depend on bound evolution, so only OpRange is pinned (DESIGN.md §13).
+	// This is also the guard against a silent fallback to the scalar path: a
+	// parallel engine that stops batching diverges from the serial count.
+	if serial.Op == OpRange && serial.BatchedCandidates != parallel.BatchedCandidates {
+		t.Fatalf("%s: range BatchedCandidates diverge: serial=%d parallel=%d",
+			label, serial.BatchedCandidates, parallel.BatchedCandidates)
+	}
 }
 
 // TestParallelMatchesSerial is the engine's core property: for every setup

@@ -56,6 +56,7 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
 	cell := make(sfc.Point, n)
+	var kb knnBatch
 
 	if rootOK {
 		t.curve.Decode(root.BoxLo, boxLo)
@@ -97,6 +98,27 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 				} else {
 					qs.NodesPruned++ // Lemma 3
 				}
+			}
+			continue
+		}
+		if t.traversal == Greedy && t.batch {
+			// Batch the whole leaf (DESIGN.md §13): scan-time pruning uses the
+			// pre-leaf bound, and verifyKNNBatch replays each survivor at its
+			// committed bound — identical results and counters to the inline
+			// loop, whose bound tightens entry by entry.
+			kb.cands = kb.cands[:0]
+			for i := range node.Keys {
+				qs.EntriesScanned++
+				t.curve.Decode(node.Keys[i], cell)
+				mind := t.mindToCell(qvec, cell)
+				if mind >= res.bound() {
+					qs.EntriesPruned++ // Lemma 3
+					continue
+				}
+				kb.cands = append(kb.cands, knnCand{mind: mind, val: node.Vals[i]})
+			}
+			if err := t.verifyKNNBatch(ctx, q, res, &kb, qs); err != nil {
+				return res.sorted(), err
 			}
 			continue
 		}
@@ -181,6 +203,123 @@ func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, 
 		qs.Abandoned++
 	}
 	return true, nil
+}
+
+// knnBatch is the serial greedy traversal's per-leaf batching scratch,
+// reused across leaves.
+type knnBatch struct {
+	cands     []knnCand
+	offsets   []uint64
+	objs      []metric.Object
+	plens     []int
+	tomb      []bool
+	d         []float64
+	within    []bool
+	probeIdx  []int
+	probeObjs []metric.Object
+	pd        []float64
+	pw        []bool
+}
+
+// grow sizes the per-candidate slices for n candidates.
+func (b *knnBatch) grow(n int) {
+	if cap(b.offsets) < n {
+		b.offsets = make([]uint64, n)
+		b.objs = make([]metric.Object, n)
+		b.plens = make([]int, n)
+		b.tomb = make([]bool, n)
+		b.d = make([]float64, n)
+		b.within = make([]bool, n)
+		b.probeIdx = make([]int, n)
+		b.probeObjs = make([]metric.Object, n)
+		b.pd = make([]float64, n)
+		b.pw = make([]bool, n)
+	}
+}
+
+// verifyKNNBatch resolves one greedy leaf's admitted candidates through the
+// batch kernel, replaying each verdict in scan order exactly as the parallel
+// engine's ordered commit (exec.go): the batch evaluates against the pre-leaf
+// bound snapshot on the unwrapped metric; each commit then re-checks the
+// candidate's MIND against the current bound (a prune there is the Lemma 3
+// prune the inline loop would have applied at that entry's turn, so
+// EntriesPruned totals match) and re-checks a completed distance against the
+// current bound (an excess there is the abandon the inline bounded evaluation
+// would have reported). Only committed verifications count Verified/Compdists
+// and advance the lifetime distance counter, so every counter — and the
+// result set — is identical to the inline loop; the batch's extra work (reads
+// and evaluations for commit-pruned candidates) stays as invisible as the
+// parallel engine's speculation. A failed coalesced read falls back to the
+// inline scalar path, surfacing the error at the same scan position.
+func (t *Tree) verifyKNNBatch(ctx context.Context, q metric.Object, res *knnResults, kb *knnBatch, qs *QueryStats) error {
+	if len(kb.cands) == 0 {
+		return nil
+	}
+	if err := ctxDone(ctx); err != nil {
+		return err
+	}
+	n := len(kb.cands)
+	kb.grow(n)
+	offsets, objs, plens := kb.offsets[:n], kb.objs[:n], kb.plens[:n]
+	for i, c := range kb.cands {
+		offsets[i] = c.val
+	}
+	st := qs.stageStart()
+	if idx, err := t.raf.ReadBatch(offsets, objs, plens); idx >= 0 || err != nil {
+		qs.stageAdd(&qs.VerifyTime, st)
+		for _, c := range kb.cands {
+			if c.mind >= res.bound() {
+				qs.EntriesPruned++
+				continue
+			}
+			if _, err := t.verifyKNN(ctx, q, res, mindItem{mind: c.mind, val: c.val}, qs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	probeIdx, probeObjs := kb.probeIdx[:0], kb.probeObjs[:0]
+	for i := range kb.cands {
+		kb.tomb[i] = t.deltaShadowed(objs[i].ID())
+		if !kb.tomb[i] {
+			probeIdx = append(probeIdx, i)
+			probeObjs = append(probeObjs, objs[i])
+		}
+	}
+	if len(probeObjs) > 0 {
+		eff := math.Inf(1)
+		if t.bounded {
+			eff = res.bound()
+		}
+		m := len(probeObjs)
+		metric.BatchDistanceAtMost(t.dist.Unwrap(), q, probeObjs, eff, kb.pd[:m], kb.pw[:m])
+		qs.BatchedCandidates += int64(m)
+		for j, i := range probeIdx {
+			kb.d[i], kb.within[i] = kb.pd[j], kb.pw[j]
+		}
+	}
+	for i, c := range kb.cands {
+		if c.mind >= res.bound() {
+			qs.EntriesPruned++ // the inline loop's Lemma 3 prune at this turn
+			continue
+		}
+		if kb.tomb[i] {
+			t.raf.EmitRecordRead(c.val, plens[i])
+			qs.TombstonesSkipped++
+			continue
+		}
+		qs.Verified++
+		qs.Compdists++
+		t.dist.Add(1)
+		t.raf.EmitRecordRead(c.val, plens[i])
+		if kb.within[i] && (!t.bounded || kb.d[i] <= res.bound()) {
+			res.offer(Result{Object: objs[i], Dist: kb.d[i], Exact: true})
+		} else if t.bounded {
+			qs.Abandoned++
+		}
+	}
+	qs.stageAdd(&qs.VerifyTime, st)
+	return nil
 }
 
 // seedDeltaKNN pushes every buffered insert onto the kNN frontier with its

@@ -157,6 +157,9 @@ type OpenOptions struct {
 	// DisableBoundedKernels turns off threshold-aware distance evaluation
 	// (see Options.DisableBoundedKernels).
 	DisableBoundedKernels bool
+	// DisableBatchKernels turns off blocked batch verification
+	// (see Options.DisableBatchKernels).
+	DisableBatchKernels bool
 }
 
 // Open reopens a tree persisted with WriteMeta.
@@ -186,6 +189,7 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 		traversal: opts.Traversal,
 		workers:   resolveWorkers(opts.Workers),
 		bounded:   !opts.DisableBoundedKernels && metric.IsBounded(opts.Distance),
+		batch:     !opts.DisableBatchKernels && metric.IsBatch(opts.Distance),
 	}
 	t.kind = sfc.Kind(r.u8())
 	t.bits = int(r.u8())

@@ -107,6 +107,15 @@ type Options struct {
 	// the QueryStats.Abandoned counter change. The flag exists for the
 	// exact-vs-bounded benchmarks (spbbench pr5).
 	DisableBoundedKernels bool
+	// DisableBatchKernels turns off blocked batch verification (DESIGN.md
+	// §13): when the metric implements metric.BatchDistanceFunc, the
+	// verification stage normally evaluates a whole leaf-page block of
+	// candidates through one BatchDistanceAtMost call, hoisting per-query
+	// work out of the per-candidate loop. Results and every counter except
+	// QueryStats.BatchedCandidates are identical either way — only wall time
+	// changes. The flag exists for the batch-vs-scalar benchmarks
+	// (spbbench pr8).
+	DisableBatchKernels bool
 }
 
 // Tree is a built SPB-tree. Queries may run concurrently with each other;
@@ -151,6 +160,11 @@ type Tree struct {
 	// implements metric.BoundedDistanceFunc and bounded kernels are not
 	// disabled. See verifyDist and DESIGN.md §10.
 	bounded bool
+
+	// batch enables blocked batch verification: true iff the metric
+	// implements metric.BatchDistanceFunc and batch kernels are not
+	// disabled. See verifyBatch and DESIGN.md §13.
+	batch bool
 
 	// count is the live object total: base objects not shadowed by the write
 	// buffer, plus buffered inserts. Maintained incrementally by the apply
@@ -219,6 +233,7 @@ func Build(objs []metric.Object, opts Options) (*Tree, error) {
 		noSFCMerge: opts.DisableSFCMerge,
 		workers:    resolveWorkers(opts.Workers),
 		bounded:    !opts.DisableBoundedKernels && metric.IsBounded(opts.Distance),
+		batch:      !opts.DisableBatchKernels && metric.IsBatch(opts.Distance),
 	}
 
 	// Pivot table: either shared with a partner tree (joins need a common
@@ -473,6 +488,23 @@ func (t *Tree) SetBoundedKernels(on bool) {
 	t.mu.Unlock()
 }
 
+// BatchKernels reports whether verification evaluates leaf-page candidate
+// blocks through the metric's batch kernel (the metric implements
+// metric.BatchDistanceFunc and batch kernels were not disabled).
+func (t *Tree) BatchKernels() bool { return t.batch }
+
+// SetBatchKernels toggles blocked batch verification at runtime. Enabling is
+// a no-op when the metric has no batch kernel. Results and every counter
+// except QueryStats.BatchedCandidates are identical either way (DESIGN.md
+// §13); the toggle exists so benchmarks can compare batch and scalar
+// verification on the same tree. It takes effect for queries started
+// afterwards.
+func (t *Tree) SetBatchKernels(on bool) {
+	t.mu.Lock()
+	t.batch = on && t.dist.Batch()
+	t.mu.Unlock()
+}
+
 // verifyDist evaluates d(q, obj) against the caller's live bound: with
 // bounded kernels the evaluation may stop as soon as the distance provably
 // exceeds the bound (within = false, d unspecified), otherwise it is exact.
@@ -487,6 +519,30 @@ func (t *Tree) verifyDist(q, obj metric.Object, bound float64) (d float64, withi
 	}
 	d = t.dist.Distance(q, obj)
 	return d, d <= bound
+}
+
+// verifyBatch is verifyDist over a block of candidates sharing one bound
+// snapshot: the metric's batch kernel hoists per-query work (coordinate
+// slices, powered budgets, Myers bitmaps) out of the per-candidate loop, and
+// every (d[i], within[i]) pair is bit-identical to what verifyDist would
+// return for that candidate. The effective threshold is the caller's bound
+// when bounded kernels are on, +Inf otherwise — so with bounded kernels off a
+// batch evaluation is exact for every candidate, exactly like the scalar
+// path. Counters: the Counter charges len(objs) compdists; the caller counts
+// Verified and Abandoned per candidate as usual, plus len(objs)
+// BatchedCandidates.
+func (t *Tree) verifyBatch(q metric.Object, objs []metric.Object, bound float64, d []float64, within []bool) {
+	eff := bound
+	if !t.bounded {
+		eff = math.Inf(1)
+	}
+	t.dist.BatchDistanceAtMost(q, objs, eff, d, within)
+	if !t.bounded {
+		// Exact mode reports within against the caller's real bound.
+		for i := range d {
+			within[i] = d[i] <= bound
+		}
+	}
 }
 
 // Stats is a per-operation measurement in the paper's metrics.

@@ -95,6 +95,17 @@ type QueryStats struct {
 	// evaluations, so exact and bounded runs report identical Compdists.
 	// Zero when the metric has no bounded kernel or kernels are disabled.
 	Abandoned int64
+	// BatchedCandidates counts candidates whose verification went through a
+	// blocked batch kernel (DESIGN.md §13) — a whole leaf page of candidates
+	// evaluated by one metric.BatchDistanceAtMost call — rather than a scalar
+	// evaluation. Results and every other counter are identical either way;
+	// this counter exists so benchmarks and tests can prove the batch path
+	// actually engaged (a silent fallback to scalar shows up as zero). It is
+	// ≥ Verified's batched share and can exceed Verified for kNN, where a
+	// batched candidate may still be pruned at commit (counted under
+	// EntriesPruned, exactly like the parallel engine's stale-bound prunes).
+	// Zero when the metric has no batch kernel or batch kernels are disabled.
+	BatchedCandidates int64
 	// Results is the number of answers returned.
 	Results int
 
@@ -163,6 +174,7 @@ func (s *QueryStats) Merge(o QueryStats) {
 	s.DeltaCandidates += o.DeltaCandidates
 	s.TombstonesSkipped += o.TombstonesSkipped
 	s.Abandoned += o.Abandoned
+	s.BatchedCandidates += o.BatchedCandidates
 	s.Results += o.Results
 	s.Compdists += o.Compdists
 	s.IndexPA += o.IndexPA

@@ -131,6 +131,39 @@ func Synthetic(n int, seed int64) Dataset {
 	}
 }
 
+// Color32 is Color with every coordinate rounded to float32 — the same
+// cluster draw (same seed → same float64 coordinates before rounding), stored
+// as metric.Vector32 at half the payload size. Distances differ from Color's
+// only by the coordinate-rounding tolerance documented on metric.Vector32.
+func Color32(n int, seed int64) Dataset {
+	objs := clusteredVectors(n, 16, 12, 0.06, seed)
+	for i, o := range objs {
+		objs[i] = metric.NewVector32From64(o.ID(), o.(*metric.Vector).Coords)
+	}
+	return Dataset{
+		Name:     "Color32",
+		Objects:  objs,
+		Distance: metric.L5(16),
+		Codec:    metric.Vector32Codec{Dim: 16},
+	}
+}
+
+// Synthetic32 is Synthetic with every coordinate rounded to float32, stored
+// as metric.Vector32 — the float32 variant of the paper's 20-d L2 workload.
+func Synthetic32(n int, seed int64) Dataset {
+	d := Synthetic(n, seed)
+	objs := make([]metric.Object, len(d.Objects))
+	for i, o := range d.Objects {
+		objs[i] = metric.NewVector32From64(o.ID(), o.(*metric.Vector).Coords)
+	}
+	return Dataset{
+		Name:     "Synthetic32",
+		Objects:  objs,
+		Distance: metric.L2(20),
+		Codec:    metric.Vector32Codec{Dim: 20},
+	}
+}
+
 // DNA generates DNA reads of length ≈ 108 as mutated copies of a set of
 // family seeds, compared under angular distance over tri-gram count vectors
 // (the paper's DNA: 1M loci under "cosine similarity under tri-gram
@@ -233,6 +266,8 @@ func ByName(name string, n int, seed int64) (Dataset, bool) {
 		return Words(n, seed), true
 	case "color", "Color":
 		return Color(n, seed), true
+	case "color32", "Color32":
+		return Color32(n, seed), true
 	case "dna", "DNA":
 		return DNA(n, seed), true
 	case "dnaedit", "DNAEdit":
@@ -241,6 +276,8 @@ func ByName(name string, n int, seed int64) (Dataset, bool) {
 		return Signature(n, seed), true
 	case "synthetic", "Synthetic":
 		return Synthetic(n, seed), true
+	case "synthetic32", "Synthetic32":
+		return Synthetic32(n, seed), true
 	}
 	return Dataset{}, false
 }

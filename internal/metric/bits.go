@@ -86,20 +86,27 @@ func (h Hamming) DistanceAtMost(a, b Object, t float64) (float64, bool) {
 	if !ok {
 		panic(badType("Hamming", "*BitString", b))
 	}
-	if len(ba.Bits) != len(bb.Bits) {
-		panic(fmt.Sprintf("metric: Hamming on signatures of %d and %d bytes", len(ba.Bits), len(bb.Bits)))
+	return hammingAtMost(ba.Bits, bb.Bits, t)
+}
+
+// hammingAtMost is the bounded popcount core shared by the scalar and batch
+// paths (the batch kernel hoists only the type assertions, so the per-pair
+// arithmetic is this exact loop either way).
+func hammingAtMost(a, b []byte, t float64) (float64, bool) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metric: Hamming on signatures of %d and %d bytes", len(a), len(b)))
 	}
 	n := 0
 	i := 0
-	for ; i+8 <= len(ba.Bits); i += 8 {
-		x := leUint64(ba.Bits[i:]) ^ leUint64(bb.Bits[i:])
+	for ; i+8 <= len(a); i += 8 {
+		x := leUint64(a[i:]) ^ leUint64(b[i:])
 		n += bits.OnesCount64(x)
 		if float64(n) > t {
 			return float64(n), false
 		}
 	}
-	for ; i < len(ba.Bits); i++ {
-		n += bits.OnesCount8(ba.Bits[i] ^ bb.Bits[i])
+	for ; i < len(a); i++ {
+		n += bits.OnesCount8(a[i] ^ b[i])
 	}
 	return float64(n), float64(n) <= t
 }

@@ -104,11 +104,7 @@ func (TrigramAngular) Distance(a, b Object) float64 {
 		}
 		return 1
 	}
-	var dot float64
-	for i := range pa {
-		dot += pa[i] * pb[i]
-	}
-	cos := dot / (na * nb)
+	cos := dot64(pa[:], pb[:]) / (na * nb)
 	// Clamp against floating-point drift before acos.
 	if cos > 1 {
 		cos = 1

@@ -39,12 +39,18 @@ func editDistance(a, b string) int {
 // myersDistance64 computes the Levenshtein distance for a pattern of at most
 // 64 characters against text. len(pattern) must be in [1, 64].
 func myersDistance64(pattern, text string) int {
-	m := len(pattern)
 	// Peq[c] has bit i set iff pattern[i] == c.
 	var peq [256]uint64
-	for i := 0; i < m; i++ {
+	for i := 0; i < len(pattern); i++ {
 		peq[pattern[i]] |= 1 << uint(i)
 	}
+	return myersRun64(&peq, len(pattern), text)
+}
+
+// myersRun64 is the single-word kernel proper, with the pattern's equality
+// bitmap prebuilt — the batch verification path builds peq once per query
+// and replays this loop per candidate (DESIGN.md §13).
+func myersRun64(peq *[256]uint64, m int, text string) int {
 	var pv uint64 = ^uint64(0)
 	var mv uint64
 	score := m
@@ -100,7 +106,13 @@ func myersDistanceBlock(pattern, text string) int {
 		}
 		peq[(int(slot[c])-1)*w+i/64] |= 1 << uint(i%64)
 	}
+	return myersRunBlock(&slot, peq, w, m, text)
+}
 
+// myersRunBlock is the multi-block kernel proper, with the interned slot
+// table and equality bitmaps prebuilt; the batch verification path builds
+// them once per query and replays this loop per candidate.
+func myersRunBlock(slot *[256]uint16, peq []uint64, w, m int, text string) int {
 	var vStack [16]uint64 // Pv and Mv for up to 8 blocks
 	var pv, mvec []uint64
 	if 2*w <= len(vStack) {

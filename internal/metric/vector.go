@@ -70,122 +70,176 @@ func L2(dim int) LpNorm { return LpNorm{P: 2, Dim: dim, Scale: 1} }
 // L5 returns the Minkowski-5 distance over dim-dimensional unit-cube vectors.
 func L5(dim int) LpNorm { return LpNorm{P: 5, Dim: dim, Scale: 1} }
 
-// Distance implements DistanceFunc.
+// Distance implements DistanceFunc over *Vector and *Vector32 (never mixed
+// within one space), through the unrolled inner loops of kernels.go. Integer
+// orders (L5 for the Color workload) take the repeated-multiplication path:
+// intPow is ~5× cheaper than math.Pow per coordinate — see
+// BenchmarkDistanceL5 in bench_test.go.
 func (l LpNorm) Distance(a, b Object) float64 {
-	va, ok := a.(*Vector)
-	if !ok {
-		panic(badType("LpNorm", "*Vector", a))
-	}
-	vb, ok := b.(*Vector)
-	if !ok {
-		panic(badType("LpNorm", "*Vector", b))
-	}
-	if len(va.Coords) != len(vb.Coords) {
-		panic(fmt.Sprintf("metric: LpNorm on vectors of dim %d and %d", len(va.Coords), len(vb.Coords)))
-	}
-	switch l.P {
-	case 2:
-		var s float64
-		for i, c := range va.Coords {
-			d := c - vb.Coords[i]
-			s += d * d
+	switch va := a.(type) {
+	case *Vector:
+		vb, ok := b.(*Vector)
+		if !ok {
+			panic(badType("LpNorm", "*Vector", b))
 		}
-		return math.Sqrt(s)
-	case 1:
-		var s float64
-		for i, c := range va.Coords {
-			s += math.Abs(c - vb.Coords[i])
+		l.checkDims(len(va.Coords), len(vb.Coords))
+		return l.root(l.powSum64(va.Coords, vb.Coords))
+	case *Vector32:
+		vb, ok := b.(*Vector32)
+		if !ok {
+			panic(badType("LpNorm", "*Vector32", b))
 		}
-		return s
+		l.checkDims(len(va.Coords), len(vb.Coords))
+		return l.root(l.powSum32(va.Coords, vb.Coords))
+	}
+	panic(badType("LpNorm", "*Vector or *Vector32", a))
+}
+
+// powSum64 returns the powered Lp sum Σ|aᵢ-bᵢ|^p (root not yet applied).
+func (l LpNorm) powSum64(a, b []float64) float64 {
+	switch {
+	case l.P == 2:
+		return l2Sum64(a, b)
+	case l.P == 1:
+		return l1Sum64(a, b)
 	default:
 		if p, ok := l.intP(); ok {
-			// Integer orders (L5 for the Color workload) take the repeated
-			// multiplication path: intPow is ~5× cheaper than math.Pow per
-			// coordinate. See BenchmarkDistanceL5 in bench_test.go.
-			var s float64
-			for i, c := range va.Coords {
-				s += intPow(math.Abs(c-vb.Coords[i]), p)
-			}
-			return math.Pow(s, 1/l.P)
+			return lpSum64(a, b, p)
 		}
 		var s float64
-		for i, c := range va.Coords {
-			s += math.Pow(math.Abs(c-vb.Coords[i]), l.P)
+		for i := range a {
+			s += math.Pow(math.Abs(a[i]-b[i]), l.P)
 		}
+		return s
+	}
+}
+
+// powSum32 is powSum64 over float32 coordinates (widened per element).
+func (l LpNorm) powSum32(a, b []float32) float64 {
+	switch {
+	case l.P == 2:
+		return l2Sum32(a, b)
+	case l.P == 1:
+		return l1Sum32(a, b)
+	default:
+		if p, ok := l.intP(); ok {
+			return lpSum32(a, b, p)
+		}
+		var s float64
+		for i := range a {
+			s += math.Pow(math.Abs(float64(a[i])-float64(b[i])), l.P)
+		}
+		return s
+	}
+}
+
+// root applies the final p-th root to a powered sum.
+func (l LpNorm) root(s float64) float64 {
+	switch l.P {
+	case 2:
+		return math.Sqrt(s)
+	case 1:
+		return s
+	default:
 		return math.Pow(s, 1/l.P)
+	}
+}
+
+// budget returns the powered abandon budget for threshold t: t^p, inflated by
+// rootSafetyMargin when a final root will be applied (for L1 the sum is the
+// distance, so the threshold is used as is).
+func (l LpNorm) budget(t float64) float64 {
+	switch l.P {
+	case 1:
+		return t
+	case 2:
+		return t * t * rootSafetyMargin
+	default:
+		p, _ := l.intP()
+		return intPow(t, p) * rootSafetyMargin
+	}
+}
+
+// checkDims panics on mismatched vector dimensionalities.
+func (l LpNorm) checkDims(na, nb int) {
+	if na != nb {
+		panic(fmt.Sprintf("metric: LpNorm on vectors of dim %d and %d", na, nb))
 	}
 }
 
 // DistanceAtMost implements BoundedDistanceFunc. The p-th root is deferred:
 // the partial sum of p-th-power coordinate deltas is compared against t^p
 // (the sum of non-negative terms only grows, so partial > budget proves the
-// final distance exceeds t), checked every strideCheck coordinates. A tiny
+// final distance exceeds t), checked at every unroll-block boundary. A tiny
 // relative safety margin on the budget absorbs the rounding of the final
 // root, so a candidate whose rounded distance would land exactly on t is
-// never abandoned — the within ⇔ d ≤ t contract holds bit-exactly.
+// never abandoned — the within ⇔ d ≤ t contract holds bit-exactly. The
+// kernels share their accumulator layout with the exact path (kernels.go), so
+// a completed bounded evaluation returns Distance's value bit for bit.
 func (l LpNorm) DistanceAtMost(a, b Object, t float64) (float64, bool) {
-	va, ok := a.(*Vector)
-	if !ok {
-		panic(badType("LpNorm", "*Vector", a))
-	}
-	vb, ok := b.(*Vector)
-	if !ok {
-		panic(badType("LpNorm", "*Vector", b))
-	}
-	if len(va.Coords) != len(vb.Coords) {
-		panic(fmt.Sprintf("metric: LpNorm on vectors of dim %d and %d", len(va.Coords), len(vb.Coords)))
-	}
 	if t < 0 {
 		return 0, false
 	}
+	if _, ok := l.intP(); !ok {
+		// Non-integer order: no cheap power, evaluate exactly.
+		d := l.Distance(a, b)
+		return d, d <= t
+	}
+	budget := l.budget(t)
+	switch va := a.(type) {
+	case *Vector:
+		vb, ok := b.(*Vector)
+		if !ok {
+			panic(badType("LpNorm", "*Vector", b))
+		}
+		l.checkDims(len(va.Coords), len(vb.Coords))
+		s, within := l.powSum64AtMost(va.Coords, vb.Coords, budget)
+		if !within {
+			return s, false
+		}
+		d := l.root(s)
+		return d, d <= t
+	case *Vector32:
+		vb, ok := b.(*Vector32)
+		if !ok {
+			panic(badType("LpNorm", "*Vector32", b))
+		}
+		l.checkDims(len(va.Coords), len(vb.Coords))
+		s, within := l.powSum32AtMost(va.Coords, vb.Coords, budget)
+		if !within {
+			return s, false
+		}
+		d := l.root(s)
+		return d, d <= t
+	}
+	panic(badType("LpNorm", "*Vector or *Vector32", a))
+}
+
+// powSum64AtMost is powSum64 under a powered budget; l.P must be integer.
+func (l LpNorm) powSum64AtMost(a, b []float64, budget float64) (float64, bool) {
 	switch {
 	case l.P == 2:
-		budget := t * t * rootSafetyMargin
-		var s float64
-		for i, c := range va.Coords {
-			d := c - vb.Coords[i]
-			s += d * d
-			if i&(strideCheck-1) == strideCheck-1 && s > budget {
-				return s, false
-			}
-		}
-		d := math.Sqrt(s)
-		return d, d <= t
+		return l2Sum64AtMost(a, b, budget)
 	case l.P == 1:
-		// The sum is the distance: no root, no margin needed.
-		var s float64
-		for i, c := range va.Coords {
-			s += math.Abs(c - vb.Coords[i])
-			if i&(strideCheck-1) == strideCheck-1 && s > t {
-				return s, false
-			}
-		}
-		return s, s <= t
+		return l1Sum64AtMost(a, b, budget)
 	default:
-		p, ok := l.intP()
-		if !ok {
-			// Non-integer order: no cheap power, evaluate exactly.
-			d := l.Distance(a, b)
-			return d, d <= t
-		}
-		budget := intPow(t, p) * rootSafetyMargin
-		var s float64
-		for i, c := range va.Coords {
-			s += intPow(math.Abs(c-vb.Coords[i]), p)
-			if i&(strideCheck-1) == strideCheck-1 && s > budget {
-				return s, false
-			}
-		}
-		d := math.Pow(s, 1/l.P)
-		return d, d <= t
+		p, _ := l.intP()
+		return lpSum64AtMost(a, b, p, budget)
 	}
 }
 
-// strideCheck is how often (in coordinates) the bounded Lp kernels test the
-// partial sum against the budget. A power of two: the test compiles to a
-// mask. Checking every coordinate would cost a branch per flop; every 4th
-// keeps the overhead negligible while abandoning nearly as early.
-const strideCheck = 4
+// powSum32AtMost is powSum32 under a powered budget; l.P must be integer.
+func (l LpNorm) powSum32AtMost(a, b []float32, budget float64) (float64, bool) {
+	switch {
+	case l.P == 2:
+		return l2Sum32AtMost(a, b, budget)
+	case l.P == 1:
+		return l1Sum32AtMost(a, b, budget)
+	default:
+		p, _ := l.intP()
+		return lpSum32AtMost(a, b, p, budget)
+	}
+}
 
 // rootSafetyMargin inflates the powered budget t^p by 1+1e-12 before the
 // abandon comparison. The final root (Sqrt or Pow) rounds to ~1 ulp (~1e-16
@@ -246,47 +300,46 @@ type LInf struct {
 	Scale float64
 }
 
-// Distance implements DistanceFunc.
+// Distance implements DistanceFunc over *Vector and *Vector32, through the
+// unrolled max-abs loops of kernels.go (max is order-invariant, so the lane
+// split cannot change the result).
 func (l LInf) Distance(a, b Object) float64 {
-	va, ok := a.(*Vector)
-	if !ok {
-		panic(badType("LInf", "*Vector", a))
-	}
-	vb, ok := b.(*Vector)
-	if !ok {
-		panic(badType("LInf", "*Vector", b))
-	}
-	var m float64
-	for i, c := range va.Coords {
-		if d := math.Abs(c - vb.Coords[i]); d > m {
-			m = d
+	switch va := a.(type) {
+	case *Vector:
+		vb, ok := b.(*Vector)
+		if !ok {
+			panic(badType("LInf", "*Vector", b))
 		}
+		return maxAbs64(va.Coords, vb.Coords)
+	case *Vector32:
+		vb, ok := b.(*Vector32)
+		if !ok {
+			panic(badType("LInf", "*Vector32", b))
+		}
+		return maxAbs32(va.Coords, vb.Coords)
 	}
-	return m
+	panic(badType("LInf", "*Vector or *Vector32", a))
 }
 
 // DistanceAtMost implements BoundedDistanceFunc: the running maximum only
-// grows, so the first coordinate gap exceeding t proves the distance does
-// too and the scan stops.
+// grows, so the first unroll block whose maximum exceeds t proves the
+// distance does too and the scan stops.
 func (l LInf) DistanceAtMost(a, b Object, t float64) (float64, bool) {
-	va, ok := a.(*Vector)
-	if !ok {
-		panic(badType("LInf", "*Vector", a))
-	}
-	vb, ok := b.(*Vector)
-	if !ok {
-		panic(badType("LInf", "*Vector", b))
-	}
-	var m float64
-	for i, c := range va.Coords {
-		if d := math.Abs(c - vb.Coords[i]); d > m {
-			m = d
-			if m > t {
-				return m, false
-			}
+	switch va := a.(type) {
+	case *Vector:
+		vb, ok := b.(*Vector)
+		if !ok {
+			panic(badType("LInf", "*Vector", b))
 		}
+		return maxAbs64AtMost(va.Coords, vb.Coords, t)
+	case *Vector32:
+		vb, ok := b.(*Vector32)
+		if !ok {
+			panic(badType("LInf", "*Vector32", b))
+		}
+		return maxAbs32AtMost(va.Coords, vb.Coords, t)
 	}
-	return m, m <= t
+	panic(badType("LInf", "*Vector or *Vector32", a))
 }
 
 // MaxDistance returns the cube's L∞ diameter, Scale.

@@ -177,11 +177,22 @@ type (
 	// provably exceeds the caller's bound; trees use it automatically
 	// throughout verification. See metric.BoundedDistanceFunc.
 	BoundedDistanceFunc = metric.BoundedDistanceFunc
+	// BatchDistanceFunc is a DistanceFunc with a blocked batch kernel
+	// (BatchDistanceAtMost) that evaluates one query against a block of
+	// candidates, hoisting per-query work out of the per-candidate loop;
+	// trees use it automatically wherever verification lands a whole leaf
+	// page of candidates. See metric.BatchDistanceFunc.
+	BatchDistanceFunc = metric.BatchDistanceFunc
 	// Codec decodes objects from their serialized payloads.
 	Codec = metric.Codec
 
 	// Vector is a real-valued vector object.
 	Vector = metric.Vector
+	// Vector32 is a real-valued vector object stored at float32 precision —
+	// half the storage and verify-stage memory traffic of Vector, with
+	// distances exact over the rounded coordinates. See metric.Vector32 for
+	// the tolerance contract against a float64 dataset.
+	Vector32 = metric.Vector32
 	// Str is a string object.
 	Str = metric.Str
 	// BitString is a fixed-width binary signature object.
@@ -206,6 +217,8 @@ type (
 
 	// VectorCodec decodes Vector payloads.
 	VectorCodec = metric.VectorCodec
+	// Vector32Codec decodes Vector32 payloads.
+	Vector32Codec = metric.Vector32Codec
 	// StrCodec decodes Str payloads.
 	StrCodec = metric.StrCodec
 	// BitStringCodec decodes BitString payloads.
@@ -225,12 +238,24 @@ var (
 	// IsBounded reports whether a DistanceFunc implements a threshold-aware
 	// kernel. See metric.IsBounded.
 	IsBounded = metric.IsBounded
+	// BatchDistanceAtMost evaluates fn against a block of candidates, through
+	// the metric's batch kernel when it implements one and a scalar loop
+	// otherwise. See metric.BatchDistanceAtMost.
+	BatchDistanceAtMost = metric.BatchDistanceAtMost
+	// IsBatch reports whether a DistanceFunc implements a blocked batch
+	// kernel. See metric.IsBatch.
+	IsBatch = metric.IsBatch
 )
 
 // Object constructors.
 var (
 	// NewVector returns a vector object.
 	NewVector = metric.NewVector
+	// NewVector32 returns a float32 vector object.
+	NewVector32 = metric.NewVector32
+	// NewVector32From64 returns a float32 vector object with each coordinate
+	// rounded from float64.
+	NewVector32From64 = metric.NewVector32From64
 	// NewStr returns a string object.
 	NewStr = metric.NewStr
 	// NewBitString returns a bit-signature object.
