@@ -10,7 +10,7 @@
 //	spbbench -n 20000 -q 100 all
 //
 // Experiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 all
+// fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 pr9 all
 //
 // pr4 compares serial and parallel verification (see DESIGN.md §9) and
 // enforces the engine's invariants; with -json FILE it writes the
@@ -31,6 +31,12 @@
 // bounded path on the same trees, including the float32 Color32 workload, and
 // enforces the batch layer's byte-identity invariants; with -json FILE it
 // writes BENCH_PR8.json.
+//
+// pr9 compares the approximate graph tier (DESIGN.md §14) — NN-descent
+// construction plus beam search — against exact kNN, sweeping the beam width
+// and reporting recall@10 and latency; it enforces the recall floor and the
+// exact path's post-BuildGraph byte identity, and with -json FILE it writes
+// BENCH_PR9.json.
 package main
 
 import (
@@ -67,7 +73,7 @@ func main() {
 
 	if flag.NArg() == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nexperiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 all")
+		fmt.Fprintln(os.Stderr, "\nexperiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 pr9 all")
 		os.Exit(2)
 	}
 
@@ -93,9 +99,10 @@ func main() {
 		"pr5":      pr5,
 		"pr6":      pr6,
 		"pr8":      pr8,
+		"pr9":      pr9,
 	}
 	order := []string{"table2", "table4", "fig9", "fig10", "table5", "fig11",
-		"table6", "table7", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "forest", "pr4", "pr5", "pr6", "pr8"}
+		"table6", "table7", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "forest", "pr4", "pr5", "pr6", "pr8", "pr9"}
 
 	var names []string
 	for _, arg := range flag.Args() {

@@ -266,12 +266,12 @@ type pr5Entry struct {
 // measurement, and the warm speedups of bounded kernels over the pre-kernel
 // baseline per dataset and operation.
 type pr5Report struct {
-	N           int                           `json:"n"`
-	Queries     int                           `json:"queries"`
-	K           int                           `json:"k"`
-	Workers     int                           `json:"workers"`
-	GOMAXPROCS  int                           `json:"gomaxprocs"`
-	Entries []pr5Entry `json:"entries"`
+	N          int        `json:"n"`
+	Queries    int        `json:"queries"`
+	K          int        `json:"k"`
+	Workers    int        `json:"workers"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Entries    []pr5Entry `json:"entries"`
 	// WarmSpeedup is end-to-end query wall time, prepr over bounded; it
 	// includes index traversal, which the kernels do not touch.
 	WarmSpeedup map[string]map[string]float64 `json:"warm_speedup_vs_prepr"`

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	spbserve -dir INDEXDIR [-addr :8080] [-workers N] [-queue N]
-//	         [-query-workers K] [-timeout 5s] [-max-timeout 60s] [-nosync]
+//	         [-query-workers K] [-timeout 5s] [-max-timeout 60s] [-nosync] [-graph]
 //	spbserve -demo 50000 [-dim 8] [-addr :8080]
 //	spbserve -cluster cluster.json -placement ROOT/placement.json [-addr :8080]
 //
@@ -19,6 +19,12 @@
 // (writes answer 403). -demo builds a transient in-memory index over uniform
 // random vectors on a Z-order curve (so /v1/join works) — handy for trying
 // the API without building an index first.
+//
+// -graph builds the approximate graph tier (DESIGN.md §14) over the loaded
+// index at startup, so POST /v1/knn serves {"mode":"ann","ef":N} from the
+// graph; without it (or with a saved index whose graph.bin is absent or
+// stale) mode=ann falls back to exact search. Local modes only — in -cluster
+// mode graphs belong to the owning nodes.
 //
 // -workers bounds concurrent queries (admission control); -query-workers is
 // the per-query verifier pool of the parallel execution engine (0 = the
@@ -192,6 +198,7 @@ func run() error {
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on request-supplied deadlines")
 	drainWait := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 	nosync := flag.Bool("nosync", false, "skip WAL fsyncs on durable indexes (crash-unsafe; benchmarks only)")
+	graph := flag.Bool("graph", false, "build the approximate graph tier at startup so /v1/knn serves mode=ann (local index modes only)")
 	clusterCfg := flag.String("cluster", "", "cluster config file: run as the cluster's router instead of serving -dir")
 	placementFile := flag.String("placement", "", "persisted placement.json (router mode; default derives the bootstrap placement from -cluster)")
 	flag.Parse()
@@ -213,6 +220,16 @@ func run() error {
 	}
 	if err != nil {
 		return err
+	}
+	if *graph {
+		if tree == nil {
+			return errors.New("-graph needs a local index (-dir or -demo); build graphs on the owning nodes in -cluster mode")
+		}
+		fmt.Fprintf(os.Stderr, "building approximate graph tier over %d objects\n", tree.Len())
+		if err := tree.BuildGraph(core.GraphOptions{}); err != nil {
+			tree.Close()
+			return fmt.Errorf("build graph: %w", err)
+		}
 	}
 
 	cfg := server.Config{

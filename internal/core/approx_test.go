@@ -4,7 +4,18 @@ import (
 	"testing"
 
 	"spbtree/internal/metric"
+	"spbtree/internal/recall"
 )
+
+// resultIDList projects a result list to its object IDs, the form the shared
+// recall helper consumes.
+func resultIDList(res []Result) []uint64 {
+	ids := make([]uint64, len(res))
+	for i, r := range res {
+		ids[i] = r.Object.ID()
+	}
+	return ids
+}
 
 func TestKNNApproxFallsBackToExact(t *testing.T) {
 	objs := vectorSet(300, 4, 95)
@@ -49,33 +60,29 @@ func TestKNNApproxRecallAndBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	const k = 10
-	recallAt := func(budget int) (recall float64, cd int64) {
-		var hits, total int
+	// Exact baselines are computed once and shared by every budget level,
+	// scored through the one recall implementation (internal/recall).
+	exactIDs := make([][]uint64, 20)
+	for qi := range exactIDs {
+		exact, err := tree.KNN(objs[qi*83], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactIDs[qi] = resultIDList(exact)
+	}
+	recallAt := func(budget int) (r float64, cd int64) {
+		recalls := make([]float64, 0, len(exactIDs))
 		var totalCD int64
-		for qi := 0; qi < 20; qi++ {
-			q := objs[qi*83]
-			exact, err := tree.KNN(q, k)
-			if err != nil {
-				t.Fatal(err)
-			}
-			exactIDs := map[uint64]bool{}
-			for _, r := range exact {
-				exactIDs[r.Object.ID()] = true
-			}
+		for qi := range exactIDs {
 			tree.ResetStats()
-			approx, err := tree.KNNApprox(q, k, budget)
+			approx, err := tree.KNNApprox(objs[qi*83], k, budget)
 			if err != nil {
 				t.Fatal(err)
 			}
 			totalCD += tree.TakeStats().DistanceComputations
-			for _, r := range approx {
-				if exactIDs[r.Object.ID()] {
-					hits++
-				}
-			}
-			total += len(exact)
+			recalls = append(recalls, recall.AtK(exactIDs[qi], resultIDList(approx), k))
 		}
-		return float64(hits) / float64(total), totalCD
+		return recall.Mean(recalls), totalCD
 	}
 	rSmall, cdSmall := recallAt(2 * k)
 	rBig, cdBig := recallAt(20 * k)

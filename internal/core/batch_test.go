@@ -107,10 +107,10 @@ func TestBatchMatchesScalar(t *testing.T) {
 				if batched[OpRange] == 0 {
 					t.Errorf("%s/%s: no range candidate went through a batch kernel", s.name, trav)
 				}
-				// kNN blocks form where a whole leaf's survivors verify
-				// together, which only the greedy depth-first descent does;
-				// incremental best-first pops entries one at a time.
-				if trav == Greedy && batched[OpKNN] == 0 {
+				// kNN blocks form on both traversals: greedy batches a whole
+				// leaf's survivors, and the best-first serial loop buffers
+				// consecutive entry pops into incremental blocks.
+				if batched[OpKNN] == 0 {
 					t.Errorf("%s/%s: no kNN candidate went through a batch kernel", s.name, trav)
 				}
 				tree.Close()

@@ -614,6 +614,10 @@ func (d *durableState) compactOnce(t *Tree) error {
 	d.gen = newGen
 	d.applied = highLSN
 	t.cm.markDirty()
+	// The approximate graph indexed the old generation's offsets; drop it.
+	// (Buffered writes never invalidate the graph — queries merge them — so
+	// this swap is the only point a durable tree loses its graph.)
+	t.graph = nil
 	t.wireTracer()
 	t.mu.Unlock()
 	oldIdxCache.Close()

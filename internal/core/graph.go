@@ -1,0 +1,430 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"spbtree/internal/graph"
+	"spbtree/internal/metric"
+	"spbtree/internal/raf"
+	"spbtree/internal/sfc"
+)
+
+// ErrNoGraph is returned by the KNNGraph entry points when the tree has no
+// live approximate graph: none was ever built, the last one was invalidated
+// by a structural mutation (Insert/Delete/Rebuild/compaction swap), or a
+// BuildGraph has not yet been re-run. Callers are expected to fall back to
+// the exact KNN path — the forest and HTTP layers do exactly that.
+var ErrNoGraph = errors.New("core: no approximate graph built")
+
+// ErrGraphStale is returned by BuildGraph when a structural mutation swapped
+// or grew the storage substrate while construction ran off-lock; the built
+// graph would reference stale offsets, so it is discarded. Retry under a
+// write-quiet window (durable writes do not trigger this — they buffer in
+// the delta, which graph queries merge at search time).
+var ErrGraphStale = errors.New("core: graph build raced a structural mutation")
+
+// DefaultEf is the beam width used when SearchOptions.Ef is zero.
+const DefaultEf = 64
+
+// GraphOptions configures BuildGraph; the zero value selects the defaults of
+// the graph package (K=16, ρ=0.5, 12 iterations max, convergence at
+// 0.002·K·n updates, 8 entry points).
+type GraphOptions struct {
+	// K is the number of graph neighbors kept per object.
+	K int
+	// Rho is the NN-descent sample rate.
+	Rho float64
+	// MaxIters caps the NN-descent iterations.
+	MaxIters int
+	// Delta is the NN-descent convergence threshold (fraction of K·n updates
+	// per iteration below which construction stops).
+	Delta float64
+	// Entries is the number of fixed beam-search entry points.
+	Entries int
+	// Workers bounds the construction's parallel distance evaluators; like
+	// query verifiers they are drawn non-blockingly from the process-wide
+	// slot pool, so a busy process degrades construction to serial instead
+	// of oversubscribing. 0 selects the tree's worker default; 1 is serial.
+	// The built graph is identical for every worker count.
+	Workers int
+	// Seed seeds the construction sampling; 0 means 1.
+	Seed int64
+}
+
+// SearchOptions tunes one approximate kNN query.
+type SearchOptions struct {
+	// Ef is the beam width — the size of the sorted candidate/visited set.
+	// Larger values raise recall and cost; 0 selects DefaultEf, values
+	// below k are raised to k.
+	Ef int
+}
+
+// graphTier is the attached approximate tier: the graph plus the identity of
+// the RAF it was built against, so queries can detect (belt and braces — the
+// mutators already invalidate eagerly) that the substrate was swapped.
+// offIdx maps RAF offset to graph node index; queries use it to translate
+// the query's B+-tree (SFC) position into beam-search seed nodes.
+type graphTier struct {
+	g      *graph.Graph
+	raf    *raf.File
+	offIdx map[uint64]int32
+}
+
+// newGraphTier wraps a graph for attachment, deriving the offset→node map.
+func newGraphTier(g *graph.Graph, r *raf.File) *graphTier {
+	offIdx := make(map[uint64]int32, len(g.Offs))
+	for i, off := range g.Offs {
+		offIdx[off] = int32(i)
+	}
+	return &graphTier{g: g, raf: r, offIdx: offIdx}
+}
+
+// HasGraph reports whether an approximate graph is live on the tree.
+func (t *Tree) HasGraph() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.graphLive() != nil
+}
+
+// graphLive returns the attached graph if it matches the current substrate.
+// Callers hold t.mu (either mode).
+func (t *Tree) graphLive() *graph.Graph {
+	if t.graph == nil || t.graph.raf != t.raf {
+		return nil
+	}
+	return t.graph.g
+}
+
+// BuildGraph constructs (or replaces) the tree's approximate k-neighbor
+// graph over the current live base objects; see BuildGraphCtx.
+func (t *Tree) BuildGraph(opts GraphOptions) error {
+	return t.BuildGraphCtx(context.Background(), opts)
+}
+
+// BuildGraphCtx runs NN-descent over the tree's live base object set and
+// attaches the result as the approximate query tier. The object snapshot is
+// taken under the read lock (concurrent queries keep flowing, mutators wait
+// as they would for any read); construction itself runs off-lock, honoring
+// ctx; the finished graph attaches under the write lock only if no
+// structural mutation intervened (ErrGraphStale otherwise).
+//
+// Buffered durable writes are not part of the graph: queries merge the delta
+// buffer and tombstone filter at search time, so a graph stays valid — and
+// correct — across durable Insert/Delete traffic until compaction folds the
+// buffer into a new base (which invalidates the graph; rebuild it after).
+// Non-durable Insert/Delete and Rebuild invalidate the graph immediately.
+//
+// Construction distances are evaluated through the tree's counted metric —
+// threshold-aware when the metric has a bounded kernel — so the lifetime
+// compdists counter covers construction cost.
+func (t *Tree) BuildGraphCtx(ctx context.Context, opts GraphOptions) error {
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return ErrClosed
+	}
+	baseRAF := t.raf
+	baseCount := t.raf.Count()
+	baseSize := t.raf.Size()
+	bounded := t.bounded
+	var (
+		ids  []uint64
+		offs []uint64
+		objs []metric.Object
+	)
+	for c := t.bpt.SeekFirst(); c.Valid(); c.Next() {
+		obj, err := t.raf.Read(c.Val())
+		if err != nil {
+			t.mu.RUnlock()
+			return err
+		}
+		if t.deltaShadowed(obj.ID()) {
+			continue
+		}
+		ids = append(ids, obj.ID())
+		offs = append(offs, c.Val())
+		objs = append(objs, obj)
+	}
+	if c := t.bpt.SeekFirst(); c.Err() != nil {
+		t.mu.RUnlock()
+		return c.Err()
+	}
+	t.mu.RUnlock()
+
+	gopts := graph.Options{
+		K: opts.K, Rho: opts.Rho, MaxIters: opts.MaxIters, Delta: opts.Delta,
+		Entries: opts.Entries, Seed: opts.Seed,
+	}
+	if w := resolveWorkers(opts.Workers); w > 1 {
+		if slots := acquireSlots(w); slots > 0 {
+			gopts.Workers = slots
+			defer releaseSlots(slots)
+		}
+	}
+	dist := func(i, j int, thr float64) (float64, bool) {
+		if bounded {
+			return t.dist.DistanceAtMost(objs[i], objs[j], thr)
+		}
+		d := t.dist.Distance(objs[i], objs[j])
+		return d, d <= thr
+	}
+	g, err := graph.Build(ctx, len(objs), dist, gopts)
+	if err != nil {
+		return err
+	}
+	g.IDs = ids
+	g.Offs = offs
+	g.BaseCount = uint64(baseCount)
+	g.BaseSize = baseSize
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if t.raf != baseRAF || t.raf.Count() != baseCount || t.raf.Size() != baseSize {
+		return ErrGraphStale
+	}
+	t.graph = newGraphTier(g, baseRAF)
+	return nil
+}
+
+// KNNGraph answers approximate kNN(q, k) by greedy beam search over the
+// NN-descent graph (build one first with BuildGraph; ErrNoGraph otherwise).
+// Results are sorted by (distance, ID) with exact distances, drawn from the
+// graph's candidates merged with any buffered durable inserts; objects
+// shadowed by tombstones or newer buffered versions never surface. Unlike
+// exact KNN the answer may miss true neighbors — SearchOptions.Ef dials the
+// recall/latency trade-off.
+func (t *Tree) KNNGraph(q metric.Object, k int, opts SearchOptions) ([]Result, error) {
+	return t.KNNGraphCtx(context.Background(), q, k, opts)
+}
+
+// KNNGraphCtx is KNNGraph honoring ctx: cancellation is checked at every
+// graph hop, and on expiry the best candidates found so far are returned
+// (sorted) with an error matching ErrCanceled.
+func (t *Tree) KNNGraphCtx(ctx context.Context, q metric.Object, k int, opts SearchOptions) ([]Result, error) {
+	qs := QueryStats{Op: OpKNNGraph}
+	return t.runKNNGraph(ctx, q, k, opts, &qs)
+}
+
+// KNNGraphWithStats is KNNGraph plus the query's per-stage QueryStats,
+// including the GraphHops/GraphCandidates counters.
+func (t *Tree) KNNGraphWithStats(q metric.Object, k int, opts SearchOptions) ([]Result, QueryStats, error) {
+	return t.KNNGraphWithStatsCtx(context.Background(), q, k, opts)
+}
+
+// KNNGraphWithStatsCtx is KNNGraphCtx plus the query's per-stage QueryStats.
+func (t *Tree) KNNGraphWithStatsCtx(ctx context.Context, q metric.Object, k int, opts SearchOptions) ([]Result, QueryStats, error) {
+	qs := QueryStats{Op: OpKNNGraph, timed: true}
+	res, err := t.runKNNGraph(ctx, q, k, opts, &qs)
+	return res, qs, err
+}
+
+// runKNNGraph executes one graph query under the tree's read lock.
+func (t *Tree) runKNNGraph(ctx context.Context, q metric.Object, k int, opts SearchOptions, qs *QueryStats) ([]Result, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	qt := t.beginQuery(qs)
+	res, err := t.knnGraph(ctx, q, k, opts, qs)
+	qt.finish(len(res), err)
+	return res, err
+}
+
+// graphSeeds translates the query's position on the space-filling curve into
+// beam-search seed nodes: map q through the pivots, encode the SFC key, seek
+// the B+-tree to it, and return the window of up to ef graph nodes around
+// that position (graph node indices are assigned in B+-tree iteration order,
+// so a contiguous index window IS an SFC window). This is the substrate
+// doing the entry-point work the fixed entries cannot: the SPB-tree clusters
+// similar objects on the curve, so the window lands inside the query's
+// cluster even when that cluster shares a weakly-connected graph component
+// with others and the component's entry sits an inter-cluster plateau away.
+// Charges the pivot mapping to Compdists like every exact query. Callers
+// hold t.mu.
+func (t *Tree) graphSeeds(q metric.Object, ef int, qs *QueryStats) []int32 {
+	g := t.graph.g
+	n := g.Len()
+	if n == 0 {
+		return nil
+	}
+	np := len(t.pivots)
+	qvec := make([]float64, np)
+	t.phi(q, qvec)
+	qs.Compdists += int64(np)
+	cells := make(sfc.Point, np)
+	t.cells(qvec, cells)
+	key := t.curve.Encode(cells)
+
+	// The first indexed record at or after the key anchors the window; a few
+	// records may be missing from the graph (delta-shadowed at build time),
+	// so probe forward a bounded number of steps. Falling off the end — or
+	// never finding a graph node — anchors at the last node.
+	center := int32(n - 1)
+	c := t.bpt.Seek(key)
+	for tries := 0; c.Valid() && tries < 64; tries++ {
+		if idx, ok := t.graph.offIdx[c.Val()]; ok {
+			center = idx
+			break
+		}
+		c.Next()
+	}
+	lo := center - int32(ef/2)
+	hi := lo + int32(ef)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int32(n) {
+		hi = int32(n)
+	}
+	seeds := make([]int32, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		seeds = append(seeds, v)
+	}
+	return seeds
+}
+
+// knnGraph is the beam-search body: graph candidates (batch-read from the
+// RAF and batch-evaluated through the metric's kernels), tombstone-filtered,
+// then merged with the buffered durable inserts exactly like the exact
+// paths. Counters: every distance evaluation charges Verified+Compdists
+// (graph-side ones additionally GraphCandidates, buffered ones
+// DeltaCandidates), expansions charge GraphHops, and shadowed base records
+// charge TombstonesSkipped.
+func (t *Tree) knnGraph(ctx context.Context, q metric.Object, k int, opts SearchOptions, qs *QueryStats) ([]Result, error) {
+	g := t.graphLive()
+	if g == nil {
+		return nil, ErrNoGraph
+	}
+	if k <= 0 || t.count == 0 {
+		return nil, nil
+	}
+	ef := opts.Ef
+	if ef <= 0 {
+		ef = DefaultEf
+	}
+	if ef < k {
+		ef = k
+	}
+
+	st := qs.stageStart()
+	seeds := t.graphSeeds(q, ef, qs)
+	qs.stageAdd(&qs.PlanTime, st)
+
+	scratch := g.K
+	if len(g.Entries) > scratch {
+		scratch = len(g.Entries)
+	}
+	offs := make([]uint64, scratch)
+	objs := make([]metric.Object, scratch)
+	plens := make([]int, scratch)
+	probeObjs := make([]metric.Object, 0, scratch)
+	probeIdx := make([]int, 0, scratch)
+	pd := make([]float64, scratch)
+	pw := make([]bool, scratch)
+	byNode := make(map[int32]metric.Object, 2*ef)
+
+	eval := func(nodes []int32, thr float64, d []float64, within []bool) error {
+		if err := ctxDone(ctx); err != nil {
+			return err
+		}
+		st := qs.stageStart()
+		defer qs.stageAdd(&qs.VerifyTime, st)
+		m := len(nodes)
+		if m > len(offs) {
+			// Symmetrized expansion batches are bounded by a node's in-degree,
+			// which a hub can push past the K-sized scratch.
+			offs = make([]uint64, m)
+			objs = make([]metric.Object, m)
+			plens = make([]int, m)
+			pd = make([]float64, m)
+			pw = make([]bool, m)
+		}
+		for i, v := range nodes {
+			offs[i] = g.Offs[v]
+		}
+		if idx, err := t.raf.ReadBatch(offs[:m], objs[:m], plens[:m]); idx >= 0 || err != nil {
+			// Coalesced read failed: per-record reads surface the error.
+			for i, v := range nodes {
+				o, err := t.raf.Read(g.Offs[v])
+				if err != nil {
+					return err
+				}
+				objs[i] = o
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				t.raf.EmitRecordRead(offs[i], plens[i])
+			}
+		}
+		probeObjs, probeIdx = probeObjs[:0], probeIdx[:0]
+		for i := range nodes {
+			if t.deltaShadowed(objs[i].ID()) {
+				// Shadowed by a tombstone or a newer buffered version: the
+				// buffered side of the merge owns this ID.
+				qs.TombstonesSkipped++
+				d[i], within[i] = math.Inf(1), false
+				continue
+			}
+			probeIdx = append(probeIdx, i)
+			probeObjs = append(probeObjs, objs[i])
+		}
+		if len(probeObjs) > 0 {
+			t.verifyBatch(q, probeObjs, thr, pd[:len(probeObjs)], pw[:len(probeObjs)])
+			qs.Verified += int64(len(probeObjs))
+			qs.Compdists += int64(len(probeObjs))
+			qs.GraphCandidates += int64(len(probeObjs))
+			for j, i := range probeIdx {
+				d[i], within[i] = pd[j], pw[j]
+				if within[i] {
+					byNode[nodes[i]] = objs[i]
+				} else if t.bounded {
+					qs.Abandoned++
+				}
+			}
+		}
+		return nil
+	}
+
+	cands, sstats, serr := g.Search(ctx, eval, ef, seeds)
+	qs.GraphHops += sstats.Hops
+	res := &knnResults{k: k}
+	for _, c := range cands {
+		if o := byNode[c.Node]; o != nil {
+			res.offer(Result{Object: o, Dist: c.Dist, Exact: true})
+		}
+	}
+	if serr == nil {
+		// Merge the buffered durable inserts brute-force against the running
+		// bound — the delta is small by design (compaction bounds it).
+		for _, e := range t.deltaEntriesSorted() {
+			if err := ctxDone(ctx); err != nil {
+				serr = err
+				break
+			}
+			st := qs.stageStart()
+			d, within := t.verifyDist(q, e.obj, res.bound())
+			qs.stageAdd(&qs.VerifyTime, st)
+			qs.DeltaCandidates++
+			qs.Verified++
+			qs.Compdists++
+			if within {
+				res.offer(Result{Object: e.obj, Dist: d, Exact: true})
+			} else if t.bounded {
+				qs.Abandoned++
+			}
+		}
+	}
+	out := res.sorted()
+	qs.Discarded = qs.Verified - int64(len(out))
+	if serr != nil && ctx.Err() != nil {
+		// Normalize any cancellation-caused error to the typed contract.
+		serr = canceledErr(ctx)
+	}
+	return out, serr
+}

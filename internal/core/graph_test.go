@@ -1,0 +1,582 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"spbtree/internal/graph"
+	"spbtree/internal/metric"
+	"spbtree/internal/page"
+	"spbtree/internal/recall"
+	"spbtree/internal/sfc"
+)
+
+// buildGraphTree builds a non-durable vector tree and its approximate graph.
+func buildGraphTree(t *testing.T, n int, seed int64) ([]metric.Object, *Tree) {
+	t.Helper()
+	objs := vectorSet(n, 6, seed)
+	tree, err := Build(objs, Options{
+		Distance: metric.L2(6), Codec: metric.VectorCodec{Dim: 6},
+		NumPivots: 3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BuildGraph(GraphOptions{Seed: seed}); err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	return objs, tree
+}
+
+// TestGraphKNNRecallFloor pins the tier's quality on seeded synthetic data:
+// recall@10 at the default ef stays above the CI floor, and the graph
+// counters prove the search actually walked the graph.
+func TestGraphKNNRecallFloor(t *testing.T) {
+	objs, tree := buildGraphTree(t, 2000, 11)
+	defer tree.Close()
+	const k = 10
+	recalls := make([]float64, 0, 30)
+	for qi := 0; qi < 30; qi++ {
+		q := objs[qi*61]
+		exact, err := tree.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, qs, err := tree.KNNGraphWithStats(q, k, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qs.GraphHops == 0 || qs.GraphCandidates == 0 {
+			t.Fatalf("query %d: graph counters empty: %+v", qi, qs)
+		}
+		if qs.Op != OpKNNGraph {
+			t.Fatalf("Op = %q", qs.Op)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatalf("query %d: results not sorted", qi)
+			}
+		}
+		recalls = append(recalls, recall.AtK(resultIDList(exact), resultIDList(got), k))
+	}
+	if r := recall.Mean(recalls); r < 0.9 {
+		t.Fatalf("mean recall@10 = %.3f, want >= 0.90", r)
+	}
+}
+
+// TestGraphNoGraphTyped: querying a tree without a graph fails with the typed
+// ErrNoGraph that drives the exact-fallback in the forest and server layers.
+func TestGraphNoGraphTyped(t *testing.T) {
+	objs := vectorSet(200, 4, 12)
+	tree, err := Build(objs, Options{Distance: metric.L2(4), Codec: metric.VectorCodec{Dim: 4}, NumPivots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if _, err := tree.KNNGraph(objs[0], 5, SearchOptions{}); !errors.Is(err, ErrNoGraph) {
+		t.Fatalf("err = %v, want ErrNoGraph", err)
+	}
+	if tree.HasGraph() {
+		t.Fatal("HasGraph true before BuildGraph")
+	}
+}
+
+// TestGraphInvalidationOnMutation: every structural mutation of the base
+// substrates drops the graph, so queries can never read stale offsets.
+func TestGraphInvalidationOnMutation(t *testing.T) {
+	objs, tree := buildGraphTree(t, 300, 13)
+	defer tree.Close()
+	rebuild := func() {
+		t.Helper()
+		if err := tree.BuildGraph(GraphOptions{Seed: 13}); err != nil {
+			t.Fatalf("BuildGraph: %v", err)
+		}
+	}
+	check := func(stage string, want bool) {
+		t.Helper()
+		if tree.HasGraph() != want {
+			t.Fatalf("%s: HasGraph = %v, want %v", stage, !want, want)
+		}
+		if _, err := tree.KNNGraph(objs[0], 5, SearchOptions{}); (err == nil) != want {
+			t.Fatalf("%s: KNNGraph err = %v", stage, err)
+		}
+	}
+	check("initial", true)
+
+	extra := vectorSet(301, 6, 14)[300]
+	if err := tree.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	check("after Insert", false)
+
+	rebuild()
+	check("after re-BuildGraph", true)
+	if err := tree.Delete(objs[7]); err != nil {
+		t.Fatal(err)
+	}
+	check("after Delete", false)
+
+	rebuild()
+	if err := tree.Rebuild(page.NewMemStore(), page.NewMemStore()); err != nil {
+		t.Fatal(err)
+	}
+	check("after Rebuild", false)
+}
+
+// TestGraphBuildDeterministic: the same seed yields the same graph — and
+// byte-identical query answers — for every construction worker count.
+func TestGraphBuildDeterministic(t *testing.T) {
+	objs := vectorSet(600, 6, 15)
+	build := func(workers int) ([]Result, *Tree) {
+		tree, err := Build(objs, Options{
+			Distance: metric.L2(6), Codec: metric.VectorCodec{Dim: 6},
+			NumPivots: 3, Seed: 15,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.BuildGraph(GraphOptions{Seed: 15, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := tree.KNNGraph(objs[5], 8, SearchOptions{Ef: 48})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tree
+	}
+	serial, t1 := build(1)
+	defer t1.Close()
+	parallel, t2 := build(4)
+	defer t2.Close()
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Dist != parallel[i].Dist || serial[i].Object.ID() != parallel[i].Object.ID() {
+			t.Fatalf("result %d differs across worker counts: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+	// Repeated searches on one graph are deterministic too.
+	again, err := t1.KNNGraph(objs[5], 8, SearchOptions{Ef: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Dist != again[i].Dist || serial[i].Object.ID() != again[i].Object.ID() {
+			t.Fatalf("repeated search differs at %d", i)
+		}
+	}
+}
+
+// TestGraphCtxCanceled: the graph entry points honor the typed cancellation
+// contract, and a canceled construction neither leaks goroutines nor leaves a
+// half-attached graph.
+func TestGraphCtxCanceled(t *testing.T) {
+	sd := &slowDist{DistanceFunc: metric.L2(4)}
+	objs := vectorSet(400, 4, 16)
+	tree, err := Build(objs, Options{Distance: sd, Codec: metric.VectorCodec{Dim: 4}, NumPivots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+
+	before := runtime.NumGoroutine()
+	sd.delay.Store(int64(200 * time.Microsecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err = tree.BuildGraphCtx(ctx, GraphOptions{Workers: 4})
+	sd.delay.Store(0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("BuildGraphCtx err = %v, want DeadlineExceeded", err)
+	}
+	if tree.HasGraph() {
+		t.Fatal("canceled build attached a graph")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked by canceled build: %d > %d", g, before)
+	}
+
+	if err := tree.BuildGraph(GraphOptions{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	if _, err := tree.KNNGraphCtx(canceled, objs[0], 5, SearchOptions{}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("KNNGraphCtx err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestGraphStaleBuild: a structural mutation racing construction is detected
+// at attach time — the result is either a clean ErrGraphStale or a successful
+// build, never a silently wrong graph — and a quiet retry succeeds.
+func TestGraphStaleBuild(t *testing.T) {
+	objs := vectorSet(1500, 6, 17)
+	tree, err := Build(objs[:1000], Options{Distance: metric.L2(6), Codec: metric.VectorCodec{Dim: 6}, NumPivots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1000; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := tree.Insert(objs[1000+(i%500)]); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if err := tree.BuildGraph(GraphOptions{K: 8, MaxIters: 3}); err != nil && !errors.Is(err, ErrGraphStale) {
+			t.Fatalf("BuildGraph: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := tree.BuildGraph(GraphOptions{K: 8, MaxIters: 3, Seed: 2}); err != nil {
+		t.Fatalf("quiet BuildGraph: %v", err)
+	}
+	if !tree.HasGraph() {
+		t.Fatal("no graph after quiet build")
+	}
+}
+
+// TestGraphDeltaMerge: on a durable tree, graph queries merge buffered
+// inserts (a buffered nearest neighbor must surface) and honor tombstones (a
+// deleted base object must never surface), without rebuilding the graph.
+func TestGraphDeltaMerge(t *testing.T) {
+	dir := t.TempDir()
+	objs := vectorSet(600, 5, 18)
+	dist := metric.L2(5)
+	tree, err := CreateDurable(dir, objs, Options{
+		Distance: dist, Codec: metric.VectorCodec{Dim: 5}, Seed: 7, Curve: sfc.ZOrder,
+	}, DurableOptions{CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if err := tree.BuildGraph(GraphOptions{Seed: 18}); err != nil {
+		t.Fatal(err)
+	}
+
+	q := objs[40]
+	exact, err := tree.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the two nearest base neighbors; the graph must stay live
+	// (buffered writes never invalidate it) yet never surface them.
+	deleted := map[uint64]bool{}
+	for _, r := range exact[:2] {
+		if err := tree.Delete(r.Object); err != nil {
+			t.Fatal(err)
+		}
+		deleted[r.Object.ID()] = true
+	}
+	// Insert a fresh object right next to q; the delta merge must rank it.
+	qc := append([]float64(nil), q.(*metric.Vector).Coords...)
+	qc[0] += 1e-9
+	probe := metric.NewVector(999999, qc)
+	if err := tree.Insert(probe); err != nil {
+		t.Fatal(err)
+	}
+	if !tree.HasGraph() {
+		t.Fatal("buffered writes invalidated the graph")
+	}
+	got, qs, err := tree.KNNGraphWithStats(q, 5, SearchOptions{Ef: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.DeltaCandidates == 0 {
+		t.Fatalf("delta merge did not run: %+v", qs)
+	}
+	found := false
+	for _, r := range got {
+		if deleted[r.Object.ID()] {
+			t.Fatalf("deleted object %d surfaced", r.Object.ID())
+		}
+		if r.Object.ID() == probe.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("buffered insert adjacent to q did not surface")
+	}
+
+	// Compaction folds the delta and invalidates the graph.
+	if err := tree.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.HasGraph() {
+		t.Fatal("graph survived the compaction swap")
+	}
+	if _, err := tree.KNNGraph(q, 5, SearchOptions{}); !errors.Is(err, ErrNoGraph) {
+		t.Fatalf("err = %v, want ErrNoGraph after compaction", err)
+	}
+}
+
+// TestGraphPersistenceRoundtrip: SaveAtomic writes the graph beside the meta,
+// Load reattaches it with byte-identical answers, and a save without a live
+// graph removes the stale file.
+func TestGraphPersistenceRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	objs := vectorSet(500, 5, 19)
+	dist := metric.L2(5)
+	idx, err := page.NewFileStore(filepath.Join(dir, IndexPagesFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := page.NewFileStore(filepath.Join(dir, DataPagesFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(objs, Options{
+		Distance: dist, Codec: metric.VectorCodec{Dim: 5},
+		IndexStore: idx, DataStore: data, NumPivots: 3, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BuildGraph(GraphOptions{Seed: 19}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := tree.KNNGraph(objs[3], 7, SearchOptions{Ef: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.SaveAtomic(dir); err != nil {
+		t.Fatal(err)
+	}
+	tree.Close()
+
+	lopts := LoadOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 5}}
+	re, err := Load(dir, lopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.HasGraph() {
+		t.Fatal("graph not reattached by Load")
+	}
+	got, err := re.KNNGraph(objs[3], 7, SearchOptions{Ef: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Dist != got[i].Dist || want[i].Object.ID() != got[i].Object.ID() {
+			t.Fatalf("result %d differs after reload", i)
+		}
+	}
+	// Invalidate (structural mutation) and save again: graph.bin must go.
+	if err := re.Delete(objs[9]); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.SaveAtomic(dir); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	if _, err := os.Stat(filepath.Join(dir, GraphFile)); !os.IsNotExist(err) {
+		t.Fatalf("stale graph.bin not removed: %v", err)
+	}
+	re2, err := Load(dir, lopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.HasGraph() {
+		t.Fatal("HasGraph true with no graph file")
+	}
+}
+
+// TestGraphFileCorruption: a truncated or bit-flipped graph file fails Load
+// with the typed graph.ErrCorrupt; a structurally valid graph from a
+// different base is silently ignored rather than served.
+func TestGraphFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	objs := vectorSet(400, 5, 20)
+	dist := metric.L2(5)
+	idx, err := page.NewFileStore(filepath.Join(dir, IndexPagesFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := page.NewFileStore(filepath.Join(dir, DataPagesFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(objs, Options{
+		Distance: dist, Codec: metric.VectorCodec{Dim: 5},
+		IndexStore: idx, DataStore: data, NumPivots: 3, Seed: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.BuildGraph(GraphOptions{Seed: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.SaveAtomic(dir); err != nil {
+		t.Fatal(err)
+	}
+	tree.Close()
+
+	gpath := filepath.Join(dir, GraphFile)
+	pristine, err := os.ReadFile(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lopts := LoadOptions{Distance: dist, Codec: metric.VectorCodec{Dim: 5}}
+
+	if err := os.WriteFile(gpath, pristine[:len(pristine)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, lopts); !errors.Is(err, graph.ErrCorrupt) {
+		t.Fatalf("truncated: err = %v, want graph.ErrCorrupt", err)
+	}
+
+	flipped := append([]byte(nil), pristine...)
+	flipped[len(flipped)/3] ^= 0x20
+	if err := os.WriteFile(gpath, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir, lopts); !errors.Is(err, graph.ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v, want graph.ErrCorrupt", err)
+	}
+
+	// A valid graph built over a different base: decodes fine, but its
+	// BaseCount/BaseSize do not match — ignored, not served.
+	other := testOtherGraph(t)
+	if err := os.WriteFile(gpath, other.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(dir, lopts)
+	if err != nil {
+		t.Fatalf("foreign graph should be ignored, got %v", err)
+	}
+	defer re.Close()
+	if re.HasGraph() {
+		t.Fatal("foreign graph attached")
+	}
+}
+
+// testOtherGraph builds a tiny valid graph with mismatched base metadata.
+func testOtherGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	pts := vectorSet(30, 3, 21)
+	l2 := metric.L2(3)
+	dist := func(i, j int, thr float64) (float64, bool) {
+		d := l2.Distance(pts[i], pts[j])
+		return d, d <= thr
+	}
+	g, err := graph.Build(context.Background(), 30, dist, graph.Options{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.IDs = make([]uint64, 30)
+	g.Offs = make([]uint64, 30)
+	g.BaseCount, g.BaseSize = 30, 999
+	return g
+}
+
+// TestGraphStressQueriesWrites is the -race gate: durable writers churn
+// inserts and deletes while graph queries run; no query may ever return an
+// object whose delete completed before the query began.
+func TestGraphStressQueriesWrites(t *testing.T) {
+	dir := t.TempDir()
+	objs := vectorSet(800, 5, 22)
+	dist := metric.L2(5)
+	tree, err := CreateDurable(dir, objs, Options{
+		Distance: dist, Codec: metric.VectorCodec{Dim: 5}, Seed: 7, Curve: sfc.ZOrder,
+	}, DurableOptions{CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+	if err := tree.BuildGraph(GraphOptions{Seed: 22}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	deleted := map[uint64]bool{}
+	snapshotDeleted := func() map[uint64]bool {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make(map[uint64]bool, len(deleted))
+		for id := range deleted {
+			out[id] = true
+		}
+		return out
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: delete a base object, insert a fresh one, repeat
+		defer wg.Done()
+		fresh := vectorSet(400, 5, 23)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			victim := objs[(i*13)%len(objs)]
+			if err := tree.Delete(victim); err == nil {
+				mu.Lock()
+				deleted[victim.ID()] = true
+				mu.Unlock()
+			}
+			nv := fresh[i%len(fresh)]
+			_ = tree.Insert(metric.NewVector(100000+uint64(i), nv.(*metric.Vector).Coords))
+		}
+	}()
+
+	var qerr error
+	var qmu sync.Mutex
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dead := snapshotDeleted()
+				res, err := tree.KNNGraph(objs[(w*37+i)%len(objs)], 8, SearchOptions{Ef: 32})
+				if err != nil {
+					qmu.Lock()
+					qerr = err
+					qmu.Unlock()
+					return
+				}
+				for _, r := range res {
+					if dead[r.Object.ID()] {
+						qmu.Lock()
+						qerr = errors.New("tombstoned object surfaced from graph query")
+						qmu.Unlock()
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+}

@@ -56,6 +56,9 @@ func (t *Tree) Insert(o metric.Object) error {
 	t.count++
 	t.cm.observeInsert(vec)
 	t.cm.markDirty()
+	// The approximate graph no longer covers the live set; drop it. (Durable
+	// inserts buffer instead and leave the graph valid — queries merge them.)
+	t.graph = nil
 	return nil
 }
 
@@ -93,6 +96,9 @@ func (t *Tree) Delete(o metric.Object) error {
 			}
 			t.count--
 			t.cm.markDirty()
+			// The approximate graph still references the deleted object's
+			// record; drop it so graph queries can never surface the object.
+			t.graph = nil
 			return nil
 		}
 	}

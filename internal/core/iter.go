@@ -77,9 +77,42 @@ type NearestIter struct {
 	pq       mindHeap   // unexplored entries by lower bound
 	verified resultHeap // computed but not yet emitted results
 
+	// pending holds a batch-verified run of entries not yet applied to the
+	// result heap; entries apply one per loop turn, in pop order, so the
+	// emission interleaving matches the unbatched scan exactly (their minds
+	// still count as frontier lower bounds until applied).
+	pending []iterPending
+	pendIdx int
+	noBatch bool      // a coalesced read failed; stay on the scalar path
+	kb      *knnBatch // batch scratch, allocated on first use
+
 	boxLo, boxHi, cell sfc.Point
 	locked             bool // holds t.mu.RLock (durable trees only)
 	err                error
+}
+
+// iterPending is one batch-verified entry awaiting application: its frontier
+// lower bound, and — unless it was a record superseded by the write buffer
+// (obj nil, applied as a no-op) — the object with its verdict against the
+// iterator's limit.
+type iterPending struct {
+	mind   float64
+	obj    metric.Object
+	d      float64
+	within bool
+}
+
+// frontier returns the best unexplored lower bound — the next pending entry's
+// MIND if a batch is in flight, the heap minimum otherwise — and whether any
+// frontier remains.
+func (it *NearestIter) frontier() (float64, bool) {
+	if it.pendIdx < len(it.pending) {
+		return it.pending[it.pendIdx].mind, true
+	}
+	if it.pq.Len() > 0 {
+		return it.pq.peekMind(), true
+	}
+	return 0, false
 }
 
 // release drops the pinned read lock, once.
@@ -105,8 +138,18 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 	}
 	for {
 		// Emit a verified result once nothing unexplored can beat it.
-		if len(it.verified) > 0 && (it.pq.Len() == 0 || it.verified[0].Dist <= it.pq.peekMind()) {
+		if front, ok := it.frontier(); len(it.verified) > 0 && (!ok || it.verified[0].Dist <= front) {
 			return heap.Pop(&it.verified).(Result), true
+		}
+		// Apply one batch-verified entry per turn, keeping the emission
+		// checks between applications.
+		if it.pendIdx < len(it.pending) {
+			p := it.pending[it.pendIdx]
+			it.pendIdx++
+			if p.obj != nil && p.within {
+				heap.Push(&it.verified, Result{Object: p.obj, Dist: p.d, Exact: true})
+			}
+			continue
 		}
 		if it.pq.Len() == 0 {
 			if len(it.verified) == 0 {
@@ -123,6 +166,17 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 			continue
 		}
 		if !item.isNode {
+			if it.t.batch && !it.noBatch && it.pq.Len() > 0 && !it.pq.peekIsNode() && it.pq.peekMind() <= it.limit {
+				// A run of in-limit entries sits atop the heap: verify the
+				// block through the batch kernel (DESIGN.md §13) and stage it
+				// in pending. Verification is against the fixed limit — never
+				// a moving bound — so batching changes nothing but the kernel.
+				if it.batchRun(item) {
+					continue
+				}
+				// A coalesced read failed: the run is back on the heap and the
+				// scalar path below takes over (permanently, via noBatch).
+			}
 			obj := item.obj
 			if obj == nil {
 				var err error
@@ -161,6 +215,77 @@ func (it *NearestIter) Next() (res Result, ok bool) {
 			it.pq.push(mindItem{mind: it.t.mindToCell(it.qvec, it.cell), val: node.Vals[i]})
 		}
 	}
+}
+
+// batchRun gathers first plus the consecutive non-node, in-limit entries atop
+// the heap (up to knnIncrementalBlock), resolves them with one coalesced RAF
+// read, and batch-verifies the survivors against the iterator's fixed limit
+// into pending — every (d, within) pair bit-identical to the scalar
+// verifyDist, records superseded by the write buffer staged as no-ops. It
+// reports false when the coalesced read failed: the gathered extras are
+// pushed back (the heap restores pop order), noBatch pins the scalar path,
+// and the caller re-resolves first scalar-wise, surfacing any real read error
+// at the same position the unbatched scan would.
+func (it *NearestIter) batchRun(first mindItem) bool {
+	if it.kb == nil {
+		it.kb = &knnBatch{}
+	}
+	kb := it.kb
+	kb.items = append(kb.items[:0], first)
+	for len(kb.items) < knnIncrementalBlock && it.pq.Len() > 0 && !it.pq.peekIsNode() && it.pq.peekMind() <= it.limit {
+		kb.items = append(kb.items, it.pq.pop())
+	}
+	n := len(kb.items)
+	kb.grow(n)
+	m := 0
+	for _, x := range kb.items {
+		if x.obj == nil {
+			kb.offsets[m] = x.val
+			m++
+		}
+	}
+	if m > 0 {
+		if idx, err := it.t.raf.ReadBatch(kb.offsets[:m], kb.readObjs[:m], kb.plens[:m]); idx >= 0 || err != nil {
+			for _, x := range kb.items[1:] {
+				it.pq.push(x)
+			}
+			it.noBatch = true
+			return false
+		}
+		for i := 0; i < m; i++ {
+			it.t.raf.EmitRecordRead(kb.offsets[i], kb.plens[i])
+		}
+	}
+	it.pending = it.pending[:0]
+	it.pendIdx = 0
+	j := 0
+	for _, x := range kb.items {
+		p := iterPending{mind: x.mind, obj: x.obj}
+		if p.obj == nil {
+			o := kb.readObjs[j]
+			j++
+			if !it.t.deltaShadowed(o.ID()) {
+				p.obj = o
+			}
+		}
+		it.pending = append(it.pending, p)
+	}
+	probeIdx, probeObjs := kb.probeIdx[:0], kb.probeObjs[:0]
+	for i := range it.pending {
+		if it.pending[i].obj != nil {
+			probeIdx = append(probeIdx, i)
+			probeObjs = append(probeObjs, it.pending[i].obj)
+		}
+	}
+	if len(probeObjs) > 0 {
+		p := len(probeObjs)
+		it.t.verifyBatch(it.q, probeObjs, it.limit, kb.pd[:p], kb.pw[:p])
+		for jj, i := range probeIdx {
+			it.pending[i].d = kb.pd[jj]
+			it.pending[i].within = kb.pw[jj]
+		}
+	}
+	return true
 }
 
 // Err returns the first error the iterator encountered.

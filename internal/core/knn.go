@@ -77,6 +77,24 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 			break // Lemma 3 early termination
 		}
 		if !item.isNode {
+			if t.batch && pq.Len() > 0 && !pq.peekIsNode() {
+				// A run of entry pops with no tree node between them: buffer
+				// the block and verify it through the batch kernel with
+				// pop-order bound replay (DESIGN.md §13) — identical results
+				// and counters to popping one entry at a time.
+				kb.items = append(kb.items[:0], item)
+				for len(kb.items) < knnIncrementalBlock && pq.Len() > 0 && !pq.peekIsNode() {
+					kb.items = append(kb.items, pq.pop())
+				}
+				terminated, err := t.verifyKNNIncremental(ctx, q, res, &kb, qs)
+				if err != nil {
+					return res.sorted(), err
+				}
+				if terminated {
+					break // Lemma 3 early termination mid-run
+				}
+				continue
+			}
 			// A leaf entry (or buffered insert): fetch the object and verify.
 			if _, err := t.verifyKNN(ctx, q, res, item, qs); err != nil {
 				return res.sorted(), err
@@ -205,12 +223,15 @@ func (t *Tree) verifyKNN(ctx context.Context, q metric.Object, res *knnResults, 
 	return true, nil
 }
 
-// knnBatch is the serial greedy traversal's per-leaf batching scratch,
-// reused across leaves.
+// knnBatch is the serial traversal's batching scratch, reused across blocks:
+// cands feeds the greedy per-leaf batch, items feeds the best-first
+// incremental batch.
 type knnBatch struct {
 	cands     []knnCand
+	items     []mindItem
 	offsets   []uint64
 	objs      []metric.Object
+	readObjs  []metric.Object
 	plens     []int
 	tomb      []bool
 	d         []float64
@@ -226,6 +247,7 @@ func (b *knnBatch) grow(n int) {
 	if cap(b.offsets) < n {
 		b.offsets = make([]uint64, n)
 		b.objs = make([]metric.Object, n)
+		b.readObjs = make([]metric.Object, n)
 		b.plens = make([]int, n)
 		b.tomb = make([]bool, n)
 		b.d = make([]float64, n)
@@ -235,6 +257,123 @@ func (b *knnBatch) grow(n int) {
 		b.pd = make([]float64, n)
 		b.pw = make([]bool, n)
 	}
+}
+
+// knnIncrementalBlock caps how many consecutive entry pops the best-first
+// traversal buffers into one batch verification.
+const knnIncrementalBlock = 16
+
+// verifyKNNIncremental resolves a run of consecutive entry pops — no tree
+// node between them, so verifying them pushes nothing onto the frontier and
+// the run is exactly the prefix the one-at-a-time loop would pop next — by
+// one coalesced RAF read and one batch-kernel call, then replays each verdict
+// in pop order against the live bound, exactly like verifyKNNBatch. The one
+// difference from the per-leaf batch: the pop loop's reaction to MIND ≥
+// curND_k is termination, not a per-entry prune, so the replay reports
+// terminated=true at the first such item and discards the rest of the run —
+// the serial loop would have broken there and never popped them. Buffered
+// inserts in the run carry their object and count DeltaCandidates, as in the
+// scalar path. Every counter and the result set match the scalar loop; a
+// failed coalesced read falls back to it, surfacing the error at the same
+// pop position.
+func (t *Tree) verifyKNNIncremental(ctx context.Context, q metric.Object, res *knnResults, kb *knnBatch, qs *QueryStats) (terminated bool, err error) {
+	if err := ctxDone(ctx); err != nil {
+		return false, err
+	}
+	n := len(kb.items)
+	kb.grow(n)
+	st := qs.stageStart()
+	m := 0
+	for _, it := range kb.items {
+		if it.obj == nil {
+			kb.offsets[m] = it.val
+			m++
+		}
+	}
+	if m > 0 {
+		if idx, rerr := t.raf.ReadBatch(kb.offsets[:m], kb.readObjs[:m], kb.plens[:m]); idx >= 0 || rerr != nil {
+			// Coalesced read failed: replay the run on the scalar path, which
+			// surfaces the error at the same pop position.
+			qs.stageAdd(&qs.VerifyTime, st)
+			for _, it := range kb.items {
+				if it.mind >= res.bound() {
+					return true, nil
+				}
+				if _, err := t.verifyKNN(ctx, q, res, it, qs); err != nil {
+					return false, err
+				}
+			}
+			return false, nil
+		}
+	}
+	// Expand the compact read results to per-item slots, filter tombstones,
+	// and build the probe list.
+	probeIdx, probeObjs := kb.probeIdx[:0], kb.probeObjs[:0]
+	j := 0
+	for i, it := range kb.items {
+		if it.obj != nil {
+			kb.objs[i] = it.obj
+			kb.tomb[i] = false
+			probeIdx = append(probeIdx, i)
+			probeObjs = append(probeObjs, it.obj)
+			continue
+		}
+		kb.objs[i] = kb.readObjs[j]
+		j++
+		kb.tomb[i] = t.deltaShadowed(kb.objs[i].ID())
+		if !kb.tomb[i] {
+			probeIdx = append(probeIdx, i)
+			probeObjs = append(probeObjs, kb.objs[i])
+		}
+	}
+	if len(probeObjs) > 0 {
+		eff := math.Inf(1)
+		if t.bounded {
+			eff = res.bound()
+		}
+		p := len(probeObjs)
+		metric.BatchDistanceAtMost(t.dist.Unwrap(), q, probeObjs, eff, kb.pd[:p], kb.pw[:p])
+		qs.BatchedCandidates += int64(p)
+		for jj, i := range probeIdx {
+			kb.d[i], kb.within[i] = kb.pd[jj], kb.pw[jj]
+		}
+	}
+	// Commit in pop order against the live bound.
+	j = 0
+	for i, it := range kb.items {
+		if it.mind >= res.bound() {
+			// Lemma 3 termination at this item's turn; the rest of the run is
+			// the heap prefix the serial loop never pops.
+			qs.stageAdd(&qs.VerifyTime, st)
+			return true, nil
+		}
+		base := it.obj == nil
+		var plen int
+		if base {
+			plen = kb.plens[j]
+			j++
+		}
+		if kb.tomb[i] {
+			t.raf.EmitRecordRead(it.val, plen)
+			qs.TombstonesSkipped++
+			continue
+		}
+		if base {
+			t.raf.EmitRecordRead(it.val, plen)
+		} else {
+			qs.DeltaCandidates++
+		}
+		qs.Verified++
+		qs.Compdists++
+		t.dist.Add(1)
+		if kb.within[i] && (!t.bounded || kb.d[i] <= res.bound()) {
+			res.offer(Result{Object: kb.objs[i], Dist: kb.d[i], Exact: true})
+		} else if t.bounded {
+			qs.Abandoned++
+		}
+	}
+	qs.stageAdd(&qs.VerifyTime, st)
+	return false, nil
 }
 
 // verifyKNNBatch resolves one greedy leaf's admitted candidates through the
@@ -490,3 +629,7 @@ func (h *mindHeap) pop() mindItem {
 // peekMind returns the minimum MIND without popping; the heap must be
 // non-empty.
 func (h *mindHeap) peekMind() float64 { return h.items[0].mind }
+
+// peekIsNode reports whether the heap minimum is a tree node; the heap must
+// be non-empty.
+func (h *mindHeap) peekIsNode() bool { return h.items[0].isNode }

@@ -93,6 +93,8 @@ func (t *Tree) Rebuild(indexStore, dataStore page.Store) error {
 	t.dataCache = newData
 	t.count = len(live)
 	t.cm.markDirty()
+	// The approximate graph indexed the old RAF's offsets; drop it.
+	t.graph = nil
 	// The substrates were swapped out from under any installed tracer.
 	t.wireTracer()
 	return nil

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"spbtree/internal/graph"
 	"spbtree/internal/metric"
 	"spbtree/internal/page"
 )
@@ -21,6 +22,11 @@ const (
 	MetaFile = "tree.meta"
 	// metaTmpFile is the staging name SaveAtomic writes before renaming.
 	metaTmpFile = "tree.meta.tmp"
+	// GraphFile holds the approximate graph tier (versioned, checksummed;
+	// see internal/graph). Absent when no graph was built at save time.
+	GraphFile = "graph.bin"
+	// graphTmpFile is the staging name for GraphFile's atomic write.
+	graphTmpFile = "graph.bin.tmp"
 )
 
 // SaveAtomic persists the tree's meta to dir/tree.meta crash-safely. The
@@ -61,7 +67,48 @@ func (t *Tree) SaveAtomic(dir string) error {
 	if err := os.Rename(tmp, filepath.Join(dir, MetaFile)); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
+	if err := t.saveGraph(dir); err != nil {
+		return err
+	}
 	return syncDir(dir)
+}
+
+// saveGraph persists the live approximate graph alongside the meta (same
+// tmp/fsync/rename discipline), or removes a stale graph.bin when the tree
+// has none — a reload must never pair an old graph with a newer base.
+func (t *Tree) saveGraph(dir string) error {
+	t.mu.RLock()
+	var blob []byte
+	if g := t.graphLive(); g != nil {
+		blob = g.Encode()
+	}
+	t.mu.RUnlock()
+	if blob == nil {
+		if err := os.Remove(filepath.Join(dir, GraphFile)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		return nil
+	}
+	tmp := filepath.Join(dir, graphTmpFile)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: save: sync graph: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, GraphFile)); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
 }
 
 // syncDir fsyncs a directory so a completed rename survives a crash.
@@ -130,5 +177,40 @@ func Load(dir string, opts LoadOptions) (*Tree, error) {
 		data.Close()
 		return nil, err
 	}
+	if err := t.loadGraph(dir); err != nil {
+		t.Close()
+		return nil, err
+	}
 	return t, nil
+}
+
+// loadGraph reattaches a saved approximate graph, if any. A missing file
+// means no graph (not an error); a file that fails its checksum or structural
+// validation fails the load with graph.ErrCorrupt; a structurally valid graph
+// that does not match the reopened base (count, size, or offsets) is ignored
+// — it belongs to some other state of the tree and queries must not use it.
+func (t *Tree) loadGraph(dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, GraphFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("core: load: %w", err)
+	}
+	g, err := graph.Decode(raw)
+	if err != nil {
+		return fmt.Errorf("core: load: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if g.BaseCount != uint64(t.raf.Count()) || g.BaseSize != t.raf.Size() {
+		return nil
+	}
+	for _, off := range g.Offs {
+		if off >= g.BaseSize {
+			return nil
+		}
+	}
+	t.graph = newGraphTier(g, t.raf)
+	return nil
 }

@@ -184,6 +184,12 @@ type Tree struct {
 	// nil on non-durable trees.
 	dur *durableState
 
+	// graph is the attached approximate tier (nil until BuildGraph succeeds);
+	// invalidated — set nil — by every structural mutation of the base
+	// substrates: non-durable Insert/Delete, Rebuild, and the compaction
+	// swap. Guarded by mu.
+	graph *graphTier
+
 	cm costModel
 
 	// tracer is the hook installed by SetTracer, fanned out to the B+-tree,

@@ -18,6 +18,9 @@ const (
 	OpKNNApprox = "knn_approx"
 	// OpJoin labels similarity joins (Algorithm 3).
 	OpJoin = "join"
+	// OpKNNGraph labels approximate kNN queries answered by beam search over
+	// the NN-descent graph tier (DESIGN.md §14).
+	OpKNNGraph = "knn_graph"
 )
 
 // QueryStats records a single query's cost, stage by stage, in the paper's
@@ -42,7 +45,8 @@ const (
 // error or cancellation the traversal-side diagnostics may include work a
 // serial run would not have reached before stopping.
 type QueryStats struct {
-	// Op identifies the operation: OpRange, OpKNN, OpKNNApprox or OpJoin.
+	// Op identifies the operation: OpRange, OpKNN, OpKNNApprox, OpKNNGraph
+	// or OpJoin.
 	Op string
 
 	// --- filtering stage (index traversal, no objects touched) ----------
@@ -106,6 +110,15 @@ type QueryStats struct {
 	// EntriesPruned, exactly like the parallel engine's stale-bound prunes).
 	// Zero when the metric has no batch kernel or batch kernels are disabled.
 	BatchedCandidates int64
+	// GraphHops counts beam-search expansions of a graph-tier query
+	// (DESIGN.md §14): nodes whose neighbor list was explored. Zero on every
+	// other operation.
+	GraphHops int64
+	// GraphCandidates counts graph-tier candidates whose distance was
+	// evaluated during beam search — the graph-side share of Verified. The
+	// remainder of Verified on a graph query is DeltaCandidates (buffered
+	// inserts merged brute-force). Zero on every other operation.
+	GraphCandidates int64
 	// Results is the number of answers returned.
 	Results int
 
@@ -175,6 +188,8 @@ func (s *QueryStats) Merge(o QueryStats) {
 	s.TombstonesSkipped += o.TombstonesSkipped
 	s.Abandoned += o.Abandoned
 	s.BatchedCandidates += o.BatchedCandidates
+	s.GraphHops += o.GraphHops
+	s.GraphCandidates += o.GraphCandidates
 	s.Results += o.Results
 	s.Compdists += o.Compdists
 	s.IndexPA += o.IndexPA

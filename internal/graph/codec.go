@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"spbtree/internal/page"
+)
+
+// codecVersion versions the Encode payload.
+const codecVersion = 1
+
+// codecMagic marks the checksummed footer: payload || magic || u32 payload
+// length || u32 CRC32-C(payload) — the same layout as the tree meta, so any
+// truncation or bit flip is detected before a single field is trusted.
+var codecMagic = [4]byte{'S', 'P', 'B', 'G'}
+
+// ErrCorrupt is the sentinel every Decode validation failure wraps: a
+// missing or mismatched footer, a bad checksum, an unsupported version, or a
+// truncated or internally inconsistent payload (e.g. a neighbor index out of
+// range). Decode never returns a partially valid graph.
+var ErrCorrupt = errors.New("graph: corrupt graph file")
+
+// Encode serializes the graph (adjacency, entry points, node bookkeeping and
+// substrate fingerprint) with a checksummed footer for Decode.
+func (g *Graph) Encode() []byte {
+	n := g.Len()
+	b := make([]byte, 0, 32+len(g.Nbrs)*4+n*16+len(g.Entries)*4)
+	b = append(b, codecVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(g.K))
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	b = binary.LittleEndian.AppendUint64(b, g.BaseCount)
+	b = binary.LittleEndian.AppendUint64(b, g.BaseSize)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(g.Entries)))
+	for _, e := range g.Entries {
+		b = binary.LittleEndian.AppendUint32(b, uint32(e))
+	}
+	for _, id := range g.IDs {
+		b = binary.LittleEndian.AppendUint64(b, id)
+	}
+	for _, off := range g.Offs {
+		b = binary.LittleEndian.AppendUint64(b, off)
+	}
+	for _, nb := range g.Nbrs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(nb))
+	}
+	b = append(b, codecMagic[:]...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(b)-4))
+	payload := b[:len(b)-8]
+	return binary.LittleEndian.AppendUint32(b, page.Checksum(payload))
+}
+
+// Decode validates and parses an Encode blob. Every failure wraps
+// ErrCorrupt.
+func Decode(raw []byte) (*Graph, error) {
+	const footerSize = 12
+	if len(raw) < footerSize {
+		return nil, fmt.Errorf("%w: %d bytes, no room for footer", ErrCorrupt, len(raw))
+	}
+	foot := raw[len(raw)-footerSize:]
+	if [4]byte(foot[0:4]) != codecMagic {
+		return nil, fmt.Errorf("%w: footer magic %q", ErrCorrupt, foot[0:4])
+	}
+	payload := raw[:len(raw)-footerSize]
+	if n := binary.LittleEndian.Uint32(foot[4:8]); int(n) != len(payload) {
+		return nil, fmt.Errorf("%w: footer says %d payload bytes, have %d", ErrCorrupt, n, len(payload))
+	}
+	if want, got := binary.LittleEndian.Uint32(foot[8:12]), page.Checksum(payload); got != want {
+		return nil, fmt.Errorf("%w: payload checksum %08x, footer records %08x", ErrCorrupt, got, want)
+	}
+	r := &reader{b: payload}
+	if v := r.u8(); v != codecVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, v, codecVersion)
+	}
+	k := int(r.u32())
+	n := int(r.u32())
+	if r.err == nil && (k <= 0 || k > 1<<10 || n < 0 || n > 1<<28) {
+		return nil, fmt.Errorf("%w: k=%d n=%d out of range", ErrCorrupt, k, n)
+	}
+	g := &Graph{K: k}
+	g.BaseCount = r.u64()
+	g.BaseSize = r.u64()
+	ne := int(r.u32())
+	if r.err == nil && (ne < 0 || ne > n) {
+		return nil, fmt.Errorf("%w: %d entry points for %d nodes", ErrCorrupt, ne, n)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	// Size check before any allocation, so a forged header cannot demand
+	// gigabytes for a few bytes of payload.
+	if need := r.off + ne*4 + n*16 + n*k*4; need != len(payload) {
+		return nil, fmt.Errorf("%w: header implies %d payload bytes, have %d", ErrCorrupt, need, len(payload))
+	}
+	g.Entries = make([]int32, ne)
+	for i := range g.Entries {
+		e := int32(r.u32())
+		if r.err == nil && (e < 0 || int(e) >= n) {
+			return nil, fmt.Errorf("%w: entry point %d out of range", ErrCorrupt, e)
+		}
+		g.Entries[i] = e
+	}
+	g.IDs = make([]uint64, n)
+	for i := range g.IDs {
+		g.IDs[i] = r.u64()
+	}
+	g.Offs = make([]uint64, n)
+	for i := range g.Offs {
+		g.Offs[i] = r.u64()
+	}
+	g.Nbrs = make([]int32, n*k)
+	for i := range g.Nbrs {
+		nb := int32(r.u32())
+		if r.err == nil && (nb < -1 || int(nb) >= n || int64(nb) == int64(i/k)) {
+			return nil, fmt.Errorf("%w: neighbor %d of node %d out of range", ErrCorrupt, nb, i/k)
+		}
+		g.Nbrs[i] = nb
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(r.b)-r.off)
+	}
+	g.buildReverse()
+	return g, nil
+}
+
+// reader is a bounds-checked sequential decoder; after any short read it
+// sticks in the error state and returns zeros.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.b) {
+		r.err = fmt.Errorf("short read")
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cand is one beam-search candidate: a node index and its exact distance to
+// the query.
+type Cand struct {
+	Node int32
+	Dist float64
+}
+
+// SearchStats reports one search's work: Hops is the number of nodes whose
+// adjacency was expanded, Evals the number of distance evaluations requested
+// from the callback (tombstone-skipped nodes excluded by the caller's
+// callback are still counted here; the owning tree keeps its own precise
+// counters).
+type SearchStats struct {
+	Hops  int64
+	Evals int64
+}
+
+// Search runs greedy beam search from the graph's entry points: an ef-width
+// sorted candidate/visited set (the DistSet idiom) repeatedly expands its
+// nearest unexpanded element, evaluating its unvisited neighbors — out- and
+// in-edges, the symmetrized graph — in one batch
+// against the set's current k-th-of-ef distance so threshold-aware kernels
+// abandon hopeless candidates early. It returns up to ef candidates in
+// ascending (distance, node) order.
+//
+// seeds are extra starting points evaluated alongside the fixed entry
+// points — callers with substrate locality (the owning tree seeds the
+// window of nodes around the query's SFC position) use them to drop the
+// beam directly into the query's neighborhood, which fixed entries cannot
+// guarantee: when clusters share a weakly-connected component, the
+// component's entry can sit a full inter-cluster plateau away from the
+// query, and greedy expansion has no distance gradient to descend. Values
+// outside [0, Len()) are ignored; nil is fine.
+//
+// Cancellation is checked once per hop; on ctx expiry the candidates
+// accumulated so far are returned alongside the context's error, so callers
+// keep the partial-results contract. Any error from eval aborts the same
+// way.
+func (g *Graph) Search(ctx context.Context, eval EvalBatch, ef int, seeds []int32) ([]Cand, SearchStats, error) {
+	var st SearchStats
+	if ef < 1 {
+		ef = 1
+	}
+	n := g.Len()
+	if n == 0 || len(g.Entries) == 0 {
+		return nil, st, nil
+	}
+	ds := distSet{
+		items: make([]dsElem, 0, ef+g.K),
+		seen:  make(map[int32]struct{}, 4*ef),
+	}
+	scratch := g.K + len(g.Entries) + len(seeds)
+	batch := make([]int32, 0, scratch)
+	d := make([]float64, scratch)
+	within := make([]bool, scratch)
+
+	// Seed: evaluate the entry points and caller seeds unbounded so the set
+	// starts with exact distances.
+	for _, e := range g.Entries {
+		if _, ok := ds.seen[e]; ok {
+			continue
+		}
+		ds.seen[e] = struct{}{}
+		batch = append(batch, e)
+	}
+	for _, e := range seeds {
+		if e < 0 || int(e) >= n {
+			continue
+		}
+		if _, ok := ds.seen[e]; ok {
+			continue
+		}
+		ds.seen[e] = struct{}{}
+		batch = append(batch, e)
+	}
+	if err := eval(batch, ds.threshold(ef), d[:len(batch)], within[:len(batch)]); err != nil {
+		return ds.candidates(), st, err
+	}
+	st.Evals += int64(len(batch))
+	for i, node := range batch {
+		if within[i] {
+			ds.add(dsElem{node: node, dist: d[i]})
+		}
+	}
+	ds.keepFirstK(ef)
+
+	for {
+		next := ds.nextUnexpanded()
+		if next < 0 {
+			return ds.candidates(), st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return ds.candidates(), st, fmt.Errorf("graph: search canceled: %w", context.Cause(ctx))
+		}
+		ds.items[next].expanded = true
+		st.Hops++
+		batch = batch[:0]
+		v := ds.items[next].node
+		for _, u := range g.Neighbors(v) {
+			if u < 0 {
+				break // -1 padding tail
+			}
+			if _, ok := ds.seen[u]; ok {
+				continue
+			}
+			ds.seen[u] = struct{}{}
+			batch = append(batch, u)
+		}
+		// Expansion is over the symmetrized graph: in-neighbors too. The
+		// adjacency is directed (u keeping v says nothing about v keeping u)
+		// and following out-edges alone can strand whole regions behind
+		// one-way links; undirected expansion makes reachability match the
+		// weakly-connected components the entry-point cover guarantees.
+		for _, u := range g.reverseNeighbors(v) {
+			if _, ok := ds.seen[u]; ok {
+				continue
+			}
+			ds.seen[u] = struct{}{}
+			batch = append(batch, u)
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if len(batch) > len(d) {
+			// In-degree is unbounded, so a hub can overflow the K-sized
+			// scratch; grow it.
+			d = make([]float64, len(batch))
+			within = make([]bool, len(batch))
+		}
+		thr := ds.threshold(ef)
+		if err := eval(batch, thr, d[:len(batch)], within[:len(batch)]); err != nil {
+			return ds.candidates(), st, err
+		}
+		st.Evals += int64(len(batch))
+		for i, node := range batch {
+			if within[i] {
+				ds.add(dsElem{node: node, dist: d[i]})
+			}
+		}
+		ds.keepFirstK(ef)
+	}
+}
+
+// dsElem is one visited-set element.
+type dsElem struct {
+	node     int32
+	dist     float64
+	expanded bool
+}
+
+// dsLess orders the set by (distance, node) — a total order, so searches are
+// deterministic under distance ties.
+func dsLess(a, b dsElem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.node < b.node
+}
+
+// distSet is the sorted candidate/visited set of the beam search: items is
+// kept ascending up to sortedUntil, seen dedups every node ever evaluated
+// (including ones the threshold rejected, so they are never re-evaluated).
+type distSet struct {
+	items       []dsElem
+	seen        map[int32]struct{}
+	sortedUntil int
+}
+
+// add appends an element; the sort is deferred to keepFirstK.
+func (s *distSet) add(e dsElem) { s.items = append(s.items, e) }
+
+// keepFirstK merges the unsorted tail into the sorted prefix (insertion sort
+// of the few new elements, the DistSet idiom) and truncates to the k best.
+func (s *distSet) keepFirstK(k int) {
+	for i := s.sortedUntil; i < len(s.items); i++ {
+		e := s.items[i]
+		j := sort.Search(i, func(m int) bool { return dsLess(e, s.items[m]) })
+		copy(s.items[j+1:i+1], s.items[j:i])
+		s.items[j] = e
+	}
+	if len(s.items) > k {
+		s.items = s.items[:k]
+	}
+	s.sortedUntil = len(s.items)
+}
+
+// nextUnexpanded returns the index of the nearest unexpanded element, or -1.
+func (s *distSet) nextUnexpanded() int {
+	for i := range s.items {
+		if !s.items[i].expanded {
+			return i
+		}
+	}
+	return -1
+}
+
+// threshold is the current admission bound: the worst kept distance once the
+// set is full, +Inf before that.
+func (s *distSet) threshold(ef int) float64 {
+	if len(s.items) < ef {
+		return math.Inf(1)
+	}
+	return s.items[len(s.items)-1].dist
+}
+
+// candidates snapshots the set in ascending order.
+func (s *distSet) candidates() []Cand {
+	out := make([]Cand, len(s.items))
+	for i, e := range s.items {
+		out[i] = Cand{Node: e.node, Dist: e.dist}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package recall measures approximate-search answer quality: recall@k of a
+// result list against an exact baseline. It is the one shared implementation
+// used by the spbbench recall/latency experiments and the library's
+// approximate-search tests, so every reported recall figure means the same
+// thing.
+package recall
+
+// AtK returns recall@k: the fraction of the exact top-k result IDs present
+// anywhere in got. The denominator is min(k, len(exact)) — a dataset smaller
+// than k does not cap recall below 1 — and an empty baseline counts as
+// perfect recall (there was nothing to find). Ordering of got is irrelevant;
+// duplicate IDs in got count once.
+func AtK(exact, got []uint64, k int) float64 {
+	if k > len(exact) {
+		k = len(exact)
+	}
+	if k <= 0 {
+		return 1
+	}
+	have := make(map[uint64]struct{}, len(got))
+	for _, id := range got {
+		have[id] = struct{}{}
+	}
+	hits := 0
+	for _, id := range exact[:k] {
+		if _, ok := have[id]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// WithinKth returns tie-aware recall@k: the fraction of the first k returned
+// distances that are no larger than the exact k-th neighbor distance kth.
+// Under discrete metrics (edit distance, Hamming) many objects tie at the
+// k-th distance, and exact kNN breaks those ties by ID — an approximate
+// answer holding a different but equally near tie subset is penalized by
+// AtK despite being just as good. WithinKth is the tie-blind companion
+// figure: it judges distances only. got must be ascending (the search
+// contract); entries beyond k are ignored, and fewer than k entries count
+// the absent ones as misses.
+func WithinKth(kth float64, got []float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	hits := 0
+	for i, d := range got {
+		if i >= k {
+			break
+		}
+		if d <= kth {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// Mean returns the arithmetic mean of vals (0 for an empty slice).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

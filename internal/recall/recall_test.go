@@ -1,0 +1,62 @@
+package recall
+
+import "testing"
+
+func TestAtK(t *testing.T) {
+	exact := []uint64{1, 2, 3, 4, 5}
+	cases := []struct {
+		name string
+		got  []uint64
+		k    int
+		want float64
+	}{
+		{"perfect", []uint64{5, 4, 3, 2, 1}, 5, 1},
+		{"order-insensitive", []uint64{3, 1, 2}, 3, 1},
+		{"partial", []uint64{1, 2, 9}, 3, 2.0 / 3},
+		{"miss", []uint64{8, 9}, 2, 0},
+		{"k beyond baseline", []uint64{1, 2, 3, 4, 5}, 10, 1},
+		{"empty baseline", nil, 3, 1},
+		{"duplicates count once", []uint64{1, 1, 1}, 3, 1.0 / 3},
+		{"k zero", []uint64{1}, 0, 1},
+	}
+	for _, c := range cases {
+		base := exact
+		if c.name == "empty baseline" {
+			base = nil
+		}
+		if got := AtK(base, c.got, c.k); got != c.want {
+			t.Errorf("%s: AtK = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWithinKth(t *testing.T) {
+	cases := []struct {
+		name string
+		kth  float64
+		got  []float64
+		k    int
+		want float64
+	}{
+		{"all within", 2, []float64{0, 1, 2}, 3, 1},
+		{"tie at kth counts", 2, []float64{2, 2, 2}, 3, 1},
+		{"partial", 2, []float64{1, 2, 3}, 3, 2.0 / 3},
+		{"beyond k ignored", 2, []float64{1, 1, 5, 1}, 3, 2.0 / 3},
+		{"short list misses", 2, []float64{1}, 3, 1.0 / 3},
+		{"k zero", 2, nil, 0, 1},
+	}
+	for _, c := range cases {
+		if got := WithinKth(c.kth, c.got, c.k); got != c.want {
+			t.Errorf("%s: WithinKth = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}

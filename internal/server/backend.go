@@ -48,6 +48,15 @@ type Backend interface {
 	StatsFields() map[string]interface{}
 }
 
+// GraphBackend is the optional Backend capability behind /v1/knn's
+// mode=ann: answering kNN from the approximate graph tier (DESIGN.md §14).
+// Backends that lack the method — and capable backends whose index has no
+// live graph (core.ErrNoGraph) — are served by the exact path instead, so
+// mode=ann degrades rather than fails.
+type GraphBackend interface {
+	KNNGraphWithStatsCtx(ctx context.Context, q metric.Object, k int, opts core.SearchOptions) ([]core.Result, core.QueryStats, error)
+}
+
 // TreeBackend serves one local SPB-tree — the Backend every pre-cluster
 // deployment uses, and the one Config.Tree wraps implicitly.
 type TreeBackend struct {
@@ -65,6 +74,11 @@ func (b *TreeBackend) RangeSearchWithStatsCtx(ctx context.Context, q metric.Obje
 // KNNWithStatsCtx implements Backend.
 func (b *TreeBackend) KNNWithStatsCtx(ctx context.Context, q metric.Object, k int) ([]core.Result, core.QueryStats, error) {
 	return b.T.KNNWithStatsCtx(ctx, q, k)
+}
+
+// KNNGraphWithStatsCtx implements GraphBackend.
+func (b *TreeBackend) KNNGraphWithStatsCtx(ctx context.Context, q metric.Object, k int, opts core.SearchOptions) ([]core.Result, core.QueryStats, error) {
+	return b.T.KNNGraphWithStatsCtx(ctx, q, k, opts)
 }
 
 // KNNApproxWithStatsCtx implements Backend.

@@ -58,6 +58,13 @@ type Request struct {
 	// MaxVerify is the verification budget for /v1/knn/approx (0 falls back
 	// to the exact search).
 	MaxVerify int `json:"max_verify,omitempty"`
+	// Mode selects /v1/knn's search tier: "exact" (the default) or "ann",
+	// which answers from the approximate graph tier (DESIGN.md §14) and
+	// falls back to exact search when the index has no graph.
+	Mode string `json:"mode,omitempty"`
+	// Ef is the beam width for mode=ann (0 selects the library default; it is
+	// raised to k internally).
+	Ef int `json:"ef,omitempty"`
 	// Eps is the join threshold (required for /v1/join).
 	Eps *float64 `json:"eps,omitempty"`
 	// TimeoutMS bounds this request's execution in milliseconds.
@@ -113,6 +120,9 @@ func (req *Request) validate(op string) error {
 	if req.TimeoutMS < 0 {
 		return badf("timeout_ms must be non-negative")
 	}
+	if op != core.OpKNN && (req.Mode != "" || req.Ef != 0) {
+		return badf("mode and ef apply only to /v1/knn")
+	}
 	needsObject := op != core.OpJoin
 	hasObject := len(req.Vector) > 0 || req.Query != ""
 	if needsObject && !hasObject {
@@ -142,6 +152,22 @@ func (req *Request) validate(op string) error {
 			}
 			if req.MaxVerify > MaxK {
 				return badf("max_verify is %d, limit %d", req.MaxVerify, MaxK)
+			}
+		}
+		if op == core.OpKNN {
+			switch req.Mode {
+			case "", "exact", "ann":
+			default:
+				return badf("mode must be \"exact\" or \"ann\", got %q", req.Mode)
+			}
+			if req.Ef < 0 {
+				return badf("ef must be non-negative")
+			}
+			if req.Ef > MaxK {
+				return badf("ef is %d, limit %d", req.Ef, MaxK)
+			}
+			if req.Ef > 0 && req.Mode != "ann" {
+				return badf("ef applies only to mode=ann")
 			}
 		}
 	case core.OpJoin:

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"spbtree/internal/core"
+	"spbtree/internal/metric"
 	"spbtree/internal/obs"
 )
 
@@ -560,7 +561,7 @@ func (s *Server) planQuery(op string, req Request) (func(context.Context) (respo
 		case core.OpRange:
 			results, qs, qerr = s.tree.RangeSearchWithStatsCtx(ctx, q, *req.Radius)
 		case core.OpKNN:
-			results, qs, qerr = s.tree.KNNWithStatsCtx(ctx, q, req.K)
+			results, qs, qerr = s.knn(ctx, q, req)
 		default:
 			results, qs, qerr = s.tree.KNNApproxWithStatsCtx(ctx, q, req.K, req.MaxVerify)
 		}
@@ -571,6 +572,22 @@ func (s *Server) planQuery(op string, req Request) (func(context.Context) (respo
 		}
 		return resp, qs, qerr
 	}, nil
+}
+
+// knn routes /v1/knn by mode: "ann" answers from the approximate graph tier
+// when the backend has one, falling back to exact search when the backend
+// lacks the GraphBackend capability or its index has no live graph — a
+// mode=ann request is never an error just because no graph was built.
+func (s *Server) knn(ctx context.Context, q metric.Object, req Request) ([]core.Result, core.QueryStats, error) {
+	if req.Mode == "ann" {
+		if gb, ok := s.tree.(GraphBackend); ok {
+			res, qs, err := gb.KNNGraphWithStatsCtx(ctx, q, req.K, core.SearchOptions{Ef: req.Ef})
+			if !errors.Is(err, core.ErrNoGraph) {
+				return res, qs, err
+			}
+		}
+	}
+	return s.tree.KNNWithStatsCtx(ctx, q, req.K)
 }
 
 // rejectDraining answers a request arriving during shutdown drain.

@@ -352,7 +352,35 @@ const (
 	OpRange     = core.OpRange
 	OpKNN       = core.OpKNN
 	OpKNNApprox = core.OpKNNApprox
+	OpKNNGraph  = core.OpKNNGraph
 	OpJoin      = core.OpJoin
+)
+
+// Approximate graph tier: an NN-descent k-neighbor graph over the tree's
+// live objects, queried by greedy beam search (DESIGN.md §14). Build with
+// Tree.BuildGraph / BuildGraphCtx, query with Tree.KNNGraph and its
+// Ctx/WithStats variants; Tree.HasGraph reports liveness. The tier is
+// opt-in and degrades, never fails: graph queries return ErrNoGraph when no
+// graph is live (callers fall back to exact kNN — the forest and spbserve's
+// mode=ann do so automatically), a deleted object never surfaces (the
+// search merges the durable delta buffer and tombstone filter), and
+// SaveAtomic/Load persist and reattach the graph beside the tree meta.
+type (
+	// GraphOptions configures Tree.BuildGraph (zero value = defaults).
+	GraphOptions = core.GraphOptions
+	// SearchOptions tunes one approximate kNN query; Ef is the beam width.
+	SearchOptions = core.SearchOptions
+)
+
+// DefaultEf is the beam width used when SearchOptions.Ef is zero.
+const DefaultEf = core.DefaultEf
+
+var (
+	// ErrNoGraph matches graph queries on a tree with no live graph.
+	ErrNoGraph = core.ErrNoGraph
+	// ErrGraphStale matches BuildGraph attempts that raced a structural
+	// mutation; rebuild under a write-quiet window.
+	ErrGraphStale = core.ErrGraphStale
 )
 
 // JoinWithStats computes the similarity join like Join and additionally
