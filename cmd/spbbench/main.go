@@ -10,7 +10,7 @@
 //	spbbench -n 20000 -q 100 all
 //
 // Experiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12
-// fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 pr9 all
+// fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 pr9 pr10 all
 //
 // pr4 compares serial and parallel verification (see DESIGN.md §9) and
 // enforces the engine's invariants; with -json FILE it writes the
@@ -37,6 +37,13 @@
 // and reporting recall@10 and latency; it enforces the recall floor and the
 // exact path's post-BuildGraph byte identity, and with -json FILE it writes
 // BENCH_PR9.json.
+//
+// pr10 compares the adaptive query planner and staged scatter (DESIGN.md
+// §15) against fixed execution: planner-on versus DisablePlanner on single
+// trees and the staged/pruned forest scatter versus the flat one. It
+// enforces byte-identical results, equal single-tree distance work, the
+// staged scatter's fan-out reduction, and a never-materially-slower wall
+// guard; with -json FILE it writes BENCH_PR10.json.
 package main
 
 import (
@@ -73,7 +80,7 @@ func main() {
 
 	if flag.NArg() == 0 {
 		flag.Usage()
-		fmt.Fprintln(os.Stderr, "\nexperiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 pr9 all")
+		fmt.Fprintln(os.Stderr, "\nexperiments: table2 table4 table5 table6 table7 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation forest pr4 pr5 pr6 pr8 pr9 pr10 all")
 		os.Exit(2)
 	}
 
@@ -100,9 +107,10 @@ func main() {
 		"pr6":      pr6,
 		"pr8":      pr8,
 		"pr9":      pr9,
+		"pr10":     pr10,
 	}
 	order := []string{"table2", "table4", "fig9", "fig10", "table5", "fig11",
-		"table6", "table7", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "forest", "pr4", "pr5", "pr6", "pr8", "pr9"}
+		"table6", "table7", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "forest", "pr4", "pr5", "pr6", "pr8", "pr9", "pr10"}
 
 	var names []string
 	for _, arg := range flag.Args() {

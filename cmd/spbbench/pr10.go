@@ -1,0 +1,293 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+
+	"spbtree/internal/core"
+	"spbtree/internal/forest"
+	"spbtree/internal/metric"
+)
+
+// pr10 benchmarks the cost-model-driven adaptive query planner (DESIGN.md
+// §15) on Words, Color32 and DNAEdit, in two halves:
+//
+//   - Single tree: a planner-enabled tree versus an identically-built tree
+//     with Options.DisablePlanner, both at the same worker cap. The warm
+//     pass doubles as planner calibration (≥16 queries feed the unit-cost
+//     EWMAs), then range and kNN batches are measured on each.
+//   - Forest scatter: a 5-shard forest with the §15.4 adaptive scatter
+//     (shard pruning + staged bounded kNN) versus the same forest with
+//     SetAdaptive(false) — the flat all-shard scatter.
+//
+// Machine-independent invariants gate the run — the CI contract:
+//
+//   - planner-on results are byte-identical to fixed-plan results (FNV-1a
+//     over every (id, distance-bits) pair, in order), and so is the
+//     distance-computation count: the planner moves only the worker count,
+//     never the work;
+//   - the staged forest scatter answers byte-identically to the flat one and
+//     never does more distance work per kNN batch;
+//   - the staged scatter's kNN compdists are strictly below flat on at least
+//     two of the three datasets (the headline fan-out reduction);
+//   - planner-on wall time stays within 1.6× of fixed (skipped when the
+//     fixed batch is under 5ms — too small to time reliably).
+//
+// With -json FILE it writes the machine-readable BENCH_PR10.json report.
+func pr10(cfg config) error {
+	header(cfg.out, "PR10: adaptive query planner + staged scatter vs fixed execution")
+	const k = 10
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = 4
+	}
+	report := pr10Report{
+		N: cfg.n, Queries: cfg.queries, K: k, Workers: workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	radii := map[string]float64{"words": 2, "color32": 0.08, "dnaedit": 12}
+	fmt.Fprintf(cfg.out, "%-10s %-8s %-6s %12s %14s %10s %8s\n",
+		"dataset", "layer", "mode", "latency/q", "compdists/q", "planned", "savings")
+
+	stagedWins := 0
+	for _, name := range []string{"words", "color32", "dnaedit"} {
+		ds := scaledDataset(cfg, name)
+		queries := ds.Queries(cfg.queries)
+		r := radii[name]
+
+		// --- single tree: planner vs fixed -------------------------------
+		planned, err := buildSPB(ds, cfg.seed, core.Options{Workers: workers})
+		if err != nil {
+			return err
+		}
+		fixed, err := buildSPB(ds, cfg.seed, core.Options{Workers: workers, DisablePlanner: true})
+		if err != nil {
+			planned.Close()
+			return err
+		}
+		// Snapshot the cost model off the query path, then calibrate the
+		// unit-cost EWMAs with the warm pass (also the cache warm-up).
+		if _, err := planned.EstimateRange(queries[0], r); err != nil {
+			planned.Close()
+			fixed.Close()
+			return err
+		}
+		pe, err := pr10Tree(planned, queries, r, k)
+		if err == nil {
+			pe, err = pr10Tree(planned, queries, r, k) // measured pass, calibrated
+		}
+		var fe pr10Entry
+		if err == nil {
+			_, err = pr10Tree(fixed, queries, r, k) // warm
+		}
+		if err == nil {
+			fe, err = pr10Tree(fixed, queries, r, k)
+		}
+		planned.Close()
+		fixed.Close()
+		if err != nil {
+			return err
+		}
+		if pe.Hash != fe.Hash {
+			return fmt.Errorf("pr10: %s: planner-on results differ from fixed (hash %x vs %x)",
+				ds.Name, pe.Hash, fe.Hash)
+		}
+		if pe.CD != fe.CD {
+			return fmt.Errorf("pr10: %s: planner-on compdists %.1f differ from fixed %.1f — the planner must only move workers",
+				ds.Name, pe.CD, fe.CD)
+		}
+		nq := float64(len(queries))
+		if fe.WallUs*nq >= 5000 && pe.WallUs > 1.6*fe.WallUs {
+			return fmt.Errorf("pr10: %s: planner-on wall %.0fµs/q exceeds 1.6× fixed %.0fµs/q",
+				ds.Name, pe.WallUs, fe.WallUs)
+		}
+		pe.Dataset, pe.Layer, pe.Mode = ds.Name, "tree", "planner"
+		fe.Dataset, fe.Layer, fe.Mode = ds.Name, "tree", "fixed"
+		report.Entries = append(report.Entries, pe, fe)
+		fmt.Fprintf(cfg.out, "%-10s %-8s %-6s %10.0fµs %14.1f %9.0f%% %8s\n",
+			ds.Name, "tree", "plan", pe.WallUs, pe.CD, 100*pe.PlannedFrac, "-")
+		fmt.Fprintf(cfg.out, "%-10s %-8s %-6s %10.0fµs %14.1f %10s %8s\n",
+			ds.Name, "tree", "fixed", fe.WallUs, fe.CD, "-", "-")
+
+		// --- forest: staged/pruned scatter vs flat -----------------------
+		f, err := forest.Build(ds.Objects, forest.Options{
+			Tree:   core.Options{Distance: ds.Distance, Codec: ds.Codec, Seed: cfg.seed},
+			Shards: 5,
+		})
+		if err != nil {
+			return err
+		}
+		f.SetAdaptive(true)
+		se, err := pr10Forest(f, queries, r, k)
+		if err == nil {
+			se, err = pr10Forest(f, queries, r, k)
+		}
+		var fl pr10Entry
+		if err == nil {
+			f.SetAdaptive(false)
+			_, err = pr10Forest(f, queries, r, k)
+		}
+		if err == nil {
+			fl, err = pr10Forest(f, queries, r, k)
+		}
+		if err != nil {
+			return err
+		}
+		if se.Hash != fl.Hash {
+			return fmt.Errorf("pr10: %s: staged scatter results differ from flat (hash %x vs %x)",
+				ds.Name, se.Hash, fl.Hash)
+		}
+		if se.KnnCD > fl.KnnCD {
+			return fmt.Errorf("pr10: %s: staged kNN compdists %.1f exceed flat %.1f",
+				ds.Name, se.KnnCD, fl.KnnCD)
+		}
+		if se.KnnCD < fl.KnnCD {
+			stagedWins++
+		}
+		saving := 1 - se.KnnCD/fl.KnnCD
+		se.Dataset, se.Layer, se.Mode = ds.Name, "forest", "staged"
+		fl.Dataset, fl.Layer, fl.Mode = ds.Name, "forest", "flat"
+		se.KnnSaving = saving
+		report.Entries = append(report.Entries, se, fl)
+		fmt.Fprintf(cfg.out, "%-10s %-8s %-6s %10.0fµs %14.1f %10s %7.1f%%\n",
+			ds.Name, "forest", "staged", se.WallUs, se.CD, "-", 100*saving)
+		fmt.Fprintf(cfg.out, "%-10s %-8s %-6s %10.0fµs %14.1f %10s %8s\n",
+			ds.Name, "forest", "flat", fl.WallUs, fl.CD, "-", "-")
+	}
+	if stagedWins < 2 {
+		return fmt.Errorf("pr10: staged kNN scatter saved distance work on only %d/3 datasets, gate is 2", stagedWins)
+	}
+
+	if cfg.jsonPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+// pr10Entry is one (dataset, layer, mode) warm measurement, averaged per
+// query across the mixed range+kNN batch.
+type pr10Entry struct {
+	Dataset string `json:"dataset"`
+	// Layer is "tree" (planner vs fixed) or "forest" (staged vs flat).
+	Layer  string  `json:"layer"`
+	Mode   string  `json:"mode"`
+	WallUs float64 `json:"wall_us_per_query"`
+	CD     float64 `json:"compdists_per_query"`
+	// KnnCD isolates the kNN half of the batch — the staged scatter's
+	// savings target.
+	KnnCD float64 `json:"knn_compdists_per_query,omitempty"`
+	// PlannedFrac is the fraction of measured queries the planner decided
+	// (PlanModePlanned) rather than fell back on (tree layer only).
+	PlannedFrac float64 `json:"planned_fraction,omitempty"`
+	// MeanWorkers averages the granted verifier slots over planned queries.
+	MeanWorkers float64 `json:"mean_workers,omitempty"`
+	// KnnSaving is 1 − staged/flat kNN compdists (staged rows only).
+	KnnSaving float64 `json:"knn_compdist_saving,omitempty"`
+	Hash      uint64  `json:"result_hash,omitempty"`
+}
+
+// pr10Report is the BENCH_PR10.json schema.
+type pr10Report struct {
+	N          int         `json:"n"`
+	Queries    int         `json:"queries"`
+	K          int         `json:"k"`
+	Workers    int         `json:"workers"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Entries    []pr10Entry `json:"entries"`
+}
+
+// pr10Hash folds one result list into the ordered FNV-1a result hash.
+func pr10Hash(h interface{ Write([]byte) (int, error) }, res []core.Result) {
+	var buf [16]byte
+	for _, x := range res {
+		binary.LittleEndian.PutUint64(buf[:8], x.Object.ID())
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(x.Dist))
+		h.Write(buf[:])
+	}
+}
+
+// pr10Tree runs the mixed range+kNN batch on one tree, hashing results and
+// aggregating per-query stats plus the planner decision mix.
+func pr10Tree(t *core.Tree, queries []metric.Object, r float64, k int) (pr10Entry, error) {
+	var e pr10Entry
+	h := fnv.New64a()
+	plannedQ, workerSum := 0, 0
+	for _, q := range queries {
+		res, qs, err := t.RangeSearchWithStats(q, r)
+		if err != nil {
+			return e, err
+		}
+		pr10Hash(h, res)
+		e.WallUs += float64(qs.Elapsed.Microseconds())
+		e.CD += float64(qs.Compdists)
+		if qs.Plan.Mode == core.PlanModePlanned {
+			plannedQ++
+			workerSum += qs.Plan.Workers
+		}
+		res, qs, err = t.KNNWithStats(q, k)
+		if err != nil {
+			return e, err
+		}
+		pr10Hash(h, res)
+		e.WallUs += float64(qs.Elapsed.Microseconds())
+		e.CD += float64(qs.Compdists)
+		e.KnnCD += float64(qs.Compdists)
+		if qs.Plan.Mode == core.PlanModePlanned {
+			plannedQ++
+			workerSum += qs.Plan.Workers
+		}
+	}
+	e.Hash = h.Sum64()
+	nq := float64(len(queries))
+	e.WallUs /= 2 * nq
+	e.CD /= 2 * nq
+	e.KnnCD /= nq
+	e.PlannedFrac = float64(plannedQ) / (2 * nq)
+	if plannedQ > 0 {
+		e.MeanWorkers = float64(workerSum) / float64(plannedQ)
+	}
+	return e, nil
+}
+
+// pr10Forest runs the mixed range+kNN batch on one forest configuration.
+func pr10Forest(f *forest.Forest, queries []metric.Object, r float64, k int) (pr10Entry, error) {
+	var e pr10Entry
+	h := fnv.New64a()
+	ctx := context.Background()
+	for _, q := range queries {
+		res, qs, err := f.RangeQueryWithStatsCtx(ctx, q, r)
+		if err != nil {
+			return e, err
+		}
+		pr10Hash(h, res)
+		e.WallUs += float64(qs.Elapsed.Microseconds())
+		e.CD += float64(qs.Compdists)
+		res, qs, err = f.KNNWithStatsCtx(ctx, q, k)
+		if err != nil {
+			return e, err
+		}
+		pr10Hash(h, res)
+		e.WallUs += float64(qs.Elapsed.Microseconds())
+		e.CD += float64(qs.Compdists)
+		e.KnnCD += float64(qs.Compdists)
+	}
+	e.Hash = h.Sum64()
+	nq := float64(len(queries))
+	e.WallUs /= 2 * nq
+	e.CD /= 2 * nq
+	e.KnnCD /= nq
+	return e, nil
+}

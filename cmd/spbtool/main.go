@@ -7,6 +7,8 @@
 //	spbtool build -dir idx -type vectors -dim 16 -in features.csv
 //	spbtool query -dir idx -type words  -q "defoliate" -r 2
 //	spbtool query -dir idx -type words  -q "defoliate" -k 10
+//	spbtool explain -dir idx -q "defoliate" -k 10
+//	spbtool explain -dir shard0,shard1,shard2 -q "defoliate" -r 2
 //	spbtool stats -dir idx -type words
 //	spbtool verify -dir idx
 //	spbtool repair -dir idx
@@ -36,6 +38,8 @@ func main() {
 		err = cmdBuild(os.Args[2:], os.Stdout)
 	case "query":
 		err = cmdQuery(os.Args[2:], os.Stdout)
+	case "explain":
+		err = cmdExplain(os.Args[2:], os.Stdout)
 	case "stats":
 		err = cmdStats(os.Args[2:], os.Stdout)
 	case "verify":
@@ -58,12 +62,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: spbtool <build|query|stats|verify|repair|wal> [flags]
+	fmt.Fprintln(os.Stderr, `usage: spbtool <build|query|explain|stats|verify|repair|wal> [flags]
 
-  build  -dir DIR -type {words|vectors|dna|signatures} [-dim D] -in FILE
-         [-pivots N] [-curve {hilbert|zorder}] [-durable]
-  query  -dir DIR (-r RADIUS | -k K) -q QUERY [-stats] [-debugaddr ADDR]
-  stats  -dir DIR [-probe] [-debugaddr ADDR]
+  build   -dir DIR -type {words|vectors|dna|signatures} [-dim D] -in FILE
+          [-pivots N] [-curve {hilbert|zorder}] [-durable]
+  query   -dir DIR (-r RADIUS | -k K) -q QUERY [-stats] [-debugaddr ADDR]
+  explain -dir DIR[,DIR...] (-r RADIUS | -k K) -q QUERY
+          print the planner's decision, cost estimates and — with several
+          directories treated as forest shards — the shard visit order,
+          without executing the query (DESIGN.md §15)
+  stats   -dir DIR [-probe] [-debugaddr ADDR]
   verify -dir DIR    audit every page, record and invariant; list corruptions
   repair -dir DIR    rebuild the index from the objects that survive
   wal    inspect|replay -dir DIR   examine a durable index's write-ahead log

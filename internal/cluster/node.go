@@ -250,6 +250,8 @@ func kindName(kind byte) string {
 		return "rpc.range"
 	case kKNN:
 		return "rpc.knn"
+	case kHint:
+		return "rpc.hint"
 	case kJoin:
 		return "rpc.join"
 	case kMutate:
@@ -285,6 +287,11 @@ func (n *Node) dispatch(kind byte, payload []byte) (resp interface{}, failed boo
 		var req rpcKNNReq
 		if err = decodePayload(payload, &req); err == nil {
 			return n.handleKNN(req)
+		}
+	case kHint:
+		var req rpcHintReq
+		if err = decodePayload(payload, &req); err == nil {
+			return n.handleHint(req)
 		}
 	case kJoin:
 		var req rpcJoinReq
@@ -435,6 +442,13 @@ func (n *Node) handleKNN(req rpcKNNReq) (interface{}, bool) {
 	var results []core.Result
 	var qs core.QueryStats
 	switch {
+	case req.Bounded && req.Approx:
+		err = fmt.Errorf("cluster: bounded and approximate kNN are mutually exclusive")
+		return rpcQueryResp{Err: toWireErr(err)}, true
+	case req.Bounded && req.WithStats:
+		results, qs, err = f.KNNWithinWithStatsCtx(ctx, q, req.K, req.Bound)
+	case req.Bounded:
+		results, err = f.KNNWithinCtx(ctx, q, req.K, req.Bound)
 	case req.Approx && req.WithStats:
 		results, qs, err = f.KNNApproxWithStatsCtx(ctx, q, req.K, req.MaxVerify)
 	case req.Approx:
@@ -446,6 +460,36 @@ func (n *Node) handleKNN(req rpcKNNReq) (interface{}, bool) {
 	}
 	err = n.staleClosed(err, req.Shards)
 	return rpcQueryResp{Results: toWireResults(results), Stats: qs, Err: toWireErr(err)}, err != nil
+}
+
+// handleHint answers per-shard planning hints for the router's adaptive
+// scatter (DESIGN.md §15.4). Hints run node-side because computing one needs
+// the shard's pivots and the space's distance function, which the router
+// does not hold; the φ(q) probes use uncounted distances, so asking for
+// hints never perturbs the work counters of shards that end up pruned.
+func (n *Node) handleHint(req rpcHintReq) (interface{}, bool) {
+	f, _, err := n.forestFor(req.Shards)
+	if err != nil {
+		return rpcHintResp{Err: toWireErr(err)}, true
+	}
+	q, err := n.decodeQuery(req.Q)
+	if err != nil {
+		return rpcHintResp{Err: toWireErr(err)}, true
+	}
+	var hints []core.ShardHint
+	switch req.Hint {
+	case hintRange:
+		hints, err = f.HintRange(q, req.R)
+	case hintKNN:
+		hints, err = f.HintKNN(q, req.K)
+	default:
+		err = fmt.Errorf("cluster: unknown hint flavor %d", req.Hint)
+	}
+	err = n.staleClosed(err, req.Shards)
+	if err != nil {
+		return rpcHintResp{Err: toWireErr(err)}, true
+	}
+	return rpcHintResp{Hints: hints}, false
 }
 
 // handleMutate applies one insert or delete to an owned shard.

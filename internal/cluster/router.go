@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,11 @@ type Router struct {
 	reg obs.Registry
 	// fanout counts node RPCs issued per scatter, by node name.
 	fanout sync.Map // string → *atomic.Int64
+
+	// adaptive enables the §15.4 scatter planning: per-query hint RPCs that
+	// let the router skip provably-irrelevant nodes on range queries and run
+	// kNN as a two-stage bounded visit. On by default; see SetAdaptive.
+	adaptive atomic.Bool
 }
 
 // NewRouter returns a router over the given placement. codec decodes result
@@ -57,8 +63,18 @@ func NewRouter(p *Placement, codec metric.Codec) (*Router, error) {
 	}
 	r := &Router{codec: codec, clients: make(map[string]*Client)}
 	r.placement.Store(p)
+	r.adaptive.Store(true)
 	return r, nil
 }
+
+// SetAdaptive toggles the adaptive scatter (DESIGN.md §15.4): node pruning
+// for range queries and the staged bounded kNN visit. Off restores the
+// unconditional flat scatter; answers are byte-identical either way. Safe
+// for concurrent use.
+func (r *Router) SetAdaptive(on bool) { r.adaptive.Store(on) }
+
+// Adaptive reports whether the adaptive scatter is enabled.
+func (r *Router) Adaptive() bool { return r.adaptive.Load() }
 
 // Placement returns the router's current placement (do not mutate).
 func (r *Router) Placement() *Placement { return r.placement.Load() }
@@ -157,16 +173,15 @@ func plan(p *Placement) []nodeCall {
 	return calls
 }
 
-// scatterQuery fans one query RPC out to every owning node and gathers
+// scatterQuery fans one query RPC out to every node in calls and gathers
 // per-node results and errors. Failed nodes become NodeErrors; healthy
 // nodes' answers always come back. A node answering ErrNotOwner triggers
 // one placement refresh and one retry of that node's shards against the
-// new owners (the handoff-during-query path).
-func (r *Router) scatterQuery(ctx context.Context, op string,
+// new owners (the handoff-during-query path). Callers pass plan(p) for the
+// full flat scatter or a planned subset (§15.4 pruning/staging).
+func (r *Router) scatterQuery(ctx context.Context, op string, calls []nodeCall,
 	build func(shards []int) (byte, interface{})) ([]rpcQueryResp, error) {
 
-	p := r.placement.Load()
-	calls := plan(p)
 	resps := make([]rpcQueryResp, len(calls))
 	errs := make([]error, len(calls))
 	var wg sync.WaitGroup
@@ -283,16 +298,95 @@ func (r *Router) gather(resps []rpcQueryResp, err error,
 	return out, stats, err
 }
 
+// shardHints fetches per-shard planning hints from every node in calls, one
+// kHint RPC per node (DESIGN.md §15.4). The answer is all-or-nothing: any
+// node failure — down, stale placement, or a pre-hint version on the other
+// side — returns ok=false, and the caller falls back to the flat scatter,
+// which answers identically and owns the failure-tolerance machinery.
+func (r *Router) shardHints(ctx context.Context, calls []nodeCall, wq wireObj,
+	flavor byte, radius float64, k int) (map[int]core.ShardHint, bool) {
+
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	resps := make([]rpcHintResp, len(calls))
+	errs := make([]error, len(calls))
+	var wg sync.WaitGroup
+	for i, call := range calls {
+		wg.Add(1)
+		go func(i int, call nodeCall) {
+			defer wg.Done()
+			req := rpcHintReq{Shards: call.shards, Q: wq, Hint: flavor,
+				R: radius, K: k, DeadlineUS: deadlineUS(ctx)}
+			err := r.callNode(ctx, call.node, call.addr, "hint", true, kHint, req, &resps[i])
+			if err == nil {
+				err = fromWireErr(resps[i].Err)
+			}
+			if err == nil && len(resps[i].Hints) != len(call.shards) {
+				err = fmt.Errorf("cluster: node %s answered %d hints for %d shards",
+					call.node, len(resps[i].Hints), len(call.shards))
+			}
+			errs[i] = err
+		}(i, call)
+	}
+	wg.Wait()
+	hints := make(map[int]core.ShardHint, len(calls))
+	for i, call := range calls {
+		if errs[i] != nil {
+			return nil, false
+		}
+		for j, s := range call.shards {
+			hints[s] = resps[i].Hints[j]
+		}
+	}
+	return hints, true
+}
+
+// pruneCalls drops range-prunable shards from a planned scatter, removing
+// node calls left with no shards — the "fewer RPCs" half of §15.4. Pruning
+// is per-shard and proof-based, so the surviving scatter's merged answer is
+// byte-identical to the full one.
+func pruneCalls(calls []nodeCall, hints map[int]core.ShardHint) ([]nodeCall, int) {
+	out := make([]nodeCall, 0, len(calls))
+	pruned := 0
+	for _, c := range calls {
+		keep := make([]int, 0, len(c.shards))
+		for _, s := range c.shards {
+			if hints[s].Prunable {
+				pruned++
+				continue
+			}
+			keep = append(keep, s)
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		out = append(out, nodeCall{node: c.node, addr: c.addr, shards: keep})
+	}
+	return out, pruned
+}
+
 // Range answers RQ(q, r) across the cluster. On node failures the healthy
 // nodes' answers come back with one NodeError per failed node (joined);
 // errors.Is(err, core.ErrCanceled) identifies deadline-canceled slices.
+// With the adaptive scatter enabled, a hint round first skips every shard
+// whose summary box provably misses the query ball — nodes all of whose
+// shards are pruned get no query RPC at all.
 func (r *Router) Range(ctx context.Context, q metric.Object, radius float64) ([]core.Result, core.QueryStats, error) {
 	wq := wireObj{ID: q.ID(), Data: q.AppendBinary(nil)}
-	resps, err := r.scatterQuery(ctx, "range", func(shards []int) (byte, interface{}) {
+	p := r.placement.Load()
+	calls := plan(p)
+	pruned := 0
+	if r.adaptive.Load() {
+		if hints, ok := r.shardHints(ctx, calls, wq, hintRange, radius, 0); ok {
+			calls, pruned = pruneCalls(calls, hints)
+		}
+	}
+	resps, err := r.scatterQuery(ctx, "range", calls, func(shards []int) (byte, interface{}) {
 		return kRange, rpcRangeReq{Shards: shards, Q: wq, R: radius,
 			DeadlineUS: deadlineUS(ctx), WithStats: true}
 	})
-	return r.gather(resps, err, func(per [][]core.Result) []core.Result {
+	res, qs, err := r.gather(resps, err, func(per [][]core.Result) []core.Result {
 		var all []core.Result
 		for _, res := range per {
 			all = append(all, res...)
@@ -300,6 +394,9 @@ func (r *Router) Range(ctx context.Context, q metric.Object, radius float64) ([]
 		sort.Slice(all, func(i, j int) bool { return all[i].Object.ID() < all[j].Object.ID() })
 		return all
 	})
+	qs.Plan.ShardsTotal = p.Shards
+	qs.Plan.ShardsPruned = pruned
+	return res, qs, err
 }
 
 // KNN answers kNN(q, k) across the cluster, merging per-node top-k sets
@@ -320,13 +417,92 @@ func (r *Router) knn(ctx context.Context, q metric.Object, k, maxVerify int, app
 	if approx {
 		op = "knn_approx"
 	}
-	resps, err := r.scatterQuery(ctx, op, func(shards []int) (byte, interface{}) {
+	p := r.placement.Load()
+	// Exact kNN runs the §15.4 staged visit when the planner can: the most
+	// promising shard answers first and its k-th distance bounds everyone
+	// else. Approximate kNN stays flat — its per-shard answers are not the
+	// canonical subsets the staging proof needs.
+	if !approx && k > 0 && p.Shards >= 2 && r.adaptive.Load() {
+		if res, qs, err, ok := r.knnStaged(ctx, p, wq, k); ok {
+			return res, qs, err
+		}
+	}
+	resps, err := r.scatterQuery(ctx, op, plan(p), func(shards []int) (byte, interface{}) {
 		return kKNN, rpcKNNReq{Shards: shards, Q: wq, K: k, MaxVerify: maxVerify,
 			Approx: approx, DeadlineUS: deadlineUS(ctx), WithStats: true}
 	})
-	return r.gather(resps, err, func(per [][]core.Result) []core.Result {
+	res, qs, gerr := r.gather(resps, err, func(per [][]core.Result) []core.Result {
 		return forest.MergeKNN(per, k)
 	})
+	qs.Plan.ShardsTotal = p.Shards
+	return res, qs, gerr
+}
+
+// knnStaged runs the two-stage cluster kNN (DESIGN.md §15.4): a hint round
+// orders the shards exactly as forest.knnPlan would (ascending summary-box
+// MinDist, predicted distance work when both hints carry estimates, shard
+// index last), the best shard answers plain canonical kNN via its owner,
+// and the remaining shards are scattered with its k-th distance as a
+// Bounded probe — per-shard bounded probes on every node, merged with the
+// same reduction as the flat scatter, so the answer is byte-identical
+// (§15.2). ok=false means planning was impossible (a hint or stage-1
+// failure); the caller reruns the flat scatter, which answers identically
+// and owns the failure-tolerance and placement-refresh machinery. Stage-2
+// node failures are tolerated the usual way: partials plus NodeErrors.
+func (r *Router) knnStaged(ctx context.Context, p *Placement, wq wireObj, k int) ([]core.Result, core.QueryStats, error, bool) {
+	hints, ok := r.shardHints(ctx, plan(p), wq, hintKNN, 0, k)
+	if !ok {
+		return nil, core.QueryStats{}, nil, false
+	}
+	order := make([]int, p.Shards)
+	for s := range order {
+		order[s] = s
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha, hb := hints[order[a]], hints[order[b]]
+		if ha.MinDist != hb.MinDist {
+			return ha.MinDist < hb.MinDist
+		}
+		if ha.Estimated && hb.Estimated && ha.EDC != hb.EDC {
+			return ha.EDC < hb.EDC
+		}
+		return order[a] < order[b]
+	})
+
+	// Stage 1: the best shard alone, through its owner.
+	first := order[0]
+	owner := p.Owners[first]
+	var resp0 rpcQueryResp
+	err := r.callNode(ctx, owner, p.Nodes[owner], "knn", true, kKNN,
+		rpcKNNReq{Shards: []int{first}, Q: wq, K: k,
+			DeadlineUS: deadlineUS(ctx), WithStats: true}, &resp0)
+	if err == nil {
+		err = fromWireErr(resp0.Err)
+		resp0.Err = nil
+	}
+	if err != nil {
+		return nil, core.QueryStats{}, nil, false
+	}
+	bound := math.Inf(1)
+	if len(resp0.Results) == k {
+		// Node answers arrive in canonical (dist, ID) order, so the k-th
+		// distance reads straight off the wire results.
+		bound = resp0.Results[k-1].Dist
+	}
+
+	// Stage 2: every other shard probes within the bound, grouped by owner.
+	resps, serr := r.scatterQuery(ctx, "knn", regroup(p, order[1:]), func(shards []int) (byte, interface{}) {
+		return kKNN, rpcKNNReq{Shards: shards, Q: wq, K: k, Bounded: true, Bound: bound,
+			DeadlineUS: deadlineUS(ctx), WithStats: true}
+	})
+	resps = append(resps, resp0)
+	res, qs, gerr := r.gather(resps, serr, func(per [][]core.Result) []core.Result {
+		return forest.MergeKNN(per, k)
+	})
+	qs.Plan.ShardsTotal = p.Shards
+	qs.Plan.Staged = true
+	qs.Plan.FirstShard = first
+	return res, qs, gerr, true
 }
 
 // Join computes the cluster self-join SJ(C, C, ε): each node joins its

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 
 	"spbtree/internal/metric"
 	"spbtree/internal/page"
@@ -49,10 +50,10 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 	if slots := t.workersFor(); slots > 0 {
 		// The ordered-commit engine enforces the budget at commit time, so
 		// the verified set is exactly the serial prefix (exec.go).
-		return t.knnParallel(ctx, q, qvec, k, qs, slots, int64(maxVerify))
+		return t.knnParallel(ctx, q, qvec, k, math.Inf(1), qs, slots, int64(maxVerify))
 	}
 
-	res := &knnResults{k: k}
+	res := newKNNResults(k, math.Inf(1))
 	pq := &mindHeap{}
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
@@ -74,7 +75,7 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 			return res.sorted(), err
 		}
 		item := pq.pop()
-		if item.mind >= res.bound() {
+		if item.mind > res.bound() {
 			break
 		}
 		if !item.isNode {
@@ -98,7 +99,7 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 			for _, c := range node.Children {
 				t.curve.Decode(c.BoxLo, boxLo)
 				t.curve.Decode(c.BoxHi, boxHi)
-				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < res.bound() {
+				if mind := t.mindToBox(qvec, boxLo, boxHi); mind <= res.bound() {
 					pq.push(mindItem{mind: mind, page: page.ID(c.Page), isNode: true})
 					qs.HeapPushes++
 				} else {
@@ -110,7 +111,7 @@ func (t *Tree) knnApprox(ctx context.Context, q metric.Object, k, maxVerify int,
 		for i := range node.Keys {
 			qs.EntriesScanned++
 			t.curve.Decode(node.Keys[i], cell)
-			if mind := t.mindToCell(qvec, cell); mind < res.bound() {
+			if mind := t.mindToCell(qvec, cell); mind <= res.bound() {
 				pq.push(mindItem{mind: mind, val: node.Vals[i]})
 				qs.HeapPushes++
 			} else {

@@ -177,6 +177,13 @@ func (cm *costModel) snapshotBoxes(t *Tree) error {
 // unbiased-in-the-mean point estimate of d. The k-th sample quantile, scaled
 // from sample to population, is eND_k.
 func (cm *costModel) estimateNDk(qvec []float64, k, population int, dPlus float64) float64 {
+	return cm.estimateNDkSampled(qvec, k, population, dPlus, len(cm.vecs))
+}
+
+// estimateNDkSampled is estimateNDk over at most sampleCap reservoir vectors
+// — the planner's cheap per-query profile (the reservoir is a uniform sample,
+// so a prefix of it is too).
+func (cm *costModel) estimateNDkSampled(qvec []float64, k, population int, dPlus float64, sampleCap int) float64 {
 	if population == 0 {
 		return dPlus
 	}
@@ -204,13 +211,16 @@ func (cm *costModel) estimateNDk(qvec []float64, k, population int, dPlus float6
 	// lower bounds, calibrated by the pivot set's precision. It is biased
 	// low (extreme-value selection on lower bounds) so it only ever raises
 	// the homogeneous estimate.
-	if len(cm.vecs) > 0 {
+	if sampleCap > len(cm.vecs) {
+		sampleCap = len(cm.vecs)
+	}
+	if sampleCap > 0 {
 		prec := cm.precision
 		if prec < 0.05 {
 			prec = 0.05
 		}
-		ests := make([]float64, len(cm.vecs))
-		for j, v := range cm.vecs {
+		ests := make([]float64, sampleCap)
+		for j, v := range cm.vecs[:sampleCap] {
 			var lb float64
 			for i, d := range v {
 				if diff := math.Abs(d - qvec[i]); diff > lb {
@@ -275,39 +285,86 @@ type CostEstimate struct {
 	Radius float64
 }
 
-// EstimateRange predicts the cost of RangeQuery(q, r) per eqs. (3), (4) and
-// (6). The φ(q) computation uses the unwrapped metric so estimation does not
-// disturb the compdists counter.
-func (t *Tree) EstimateRange(q metric.Object, r float64) (CostEstimate, error) {
-	if t.cm.dirty {
-		if err := t.cm.snapshotBoxes(t); err != nil {
-			return CostEstimate{}, err
-		}
+// ensureCostBoxes refreshes the cost model's MBB snapshot if writes have
+// dirtied it, under the write lock — the snapshot mutates the model, so it
+// may not run concurrently with queries that read it. Estimation entry
+// points call this before taking the read lock; the in-query planner never
+// does (it falls back to fixed behavior on a dirty model instead).
+func (t *Tree) ensureCostBoxes() error {
+	t.mu.RLock()
+	dirty := t.cm.dirty
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return ErrClosed
 	}
-	qvec := t.quietPhi(q)
+	if !dirty {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if !t.cm.dirty {
+		return nil
+	}
+	return t.cm.snapshotBoxes(t)
+}
+
+// estimateRangeVec is the range cost estimate for an already-mapped query.
+// Callers hold the read lock and guarantee the MBB snapshot is clean.
+func (t *Tree) estimateRangeVec(qvec []float64, r float64) CostEstimate {
 	pr := t.cm.prInRegion(qvec, r)
 	edc := float64(len(t.pivots)) + float64(t.count)*pr
 	epa := t.cm.pageEstimate(qvec, r, edc, t.raf.ObjectsPerPage())
-	return CostEstimate{EDC: edc, EPA: epa, Radius: r}, nil
+	return CostEstimate{EDC: edc, EPA: epa, Radius: r}
+}
+
+// estimateKNNVec is the kNN cost estimate for an already-mapped query, with
+// the eND_k reservoir scan capped at sampleCap vectors (the planner's cheap
+// profile; pass len(t.cm.vecs) for the full-fidelity estimate). Callers hold
+// the read lock and guarantee the MBB snapshot is clean.
+func (t *Tree) estimateKNNVec(qvec []float64, k, sampleCap int) CostEstimate {
+	eND := t.cm.estimateNDkSampled(qvec, k, t.count, t.dPlus, sampleCap)
+	pr := t.cm.prInRegion(qvec, eND)
+	edc := float64(len(t.pivots)) + float64(t.count)*pr
+	epa := t.cm.pageEstimate(qvec, eND, edc, t.raf.ObjectsPerPage())
+	return CostEstimate{EDC: edc, EPA: epa, Radius: eND}
+}
+
+// EstimateRange predicts the cost of RangeQuery(q, r) per eqs. (3), (4) and
+// (6). The φ(q) computation uses the unwrapped metric so estimation does not
+// disturb the compdists counter. If writes have dirtied the MBB snapshot it
+// is refreshed first (under the write lock).
+func (t *Tree) EstimateRange(q metric.Object, r float64) (CostEstimate, error) {
+	if err := t.ensureCostBoxes(); err != nil {
+		return CostEstimate{}, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return CostEstimate{}, ErrClosed
+	}
+	return t.estimateRangeVec(t.quietPhi(q), r), nil
 }
 
 // EstimateKNN predicts the cost of KNN(q, k): eND_k is estimated per eq. (5)
 // with a query-sensitive F_q in the spirit of Ciaccia-Nanni [40] — each
 // sampled object's distance to q is approximated by the midpoint of its
 // triangle-inequality interval [max_i |v_i−q_i|, min_i (v_i+q_i)] — and then
-// the range estimators apply at radius eND_k (Lemma 4).
+// the range estimators apply at radius eND_k (Lemma 4). If writes have
+// dirtied the MBB snapshot it is refreshed first (under the write lock).
 func (t *Tree) EstimateKNN(q metric.Object, k int) (CostEstimate, error) {
-	if t.cm.dirty {
-		if err := t.cm.snapshotBoxes(t); err != nil {
-			return CostEstimate{}, err
-		}
+	if err := t.ensureCostBoxes(); err != nil {
+		return CostEstimate{}, err
 	}
-	qvec := t.quietPhi(q)
-	eND := t.cm.estimateNDk(qvec, k, t.count, t.dPlus)
-	pr := t.cm.prInRegion(qvec, eND)
-	edc := float64(len(t.pivots)) + float64(t.count)*pr
-	epa := t.cm.pageEstimate(qvec, eND, edc, t.raf.ObjectsPerPage())
-	return CostEstimate{EDC: edc, EPA: epa, Radius: eND}, nil
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return CostEstimate{}, ErrClosed
+	}
+	return t.estimateKNNVec(t.quietPhi(q), k, len(t.cm.vecs)), nil
 }
 
 // EstimateJoin predicts the cost of Join(tq, to, eps) per eqs. (7) and (8):

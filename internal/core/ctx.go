@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"spbtree/internal/metric"
@@ -109,7 +110,45 @@ func (t *Tree) runKNN(ctx context.Context, q metric.Object, k int, qs *QueryStat
 		return nil, ErrClosed
 	}
 	qt := t.beginQuery(qs)
-	res, err := t.knn(ctx, q, k, qs)
+	res, err := t.knn(ctx, q, k, math.Inf(1), qs)
+	qt.finish(len(res), err)
+	return res, err
+}
+
+// KNNWithin answers kNN(q, k) restricted to objects within the given distance
+// bound: the canonical top-k of {x : d(q, x) ≤ bound}, possibly fewer than k
+// results. It is exactly KNN over the shard plus k phantom results at
+// (bound, ∞), so a caller holding a k-th-distance bound from elsewhere — the
+// forest's staged scatter visits its first shard to obtain one — prunes with
+// it from the first heap pop instead of rediscovering it. bound = +Inf is
+// plain KNN.
+func (t *Tree) KNNWithin(q metric.Object, k int, bound float64) ([]Result, error) {
+	return t.KNNWithinCtx(context.Background(), q, k, bound)
+}
+
+// KNNWithinCtx is KNNWithin honoring ctx, with KNNCtx's partial-result
+// cancellation contract.
+func (t *Tree) KNNWithinCtx(ctx context.Context, q metric.Object, k int, bound float64) ([]Result, error) {
+	qs := QueryStats{Op: OpKNN}
+	return t.runKNNWithin(ctx, q, k, bound, &qs)
+}
+
+// KNNWithinWithStatsCtx is KNNWithinCtx plus the query's per-stage QueryStats.
+func (t *Tree) KNNWithinWithStatsCtx(ctx context.Context, q metric.Object, k int, bound float64) ([]Result, QueryStats, error) {
+	qs := QueryStats{Op: OpKNN, timed: true}
+	res, err := t.runKNNWithin(ctx, q, k, bound, &qs)
+	return res, qs, err
+}
+
+// runKNNWithin executes one bounded kNN query under the tree's read lock.
+func (t *Tree) runKNNWithin(ctx context.Context, q metric.Object, k int, bound float64, qs *QueryStats) ([]Result, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	qt := t.beginQuery(qs)
+	res, err := t.knn(ctx, q, k, bound, qs)
 	qt.finish(len(res), err)
 	return res, err
 }

@@ -681,16 +681,17 @@ type knnExec struct {
 	verifyTime     time.Duration
 }
 
-func (t *Tree) newKNNExec(ctx context.Context, q metric.Object, k int, qs *QueryStats, slots int, budget int64, greedy bool) *knnExec {
+func (t *Tree) newKNNExec(ctx context.Context, q metric.Object, k int, bound0 float64, qs *QueryStats, slots int, budget int64, greedy bool) *knnExec {
+	res := newKNNResults(k, bound0)
 	ex := &knnExec{
 		t: t, ctx: ctx, q: q, raw: t.dist.Unwrap(), bounded: t.bounded, batch: t.batch, greedy: greedy,
 		budget: budget, qs: qs, timed: qs.timed,
 		jobs:    make(chan knnJob, 2*slots),
 		slots:   slots,
-		res:     &knnResults{k: k},
+		res:     res,
 		pending: make(map[int64]knnVerdict),
 	}
-	ex.boundBits.Store(math.Float64bits(math.Inf(1)))
+	ex.boundBits.Store(math.Float64bits(res.bound()))
 	ex.wg.Add(slots)
 	for i := 0; i < slots; i++ {
 		go ex.worker()
@@ -750,8 +751,8 @@ func (ex *knnExec) worker() {
 			continue
 		}
 		// Re-check every candidate against the committed bound before
-		// touching it. The bound only tightens, so mind >= bound now implies
-		// mind >= bound at this slot's commit, where it is discarded (greedy)
+		// touching it. The bound only tightens, so mind > bound now implies
+		// mind > bound at this slot's commit, where it is discarded (greedy)
 		// or terminates the query (incremental) without using the verdict
 		// value — reading and verifying it would be pure waste. This is what
 		// keeps speculative work bounded when the traversal runs far ahead of
@@ -760,7 +761,7 @@ func (ex *knnExec) worker() {
 		bound := ex.bound()
 		for i, it := range job.items {
 			switch {
-			case it.mind >= bound:
+			case it.mind > bound:
 				ex.submit(job.seq+int64(i), knnVerdict{mind: it.mind, val: it.val})
 			case it.obj != nil:
 				// Write-buffer candidate: the object is in memory, so the
@@ -929,7 +930,7 @@ func (ex *knnExec) commitLocked(v knnVerdict) {
 		ex.terminate()
 		return
 	}
-	if v.mind >= ex.res.bound() {
+	if v.mind > ex.res.bound() {
 		if ex.greedy {
 			// Serial greedy would have pruned this entry at the leaf scan
 			// and moved on.
@@ -1007,10 +1008,10 @@ func (ex *knnExec) finish() ([]Result, error) {
 // with pipelined verification: the traversal below is the serial one, except
 // that admitted entries go to the engine instead of being verified inline,
 // and pruning uses the committed (never tighter than serial) bound.
-func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64, k int, qs *QueryStats, slots int, budget int64) ([]Result, error) {
+func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64, k int, bound0 float64, qs *QueryStats, slots int, budget int64) ([]Result, error) {
 	n := len(t.pivots)
 	greedy := t.traversal == Greedy && budget < 0
-	ex := t.newKNNExec(ctx, q, k, qs, slots, budget, greedy)
+	ex := t.newKNNExec(ctx, q, k, bound0, qs, slots, budget, greedy)
 
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
@@ -1048,7 +1049,7 @@ func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64,
 			break
 		}
 		item := pq.pop()
-		if item.mind >= ex.bound() {
+		if item.mind > ex.bound() {
 			break // Lemma 3 on the committed bound: never earlier than serial
 		}
 		if !item.isNode {
@@ -1065,7 +1066,7 @@ func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64,
 			for _, c := range node.Children {
 				t.curve.Decode(c.BoxLo, boxLo)
 				t.curve.Decode(c.BoxHi, boxHi)
-				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < ex.bound() {
+				if mind := t.mindToBox(qvec, boxLo, boxHi); mind <= ex.bound() {
 					pq.push(mindItem{mind: mind, page: c.Page, isNode: true})
 					qs.HeapPushes++
 				} else {
@@ -1080,7 +1081,7 @@ func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64,
 				qs.EntriesScanned++
 				t.curve.Decode(node.Keys[i], cell)
 				mind := t.mindToCell(qvec, cell)
-				if mind >= ex.bound() {
+				if mind > ex.bound() {
 					qs.EntriesPruned++
 					continue
 				}
@@ -1095,7 +1096,7 @@ func (t *Tree) knnParallel(ctx context.Context, q metric.Object, qvec []float64,
 			qs.EntriesScanned++
 			t.curve.Decode(node.Keys[i], cell)
 			mind := t.mindToCell(qvec, cell)
-			if mind >= ex.bound() {
+			if mind > ex.bound() {
 				qs.EntriesPruned++
 				continue
 			}

@@ -8,6 +8,7 @@ import (
 	"spbtree/internal/graph"
 	"spbtree/internal/metric"
 	"spbtree/internal/raf"
+	"spbtree/internal/recall"
 	"spbtree/internal/sfc"
 )
 
@@ -59,6 +60,12 @@ type SearchOptions struct {
 	// Larger values raise recall and cost; 0 selects DefaultEf, values
 	// below k are raised to k.
 	Ef int
+	// TargetRecall, when Ef is 0, selects the smallest calibrated beam width
+	// whose measured recall reached this target (see CalibrateEf). Without a
+	// stored calibration — or when no calibrated width reached the target —
+	// the largest calibrated width (or DefaultEf, respectively) applies.
+	// Ef > 0 takes precedence.
+	TargetRecall float64
 }
 
 // graphTier is the attached approximate tier: the graph plus the identity of
@@ -70,6 +77,10 @@ type graphTier struct {
 	g      *graph.Graph
 	raf    *raf.File
 	offIdx map[uint64]int32
+	// efCurve is the stored (ef, recall) calibration of CalibrateEf,
+	// ascending in ef. It lives on the tier, so it dies with the graph it
+	// measured — a rebuilt graph needs a fresh calibration.
+	efCurve []EfCalibration
 }
 
 // newGraphTier wraps a graph for attachment, deriving the offset→node map.
@@ -305,6 +316,9 @@ func (t *Tree) knnGraph(ctx context.Context, q metric.Object, k int, opts Search
 		return nil, nil
 	}
 	ef := opts.Ef
+	if ef <= 0 && opts.TargetRecall > 0 {
+		ef = t.efForRecall(opts.TargetRecall)
+	}
 	if ef <= 0 {
 		ef = DefaultEf
 	}
@@ -393,7 +407,7 @@ func (t *Tree) knnGraph(ctx context.Context, q metric.Object, k int, opts Search
 
 	cands, sstats, serr := g.Search(ctx, eval, ef, seeds)
 	qs.GraphHops += sstats.Hops
-	res := &knnResults{k: k}
+	res := newKNNResults(k, math.Inf(1))
 	for _, c := range cands {
 		if o := byNode[c.Node]; o != nil {
 			res.offer(Result{Object: o, Dist: c.Dist, Exact: true})
@@ -427,4 +441,174 @@ func (t *Tree) knnGraph(ctx context.Context, q metric.Object, k int, opts Search
 		serr = canceledErr(ctx)
 	}
 	return out, serr
+}
+
+// ---------------------------------------------------------------------------
+// ef auto-tuning from a recall target
+// ---------------------------------------------------------------------------
+
+// EfCalibration is one measured point of the beam-width/recall curve.
+type EfCalibration struct {
+	// Ef is the beam width measured.
+	Ef int
+	// Recall is the mean recall@k observed at that width over the
+	// calibration sample.
+	Recall float64
+}
+
+// calibrateK is the recall@k depth CalibrateEf measures at — the standard
+// k=10 of the repo's recall experiments.
+const calibrateK = 10
+
+// calibrateEfWidths is the beam-width sweep CalibrateEf measures.
+var calibrateEfWidths = []int{16, 24, 32, 48, 64, 96, 128, 192, 256}
+
+// EfCurve returns the stored (ef, recall) calibration for the live graph, or
+// nil when none exists (no CalibrateEf run, or the graph was rebuilt since).
+func (t *Tree) EfCurve() []EfCalibration {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.graphLive() == nil {
+		return nil
+	}
+	return append([]EfCalibration(nil), t.graph.efCurve...)
+}
+
+// efForRecall resolves a recall target against the stored curve: the
+// smallest calibrated width whose running-max recall reached the target, or
+// the largest calibrated width when none did (recall is capped by graph
+// connectivity — the calibration's honest best effort). 0 when no curve is
+// stored. Callers hold t.mu.
+func (t *Tree) efForRecall(target float64) int {
+	if t.graphLive() == nil || len(t.graph.efCurve) == 0 {
+		return 0
+	}
+	curve := t.graph.efCurve
+	best := 0.0
+	for _, p := range curve {
+		if p.Recall > best {
+			best = p.Recall
+		}
+		if best >= target {
+			return p.Ef
+		}
+	}
+	return curve[len(curve)-1].Ef
+}
+
+// CalibrateEf measures the live graph's recall@10 across a sweep of beam
+// widths on a deterministic sample of indexed objects, stores the resulting
+// (ef, recall) curve on the graph tier, and returns the smallest width whose
+// recall reached target (or the largest measured width when the target is
+// out of reach — raise GraphOptions.K or rebuild before expecting more).
+// Afterwards SearchOptions{TargetRecall: r} resolves beam widths from the
+// stored curve.
+//
+// sample caps the number of calibration queries (0 selects 64; the sample is
+// an even stride over the index, so it covers the curve). Calibration runs
+// real exact and graph queries: the tree's lifetime compdists counter and
+// aggregate metrics advance accordingly. The curve dies with the graph —
+// rebuilding invalidates it, so recalibrate after BuildGraph.
+func (t *Tree) CalibrateEf(target float64, sample int) (int, error) {
+	return t.CalibrateEfCtx(context.Background(), target, sample)
+}
+
+// CalibrateEfCtx is CalibrateEf honoring ctx; cancellation aborts between
+// queries with no curve stored.
+func (t *Tree) CalibrateEfCtx(ctx context.Context, target float64, sample int) (int, error) {
+	if sample <= 0 {
+		sample = 64
+	}
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	tier := t.graph
+	if t.graphLive() == nil {
+		t.mu.RUnlock()
+		return 0, ErrNoGraph
+	}
+	// Deterministic query sample: an even stride over the B+-tree (= SFC)
+	// order, skipping delta-shadowed records.
+	var queries []metric.Object
+	if n := t.count; n > 0 {
+		stride := n / sample
+		if stride < 1 {
+			stride = 1
+		}
+		i := 0
+		for c := t.bpt.SeekFirst(); c.Valid() && len(queries) < sample; c.Next() {
+			if i%stride == 0 {
+				obj, err := t.raf.Read(c.Val())
+				if err != nil {
+					t.mu.RUnlock()
+					return 0, err
+				}
+				if !t.deltaShadowed(obj.ID()) {
+					queries = append(queries, obj)
+				}
+			}
+			i++
+		}
+	}
+	t.mu.RUnlock()
+	if len(queries) == 0 {
+		return 0, ErrNoGraph
+	}
+
+	k := calibrateK
+	// Exact baselines through the public entry point (it takes its own read
+	// lock), so calibration composes with live traffic.
+	exactIDs := make([][]uint64, len(queries))
+	for i, q := range queries {
+		res, err := t.KNNCtx(ctx, q, k)
+		if err != nil {
+			return 0, err
+		}
+		ids := make([]uint64, len(res))
+		for j, x := range res {
+			ids[j] = x.Object.ID()
+		}
+		exactIDs[i] = ids
+	}
+
+	curve := make([]EfCalibration, 0, len(calibrateEfWidths))
+	for _, ef := range calibrateEfWidths {
+		var sum float64
+		for i, q := range queries {
+			res, err := t.KNNGraphCtx(ctx, q, k, SearchOptions{Ef: ef})
+			if err != nil {
+				return 0, err
+			}
+			got := make([]uint64, len(res))
+			for j, x := range res {
+				got[j] = x.Object.ID()
+			}
+			sum += recall.AtK(exactIDs[i], got, k)
+		}
+		curve = append(curve, EfCalibration{Ef: ef, Recall: sum / float64(len(queries))})
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0, ErrClosed
+	}
+	if t.graph != tier || t.graphLive() == nil {
+		// The graph was rebuilt or invalidated mid-calibration; the curve
+		// measured a dead graph.
+		return 0, ErrGraphStale
+	}
+	t.graph.efCurve = curve
+	best := 0.0
+	for _, p := range curve {
+		if p.Recall > best {
+			best = p.Recall
+		}
+		if best >= target {
+			return p.Ef, nil
+		}
+	}
+	return curve[len(curve)-1].Ef, nil
 }

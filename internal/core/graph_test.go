@@ -580,3 +580,101 @@ func TestGraphStressQueriesWrites(t *testing.T) {
 		t.Fatal(qerr)
 	}
 }
+
+// TestCalibrateEfTargetRecall exercises the §15.5 loop: calibrate, read the
+// curve, then let a recall target resolve the beam width.
+func TestCalibrateEfTargetRecall(t *testing.T) {
+	objs, tree := buildGraphTree(t, 2000, 19)
+	defer tree.Close()
+
+	ef, err := tree.CalibrateEf(0.95, 24)
+	if err != nil {
+		t.Fatalf("CalibrateEf: %v", err)
+	}
+	if ef <= 0 {
+		t.Fatalf("calibrated ef = %d", ef)
+	}
+	curve := tree.EfCurve()
+	if len(curve) != len(calibrateEfWidths) {
+		t.Fatalf("curve has %d points, want %d", len(curve), len(calibrateEfWidths))
+	}
+	for i, p := range curve {
+		if p.Ef != calibrateEfWidths[i] {
+			t.Fatalf("curve point %d has ef %d, want %d", i, p.Ef, calibrateEfWidths[i])
+		}
+		if p.Recall < 0 || p.Recall > 1 {
+			t.Fatalf("curve recall %v out of range", p.Recall)
+		}
+	}
+
+	// A modest target must resolve to some calibrated width, and the width
+	// chosen for a high target can only be ≥ the width for a low target
+	// (running-max selection).
+	low := tree.mustEfFor(t, 0.5)
+	high := tree.mustEfFor(t, 0.99)
+	if low > high {
+		t.Fatalf("efForRecall not monotone: target 0.5 → %d, 0.99 → %d", low, high)
+	}
+
+	// TargetRecall-driven queries run and hit the quality the curve claims
+	// (loose floor — the sample and the probe queries differ).
+	const k = 10
+	recalls := make([]float64, 0, 20)
+	for qi := 0; qi < 20; qi++ {
+		q := objs[qi*83]
+		exact, err := tree.KNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tree.KNNGraph(q, k, SearchOptions{TargetRecall: 0.95})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recalls = append(recalls, recall.AtK(resultIDList(exact), resultIDList(got), k))
+	}
+	if r := recall.Mean(recalls); r < 0.85 {
+		t.Fatalf("TargetRecall=0.95 queries measured %.3f", r)
+	}
+
+	// Explicit Ef beats TargetRecall; without either, DefaultEf applies —
+	// both must keep working with a curve stored.
+	if _, err := tree.KNNGraph(objs[0], k, SearchOptions{Ef: 32, TargetRecall: 0.99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.KNNGraph(objs[0], k, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuilding the graph drops the curve — a calibration may never
+	// describe a graph it did not measure.
+	if err := tree.BuildGraph(GraphOptions{Seed: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if c := tree.EfCurve(); c != nil {
+		t.Fatalf("curve survived a graph rebuild: %v", c)
+	}
+
+	// No graph at all: typed error.
+	bare, err := Build(objs[:200], Options{
+		Distance: metric.L2(6), Codec: metric.VectorCodec{Dim: 6}, NumPivots: 3, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	if _, err := bare.CalibrateEf(0.9, 8); err != ErrNoGraph {
+		t.Fatalf("CalibrateEf without graph: %v", err)
+	}
+}
+
+// mustEfFor resolves a recall target under the read lock, for tests.
+func (t *Tree) mustEfFor(tt *testing.T, target float64) int {
+	tt.Helper()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ef := t.efForRecall(target)
+	if ef <= 0 {
+		tt.Fatalf("efForRecall(%v) = %d with a stored curve", target, ef)
+	}
+	return ef
+}

@@ -12,10 +12,15 @@ import (
 
 // KNN answers kNN(q, k) with the paper's Algorithm 2 (NNA): a best-first
 // traversal over B+-tree entries ordered by their minimum mapped-space
-// distance MIND to q, pruning entries with MIND ≥ curND_k (Lemma 3) and
-// terminating as soon as the heap's minimum crosses that bound. With the
-// Greedy strategy (Table 5), reaching a leaf verifies all of its qualifying
-// objects at once, so no RAF page is read twice.
+// distance MIND to q, pruning entries with MIND > curND_k (Lemma 3) and
+// terminating as soon as the heap's minimum crosses that bound. The pruning
+// comparison is strict, so candidates tied with the bound are still verified
+// and the answer is the canonical (distance, ID) top-k — independent of the
+// traversal strategy, the quantization and any prior bound seeding, which is
+// what makes the forest's staged shard scatter (DESIGN.md §15) byte-identical
+// to a full scatter. With the Greedy strategy (Table 5), reaching a leaf
+// verifies all of its qualifying objects at once, so no RAF page is read
+// twice.
 //
 // On a storage or corruption error the candidates verified so far are
 // returned (sorted by distance) alongside the non-nil error, so callers get
@@ -30,7 +35,13 @@ func (t *Tree) KNN(q metric.Object, k int) ([]Result, error) {
 // knn is Algorithm 2, accumulating per-stage counts into qs. ctx is checked
 // at every heap pop and every verification; on cancellation the best
 // candidates found so far are returned with a typed ErrCanceled.
-func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) ([]Result, error) {
+//
+// bound0 seeds curND_k before any candidate is verified: the answer is the
+// canonical top-k of {x : d(q,x) ≤ bound0}, as if k phantom results at
+// distance bound0 (with infinite IDs) preceded the search. +Inf means
+// unbounded. The forest's staged kNN scatter passes the first shard's k-th
+// distance here so the remaining shards run bounded probes.
+func (t *Tree) knn(ctx context.Context, q metric.Object, k int, bound0 float64, qs *QueryStats) ([]Result, error) {
 	if k <= 0 || t.count == 0 {
 		return nil, nil
 	}
@@ -45,13 +56,13 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 	if !rootOK && !t.deltaActive() {
 		return nil, nil
 	}
-	if slots := t.workersFor(); slots > 0 {
+	if slots := t.planKNNSlots(qvec, k, qs); slots > 0 {
 		// Pipelined verification with ordered commits (exec.go): identical
 		// results and verification counters, concurrent distance work.
-		return t.knnParallel(ctx, q, qvec, k, qs, slots, -1)
+		return t.knnParallel(ctx, q, qvec, k, bound0, qs, slots, -1)
 	}
 
-	res := &knnResults{k: k}
+	res := newKNNResults(k, bound0)
 	pq := &mindHeap{}
 	boxLo := make(sfc.Point, n)
 	boxHi := make(sfc.Point, n)
@@ -73,7 +84,7 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 			return res.sorted(), err
 		}
 		item := pq.pop()
-		if item.mind >= res.bound() {
+		if item.mind > res.bound() {
 			break // Lemma 3 early termination
 		}
 		if !item.isNode {
@@ -110,7 +121,7 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 			for _, c := range node.Children {
 				t.curve.Decode(c.BoxLo, boxLo)
 				t.curve.Decode(c.BoxHi, boxHi)
-				if mind := t.mindToBox(qvec, boxLo, boxHi); mind < res.bound() {
+				if mind := t.mindToBox(qvec, boxLo, boxHi); mind <= res.bound() {
 					pq.push(mindItem{mind: mind, page: c.Page, isNode: true})
 					qs.HeapPushes++
 				} else {
@@ -129,7 +140,7 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 				qs.EntriesScanned++
 				t.curve.Decode(node.Keys[i], cell)
 				mind := t.mindToCell(qvec, cell)
-				if mind >= res.bound() {
+				if mind > res.bound() {
 					qs.EntriesPruned++ // Lemma 3
 					continue
 				}
@@ -144,7 +155,7 @@ func (t *Tree) knn(ctx context.Context, q metric.Object, k int, qs *QueryStats) 
 			qs.EntriesScanned++
 			t.curve.Decode(node.Keys[i], cell)
 			mind := t.mindToCell(qvec, cell)
-			if mind >= res.bound() {
+			if mind > res.bound() {
 				qs.EntriesPruned++ // Lemma 3
 				continue
 			}
@@ -296,7 +307,7 @@ func (t *Tree) verifyKNNIncremental(ctx context.Context, q metric.Object, res *k
 			// surfaces the error at the same pop position.
 			qs.stageAdd(&qs.VerifyTime, st)
 			for _, it := range kb.items {
-				if it.mind >= res.bound() {
+				if it.mind > res.bound() {
 					return true, nil
 				}
 				if _, err := t.verifyKNN(ctx, q, res, it, qs); err != nil {
@@ -341,7 +352,7 @@ func (t *Tree) verifyKNNIncremental(ctx context.Context, q metric.Object, res *k
 	// Commit in pop order against the live bound.
 	j = 0
 	for i, it := range kb.items {
-		if it.mind >= res.bound() {
+		if it.mind > res.bound() {
 			// Lemma 3 termination at this item's turn; the rest of the run is
 			// the heap prefix the serial loop never pops.
 			qs.stageAdd(&qs.VerifyTime, st)
@@ -407,7 +418,7 @@ func (t *Tree) verifyKNNBatch(ctx context.Context, q metric.Object, res *knnResu
 	if idx, err := t.raf.ReadBatch(offsets, objs, plens); idx >= 0 || err != nil {
 		qs.stageAdd(&qs.VerifyTime, st)
 		for _, c := range kb.cands {
-			if c.mind >= res.bound() {
+			if c.mind > res.bound() {
 				qs.EntriesPruned++
 				continue
 			}
@@ -438,7 +449,7 @@ func (t *Tree) verifyKNNBatch(ctx context.Context, q metric.Object, res *knnResu
 		}
 	}
 	for i, c := range kb.cands {
-		if c.mind >= res.bound() {
+		if c.mind > res.bound() {
 			qs.EntriesPruned++ // the inline loop's Lemma 3 prune at this turn
 			continue
 		}
@@ -475,10 +486,22 @@ func (t *Tree) seedDeltaKNN(qvec []float64, pq *mindHeap, cell sfc.Point, qs *Qu
 }
 
 // knnResults keeps the k best candidates in a max-heap so curND_k updates in
-// O(log k).
+// O(log k). bound0 is the seeded starting bound (+Inf when unbounded): the
+// heap then computes the canonical top-k of {x : d(q,x) ≤ bound0} — exactly
+// the unbounded search over the data plus k phantom results at (bound0, ∞).
 type knnResults struct {
-	k     int
-	items []Result // max-heap by (Dist, ID)
+	k      int
+	bound0 float64
+	items  []Result // max-heap by (Dist, ID)
+}
+
+// newKNNResults constructs a result heap seeded with bound0. A NaN bound is
+// treated as unbounded; 0 is a valid (maximally tight) bound.
+func newKNNResults(k int, bound0 float64) *knnResults {
+	if math.IsNaN(bound0) {
+		bound0 = math.Inf(1)
+	}
+	return &knnResults{k: k, bound0: bound0}
 }
 
 // resultWorse reports whether a ranks strictly after b in the (Dist, ID)
@@ -493,15 +516,18 @@ func resultWorse(a, b Result) bool {
 	return a.Object.ID() > b.Object.ID()
 }
 
-// bound returns curND_k: +∞ until k candidates exist.
+// bound returns curND_k: the seeded bound0 until k candidates exist.
 func (r *knnResults) bound() float64 {
 	if len(r.items) < r.k {
-		return math.Inf(1)
+		return r.bound0
 	}
 	return r.items[0].Dist
 }
 
 func (r *knnResults) offer(x Result) {
+	if x.Dist > r.bound0 {
+		return // outside the seeded bound: a phantom (bound0, ∞) outranks it
+	}
 	if len(r.items) < r.k {
 		r.items = append(r.items, x)
 		r.up(len(r.items) - 1)

@@ -160,6 +160,9 @@ type OpenOptions struct {
 	// DisableBatchKernels turns off blocked batch verification
 	// (see Options.DisableBatchKernels).
 	DisableBatchKernels bool
+	// DisablePlanner turns off the adaptive query planner
+	// (see Options.DisablePlanner).
+	DisablePlanner bool
 }
 
 // Open reopens a tree persisted with WriteMeta.
@@ -191,6 +194,7 @@ func Open(meta io.Reader, opts OpenOptions) (*Tree, error) {
 		bounded:   !opts.DisableBoundedKernels && metric.IsBounded(opts.Distance),
 		batch:     !opts.DisableBatchKernels && metric.IsBatch(opts.Distance),
 	}
+	t.plr.off = opts.DisablePlanner
 	t.kind = sfc.Kind(r.u8())
 	t.bits = int(r.u8())
 	t.exact = r.u8() == 1

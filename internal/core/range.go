@@ -58,7 +58,7 @@ func (t *Tree) rangeQuery(ctx context.Context, q metric.Object, r float64, qs *Q
 	var err error
 	if root, ok := t.bpt.Root(); ok {
 		var sink rangeSink
-		if slots := t.workersFor(); slots > 0 {
+		if slots := t.planRangeSlots(qvec, r, qs); slots > 0 {
 			sink = t.newRangeExec(ctx, q, qvec, r, qs, slots)
 		} else {
 			sink = &rangeSerial{t: t, q: q, qvec: qvec, r: r, qs: qs}

@@ -116,6 +116,14 @@ type Options struct {
 	// changes. The flag exists for the batch-vs-scalar benchmarks
 	// (spbbench pr8).
 	DisableBatchKernels bool
+	// DisablePlanner turns off the cost-model-driven adaptive planner
+	// (DESIGN.md §15): every query then uses the fixed pre-planner behavior
+	// — a Workers-sized pool whenever Workers > 1. Results and the
+	// Verified/Compdists counters are identical either way (the parallel
+	// engine is worker-count-invariant); the flag exists for the
+	// planner-on-vs-off benchmarks (spbbench pr10) and as an operational
+	// escape hatch.
+	DisablePlanner bool
 }
 
 // Tree is a built SPB-tree. Queries may run concurrently with each other;
@@ -192,6 +200,10 @@ type Tree struct {
 
 	cm costModel
 
+	// plr is the adaptive planner's online unit-cost calibration (plan.go);
+	// its fields are atomics, fed by every finished query.
+	plr planner
+
 	// tracer is the hook installed by SetTracer, fanned out to the B+-tree,
 	// both caches and the RAF by wireTracer (and re-fanned after Rebuild).
 	tracer obs.Tracer
@@ -241,6 +253,7 @@ func Build(objs []metric.Object, opts Options) (*Tree, error) {
 		bounded:    !opts.DisableBoundedKernels && metric.IsBounded(opts.Distance),
 		batch:      !opts.DisableBatchKernels && metric.IsBatch(opts.Distance),
 	}
+	t.plr.off = opts.DisablePlanner
 
 	// Pivot table: either shared with a partner tree (joins need a common
 	// mapped space) or freshly selected.

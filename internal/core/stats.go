@@ -49,6 +49,12 @@ type QueryStats struct {
 	// or OpJoin.
 	Op string
 
+	// Plan records the adaptive planner's execution decision and its inputs
+	// (plan.go); the zero value means no planner ran for this query. On a
+	// scatter-gather query the forest/cluster gather side adds its shard
+	// pruning and staging fields.
+	Plan PlanInfo
+
 	// --- filtering stage (index traversal, no objects touched) ----------
 
 	// NodesRead counts B+-tree nodes decoded by the traversal.
@@ -174,6 +180,11 @@ func (s *QueryStats) Merge(o QueryStats) {
 	if s.Op == "" {
 		s.Op = o.Op
 	}
+	if s.Plan.Mode == "" {
+		// Keep the first branch's plan; the forest/cluster gather overwrites
+		// the scatter fields afterwards with the whole query's view.
+		s.Plan = o.Plan
+	}
 	s.NodesRead += o.NodesRead
 	s.NodesPruned += o.NodesPruned
 	s.EntriesScanned += o.EntriesScanned
@@ -278,6 +289,7 @@ func (qt *queryTimer) finish(results int, err error) {
 			qs.FilterTime = ft
 		}
 	}
+	qt.t.plr.observe(qs)
 	qt.t.metrics.Op(qs.Op).Observe(qs.Compdists, qs.IndexPA, qs.DataPA, int64(results), qs.Elapsed, err != nil)
 }
 
@@ -349,6 +361,12 @@ func (t *Tree) RangeSearchWithStats(q metric.Object, r float64) ([]Result, Query
 // query's per-stage QueryStats.
 func (t *Tree) KNNWithStats(q metric.Object, k int) ([]Result, QueryStats, error) {
 	return t.KNNWithStatsCtx(context.Background(), q, k)
+}
+
+// KNNWithinWithStats answers bounded kNN like KNNWithin and additionally
+// returns the query's per-stage QueryStats.
+func (t *Tree) KNNWithinWithStats(q metric.Object, k int, bound float64) ([]Result, QueryStats, error) {
+	return t.KNNWithinWithStatsCtx(context.Background(), q, k, bound)
 }
 
 // KNNApproxWithStats answers budgeted approximate kNN like KNNApprox and

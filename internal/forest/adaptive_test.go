@@ -1,0 +1,227 @@
+package forest
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spbtree/internal/core"
+	"spbtree/internal/metric"
+)
+
+// words generates a seeded clustered word set with IDs starting at base.
+func words(n int, seed int64, base uint64) []metric.Object {
+	rng := rand.New(rand.NewSource(seed))
+	syllables := []string{"ta", "ri", "mon", "el", "su", "qua", "de", "fo", "li", "ate", "ing", "er"}
+	objs := make([]metric.Object, n)
+	for i := range objs {
+		var b strings.Builder
+		for k := 0; k < 2+rng.Intn(4); k++ {
+			b.WriteString(syllables[rng.Intn(len(syllables))])
+		}
+		objs[i] = metric.NewStr(base+uint64(i), b.String())
+	}
+	return objs
+}
+
+// TestAdaptiveEquivalenceMatrix is the §15.6 CI matrix: pruned/staged
+// adaptive scatter versus the flat scatter, across traversal strategies ×
+// per-shard worker counts × continuous and discrete metrics, for range and
+// kNN. Byte identity, not set equality.
+func TestAdaptiveEquivalenceMatrix(t *testing.T) {
+	type space struct {
+		name  string
+		objs  []metric.Object
+		dist  metric.DistanceFunc
+		codec metric.Codec
+	}
+	spaces := []space{
+		{"l2", vectors(1200, 5, 31, 0), metric.L2(5), metric.VectorCodec{Dim: 5}},
+		{"edit", words(1200, 32, 0), metric.EditDistance{MaxLen: 24}, metric.StrCodec{}},
+	}
+	for _, sp := range spaces {
+		maxD := sp.dist.MaxDistance()
+		for _, trav := range []core.TraversalStrategy{core.Incremental, core.Greedy} {
+			for _, workers := range []int{1, 4} {
+				f, err := Build(sp.objs, Options{
+					Tree: core.Options{
+						Distance: sp.dist, Codec: sp.codec, Seed: 2,
+						Traversal: trav, Workers: workers,
+					},
+					Shards: 5,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := sp.name + "/" + trav.String()
+				for trial := 0; trial < 8; trial++ {
+					q := sp.objs[trial*13]
+					r := (0.05 + 0.03*float64(trial)) * maxD
+
+					f.SetAdaptive(true)
+					ar, _, err := f.RangeQueryWithStatsCtx(context.Background(), q, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ak, aqs, err := f.KNNWithStatsCtx(context.Background(), q, 10)
+					if err != nil {
+						t.Fatal(err)
+					}
+					f.SetAdaptive(false)
+					fr, _, err := f.RangeQueryWithStatsCtx(context.Background(), q, r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fk, _, err := f.KNNWithStatsCtx(context.Background(), q, 10)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					sameResultSlices(t, label+"/range", fr, ar)
+					sameResultSlices(t, label+"/knn", fk, ak)
+					if !aqs.Plan.Staged || aqs.Plan.ShardsTotal != 5 {
+						t.Fatalf("%s: adaptive kNN plan not staged: %+v", label, aqs.Plan)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveRangePruning: a query provably outside every shard's summary
+// box skips all shards — zero shard compdists — and still answers correctly
+// (empty, like the flat scatter).
+func TestAdaptiveRangePruning(t *testing.T) {
+	objs := vectors(800, 4, 35, 0) // coordinates in [0,1)
+	dist := metric.L2(4)
+	f, err := Build(objs, Options{
+		Tree:   core.Options{Distance: dist, Codec: metric.VectorCodec{Dim: 4}, Seed: 2},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A far-away query at a tiny radius: its ball misses the data cube.
+	q := metric.NewVector(990001, []float64{9, 9, 9, 9})
+	res, qs, err := f.RangeQueryWithStatsCtx(context.Background(), q, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("far query returned %d results", len(res))
+	}
+	if qs.Plan.ShardsPruned != 4 || qs.Plan.ShardsTotal != 4 {
+		t.Fatalf("expected all 4 shards pruned: %+v", qs.Plan)
+	}
+	if qs.Compdists != 0 {
+		t.Fatalf("pruned-out query still computed %d distances", qs.Compdists)
+	}
+
+	// The flat scatter visits everyone and agrees on the answer.
+	f.SetAdaptive(false)
+	fres, fqs, err := f.RangeQueryWithStatsCtx(context.Background(), q, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fres) != 0 {
+		t.Fatalf("flat scatter returned %d results", len(fres))
+	}
+	if fqs.Plan.ShardsPruned != 0 {
+		t.Fatalf("flat scatter reports pruning: %+v", fqs.Plan)
+	}
+}
+
+// TestStagedKNNSavesWork: on clustered data the staged scatter's bound must
+// cut total verification against the flat scatter — the point of §15.4 —
+// while returning the identical answer (checked in the matrix test; here we
+// pin the savings so a silent fallback to flat cannot pass).
+func TestStagedKNNSavesWork(t *testing.T) {
+	objs := vectors(3000, 6, 37, 0)
+	dist := metric.L2(6)
+	f, err := Build(objs, Options{
+		Tree:   core.Options{Distance: dist, Codec: metric.VectorCodec{Dim: 6}, Seed: 2},
+		Shards: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staged, flat int64
+	for trial := 0; trial < 12; trial++ {
+		q := objs[trial*101]
+		f.SetAdaptive(true)
+		_, aqs, err := f.KNNWithStatsCtx(context.Background(), q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetAdaptive(false)
+		_, fqs, err := f.KNNWithStatsCtx(context.Background(), q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staged += aqs.Compdists
+		flat += fqs.Compdists
+	}
+	if staged >= flat {
+		t.Fatalf("staged scatter saved nothing: staged=%d flat=%d compdists", staged, flat)
+	}
+}
+
+// TestAdaptiveAfterWrites: equivalence must survive mutation — hints lose
+// their cost estimates on a dirty model but stay sound, and staging keeps
+// working.
+func TestAdaptiveAfterWrites(t *testing.T) {
+	objs := vectors(1000, 5, 39, 0)
+	dist := metric.L2(5)
+	f, err := Build(objs, Options{
+		Tree:   core.Options{Distance: dist, Codec: metric.VectorCodec{Dim: 5}, Seed: 2},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := vectors(100, 5, 40, 500000)
+	for _, o := range extra {
+		tree := f.Shards()[PartitionOf(o.ID(), 4)]
+		if err := tree.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := append(append([]metric.Object{}, objs...), extra...)
+	for trial := 0; trial < 6; trial++ {
+		q := all[trial*171]
+		f.SetAdaptive(true)
+		ak, _, err := f.KNNWithStatsCtx(context.Background(), q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar, err := f.RangeQuery(q, 0.12*dist.MaxDistance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SetAdaptive(false)
+		fk, _, err := f.KNNWithStatsCtx(context.Background(), q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := f.RangeQuery(q, 0.12*dist.MaxDistance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResultSlices(t, "knn-after-writes", fk, ak)
+		sameResultSlices(t, "range-after-writes", fr, ar)
+	}
+}
+
+func sameResultSlices(t *testing.T, label string, want, got []core.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d results", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Object.ID() != got[i].Object.ID() || want[i].Dist != got[i].Dist {
+			t.Fatalf("%s: result %d: want (id=%d d=%v), got (id=%d d=%v)",
+				label, i, want[i].Object.ID(), want[i].Dist, got[i].Object.ID(), got[i].Dist)
+		}
+	}
+}

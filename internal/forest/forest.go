@@ -51,6 +51,9 @@ type Forest struct {
 	// builds, stats — require it.
 	trees    []*core.Tree
 	parallel int
+	// adaptive enables the §15 scatter planning (shard pruning, staged kNN);
+	// see SetAdaptive.
+	adaptive bool
 }
 
 // PartitionOf returns the shard index objects with this ID hash-partition
@@ -87,7 +90,7 @@ func Build(objs []metric.Object, opts Options) (*Forest, error) {
 			return nil, fmt.Errorf("forest: shard %d is empty; fewer shards than distinct objects required", i)
 		}
 	}
-	f := &Forest{parallel: opts.Parallel}
+	f := &Forest{parallel: opts.Parallel, adaptive: true}
 	first := opts.Tree
 	t0, err := core.Build(parts[0], first)
 	if err != nil {
@@ -122,7 +125,7 @@ func FromShards(shards []Shard, parallel int) (*Forest, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("forest: FromShards needs at least one shard")
 	}
-	f := &Forest{parallel: parallel}
+	f := &Forest{parallel: parallel, adaptive: true}
 	for _, s := range shards {
 		f.shards = append(f.shards, s)
 		t, _ := s.(*core.Tree)
@@ -169,16 +172,28 @@ func (f *Forest) Len() int {
 // issue one more shard's worth of work. On cancellation with no shard error
 // the returned error matches core.ErrCanceled.
 func (f *Forest) scatter(ctx context.Context, fn func(i int, s Shard) error) error {
+	idxs := make([]int, len(f.shards))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return f.scatterSubset(ctx, idxs, fn)
+}
+
+// scatterSubset is scatter over an explicit shard-index subset — the §15
+// pruned and staged plans dispatch through it. Semantics are identical to
+// scatter, with "every shard" meaning "every listed shard".
+func (f *Forest) scatterSubset(ctx context.Context, idxs []int, fn func(i int, s Shard) error) error {
 	limit := f.parallel
-	if limit <= 0 || limit > len(f.shards) {
-		limit = len(f.shards)
+	if limit <= 0 || limit > len(idxs) {
+		limit = len(idxs)
 	}
 	sem := make(chan struct{}, limit)
 	errs := make([]error, len(f.shards))
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 dispatch:
-	for i, s := range f.shards {
+	for _, i := range idxs {
+		s := f.shards[i]
 		if failed.Load() || ctx.Err() != nil {
 			break // stop issuing work; un-dispatched shards never run
 		}
@@ -225,8 +240,9 @@ func (f *Forest) RangeQuery(q metric.Object, r float64) ([]core.Result, error) {
 // cancellation checks, and the answers gathered so far are returned with an
 // error matching core.ErrCanceled.
 func (f *Forest) RangeQueryCtx(ctx context.Context, q metric.Object, r float64) ([]core.Result, error) {
+	visit, _ := f.rangePlan(q, r)
 	per := make([][]core.Result, len(f.shards))
-	err := f.scatter(ctx, func(i int, s Shard) error {
+	err := f.scatterSubset(ctx, visit, func(i int, s Shard) error {
 		res, err := s.RangeSearchCtx(ctx, q, r)
 		per[i] = res
 		return err
@@ -238,15 +254,19 @@ func (f *Forest) RangeQueryCtx(ctx context.Context, q metric.Object, r float64) 
 // per-shard QueryStats merged with core.QueryStats.Merge: work counters add
 // across shards, wall clocks take the parallel maximum.
 func (f *Forest) RangeQueryWithStatsCtx(ctx context.Context, q metric.Object, r float64) ([]core.Result, core.QueryStats, error) {
+	visit, pruned := f.rangePlan(q, r)
 	per := make([][]core.Result, len(f.shards))
 	stats := make([]core.QueryStats, len(f.shards))
-	err := f.scatter(ctx, func(i int, s Shard) error {
+	err := f.scatterSubset(ctx, visit, func(i int, s Shard) error {
 		res, qs, err := s.RangeSearchWithStatsCtx(ctx, q, r)
 		per[i], stats[i] = res, qs
 		return err
 	})
 	out := mergeRange(per)
-	return out, gatherStats(stats, len(out)), err
+	qs := gatherStats(stats, len(out))
+	qs.Plan.ShardsTotal = len(f.shards)
+	qs.Plan.ShardsPruned = pruned
+	return out, qs, err
 }
 
 // KNN scatters kNN(q, k) to every shard and merges the per-shard top-k sets
@@ -259,9 +279,29 @@ func (f *Forest) KNN(q metric.Object, k int) ([]core.Result, error) {
 // RangeQueryCtx: whatever the finished shards produced, merged and cut to k,
 // plus an error matching core.ErrCanceled.
 func (f *Forest) KNNCtx(ctx context.Context, q metric.Object, k int) ([]core.Result, error) {
+	order, staged := f.knnPlan(q, k)
+	if !staged {
+		per := make([][]core.Result, len(f.shards))
+		err := f.scatter(ctx, func(i int, s Shard) error {
+			res, err := s.KNNCtx(ctx, q, k)
+			per[i] = res
+			return err
+		})
+		return MergeKNN(per, k), err
+	}
+	// Stage 1: the most promising shard answers plain canonical kNN; its
+	// k-th distance bounds everyone else (§15.4).
 	per := make([][]core.Result, len(f.shards))
-	err := f.scatter(ctx, func(i int, s Shard) error {
-		res, err := s.KNNCtx(ctx, q, k)
+	first := order[0]
+	res0, err := f.shards[first].KNNCtx(ctx, q, k)
+	per[first] = res0
+	if err != nil {
+		return MergeKNN(per, k), err
+	}
+	bound := stageBound(res0, k)
+	// Stage 2: the remaining shards probe within the bound, in parallel.
+	err = f.scatterSubset(ctx, order[1:], func(i int, s Shard) error {
+		res, err := s.(BoundedKNN).KNNWithinCtx(ctx, q, k, bound)
 		per[i] = res
 		return err
 	})
@@ -271,15 +311,36 @@ func (f *Forest) KNNCtx(ctx context.Context, q metric.Object, k int) ([]core.Res
 // KNNWithStatsCtx is KNNCtx, additionally gathering the merged per-shard
 // QueryStats.
 func (f *Forest) KNNWithStatsCtx(ctx context.Context, q metric.Object, k int) ([]core.Result, core.QueryStats, error) {
+	order, staged := f.knnPlan(q, k)
 	per := make([][]core.Result, len(f.shards))
 	stats := make([]core.QueryStats, len(f.shards))
-	err := f.scatter(ctx, func(i int, s Shard) error {
-		res, qs, err := s.KNNWithStatsCtx(ctx, q, k)
-		per[i], stats[i] = res, qs
-		return err
-	})
+	var err error
+	if !staged {
+		err = f.scatter(ctx, func(i int, s Shard) error {
+			res, qs, err := s.KNNWithStatsCtx(ctx, q, k)
+			per[i], stats[i] = res, qs
+			return err
+		})
+	} else {
+		first := order[0]
+		per[first], stats[first], err = f.shards[first].KNNWithStatsCtx(ctx, q, k)
+		if err == nil {
+			bound := stageBound(per[first], k)
+			err = f.scatterSubset(ctx, order[1:], func(i int, s Shard) error {
+				res, qs, err := s.(BoundedKNN).KNNWithinWithStatsCtx(ctx, q, k, bound)
+				per[i], stats[i] = res, qs
+				return err
+			})
+		}
+	}
 	out := MergeKNN(per, k)
-	return out, gatherStats(stats, len(out)), err
+	qs := gatherStats(stats, len(out))
+	qs.Plan.ShardsTotal = len(f.shards)
+	if staged {
+		qs.Plan.Staged = true
+		qs.Plan.FirstShard = order[0]
+	}
+	return out, qs, err
 }
 
 // KNNApprox scatters budgeted approximate kNN: every shard verifies at most

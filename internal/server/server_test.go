@@ -375,8 +375,11 @@ func TestE2EStatsAndDebugVars(t *testing.T) {
 			t.Fatalf("range warm-up: %d", code)
 		}
 	}
-	if code, _ := s.post(t, "/v1/knn", `{"vector":[0.5,0.5,0.5,0.5],"k":3}`); code != 200 {
+	if code, body := s.post(t, "/v1/knn", `{"vector":[0.5,0.5,0.5,0.5],"k":3}`); code != 200 {
 		t.Fatal("knn warm-up failed")
+	} else if body.Plan == nil || body.Plan.Mode == "" {
+		// Query responses echo the adaptive planner's decision.
+		t.Fatalf("query response lacks the plan decision: %+v", body)
 	}
 
 	resp, err := http.Get(s.ts.URL + "/v1/stats")
@@ -388,6 +391,9 @@ func TestE2EStatsAndDebugVars(t *testing.T) {
 		Curve     string                     `json:"curve"`
 		Endpoints map[string]json.RawMessage `json:"endpoints"`
 		Admission map[string]int64           `json:"admission"`
+		Planner   *struct {
+			Samples int64 `json:"samples"`
+		} `json:"planner"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
@@ -398,6 +404,11 @@ func TestE2EStatsAndDebugVars(t *testing.T) {
 	}
 	if _, ok := stats.Endpoints[core.OpRange]; !ok {
 		t.Fatalf("stats lacks the range endpoint aggregates: %v", stats.Endpoints)
+	}
+	// The planner's calibration state is part of the stats surface; the
+	// warm-up queries above fed its EWMAs.
+	if stats.Planner == nil || stats.Planner.Samples == 0 {
+		t.Fatalf("stats lacks planner calibration: %+v", stats.Planner)
 	}
 
 	// The per-endpoint latency histograms are visible on /debug/vars under
